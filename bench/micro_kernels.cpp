@@ -1,0 +1,121 @@
+// Microbenchmarks (google-benchmark) for the kernels the CQ pipelines lean
+// on: the Eq. 10 quantizer, convolution forward/backward, NT-Xent, and the
+// augmentation pipeline. Also serves as the ablation bench for the
+// quantizer's rounding / range-mode design choices (DESIGN.md Sec. 5).
+#include <benchmark/benchmark.h>
+
+#include "core/losses.hpp"
+#include "data/augment.hpp"
+#include "data/synth.hpp"
+#include "nn/conv2d.hpp"
+#include "quant/quantizer.hpp"
+
+namespace {
+
+using namespace cq;
+
+void BM_QuantizeMinMaxNearest(benchmark::State& state) {
+  Rng rng(1);
+  Tensor a = Tensor::randn(Shape{state.range(0)}, rng);
+  quant::LinearQuantizer q;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(q.quantize(a, static_cast<int>(state.range(1))));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_QuantizeMinMaxNearest)
+    ->Args({4096, 4})
+    ->Args({4096, 8})
+    ->Args({65536, 4})
+    ->Args({65536, 8});
+
+void BM_QuantizeFloorVsNearest(benchmark::State& state) {
+  Rng rng(2);
+  Tensor a = Tensor::randn(Shape{65536}, rng);
+  quant::QuantizerConfig cfg;
+  cfg.rounding = state.range(0) == 0 ? quant::RoundingMode::kNearest
+                                     : quant::RoundingMode::kFloor;
+  quant::LinearQuantizer q(cfg);
+  for (auto _ : state) benchmark::DoNotOptimize(q.quantize(a, 8));
+  state.SetItemsProcessed(state.iterations() * 65536);
+}
+BENCHMARK(BM_QuantizeFloorVsNearest)->Arg(0)->Arg(1);
+
+void BM_QuantizePercentileRange(benchmark::State& state) {
+  Rng rng(3);
+  Tensor a = Tensor::randn(Shape{65536}, rng);
+  quant::QuantizerConfig cfg;
+  cfg.range = quant::RangeMode::kPercentile;
+  quant::LinearQuantizer q(cfg);
+  for (auto _ : state) benchmark::DoNotOptimize(q.quantize(a, 8));
+  state.SetItemsProcessed(state.iterations() * 65536);
+}
+BENCHMARK(BM_QuantizePercentileRange);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  Rng rng(4);
+  nn::Conv2d conv({.in_channels = 8, .out_channels = 16, .kernel = 3,
+                   .stride = 1, .pad = 1},
+                  rng);
+  conv.set_mode(nn::Mode::kEval);
+  Tensor x = Tensor::randn(Shape{state.range(0), 8, 16, 16}, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(conv.forward(x));
+}
+BENCHMARK(BM_Conv2dForward)->Arg(1)->Arg(8)->Arg(32);
+
+void BM_Conv2dTrainStep(benchmark::State& state) {
+  Rng rng(5);
+  nn::Conv2d conv({.in_channels = 8, .out_channels = 16, .kernel = 3,
+                   .stride = 1, .pad = 1},
+                  rng);
+  Tensor x = Tensor::randn(Shape{8, 8, 16, 16}, rng);
+  for (auto _ : state) {
+    Tensor y = conv.forward(x);
+    benchmark::DoNotOptimize(conv.backward(Tensor::ones(y.shape())));
+    conv.zero_grad();
+  }
+}
+BENCHMARK(BM_Conv2dTrainStep);
+
+void BM_DepthwiseConvForward(benchmark::State& state) {
+  Rng rng(6);
+  nn::Conv2d conv({.in_channels = 16, .out_channels = 16, .kernel = 3,
+                   .stride = 1, .pad = 1, .groups = 16},
+                  rng);
+  conv.set_mode(nn::Mode::kEval);
+  Tensor x = Tensor::randn(Shape{8, 16, 16, 16}, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(conv.forward(x));
+}
+BENCHMARK(BM_DepthwiseConvForward);
+
+void BM_NtXent(benchmark::State& state) {
+  Rng rng(7);
+  Tensor za = Tensor::randn(Shape{state.range(0), 16}, rng);
+  Tensor zb = Tensor::randn(Shape{state.range(0), 16}, rng);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::nt_xent(za, zb, 0.5f));
+}
+BENCHMARK(BM_NtXent)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_AugmentPipeline(benchmark::State& state) {
+  Rng rng(8);
+  auto cfg = data::synth_cifar_config();
+  const auto ds = data::make_synth_dataset(cfg, 8, rng);
+  data::AugmentPipeline aug;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(aug(ds.images[0], rng));
+}
+BENCHMARK(BM_AugmentPipeline);
+
+void BM_SynthRender(benchmark::State& state) {
+  Rng rng(9);
+  const auto cls = data::make_class_def(3, 8, 1);
+  for (auto _ : state) {
+    const auto inst = data::sample_instance(rng, 0.5f);
+    benchmark::DoNotOptimize(data::render_instance(cls, inst, 16, 16, rng));
+  }
+}
+BENCHMARK(BM_SynthRender);
+
+}  // namespace
+
+BENCHMARK_MAIN();

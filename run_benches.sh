@@ -1,0 +1,29 @@
+#!/bin/bash
+# Runs every table/figure bench, skipping ones already completed
+# (marker: bench_out/<name>.txt ends with the CQ_BENCH_DONE line).
+# Scale knobs below trade runtime for statistical polish; unset them for a
+# full-scale run.
+export CQ_FT_EPOCHS=${CQ_FT_EPOCHS:-10}
+export CQ_DET_EPOCHS=${CQ_DET_EPOCHS:-20}
+export CQ_TSNE_ITERS=${CQ_TSNE_ITERS:-200}
+mkdir -p bench_out
+for b in table1_imagenet_finetune table2_imagenet_linear table3_detection_transfer \
+         table4_cifar_finetune table5_cifar_linear table6_byol_finetune \
+         table7_cq_variants table8_cq_quant fig2_tsne ablation_quant_design \
+         ext_extensions; do
+  out="bench_out/${b}.txt"
+  if [ -f "$out" ] && grep -q "^CQ_BENCH_DONE$" "$out"; then
+    echo "skip $b (done)"
+    continue
+  fi
+  echo "=== RUNNING $b ==="
+  if ./build/bench/$b > "$out.tmp" 2> "bench_out/${b}.err"; then
+    echo "CQ_BENCH_DONE" >> "$out.tmp"
+    mv "$out.tmp" "$out"
+    echo "done $b"
+  else
+    echo "FAILED $b (see bench_out/${b}.err)"
+    mv "$out.tmp" "$out.failed" 2>/dev/null
+  fi
+done
+echo ALL_BENCHES_DONE

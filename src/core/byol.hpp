@@ -1,0 +1,44 @@
+// BYOL-family pretrainer: vanilla BYOL and Contrastive Quant on top of it.
+//
+// Paper Sec. 3.4 ("Applying on top of BYOL"): the NCE loss becomes the
+// normalized MSE, a projection head and prediction head follow the online
+// encoder, the target network is an EMA copy with stopped gradients, and
+// both views pass through online/target alternately (the symmetrized loss).
+// For CQ-C, the cross-precision consistency terms NCE(f1,f2)/NCE(f1+,f2+)
+// become symmetric normalized-MSE terms between the online predictions of
+// the same view at the two sampled precisions (documented substitution —
+// BYOL has no negatives, so the MSE form is the natural analogue).
+#pragma once
+
+#include <memory>
+
+#include "core/cq.hpp"
+#include "data/dataset.hpp"
+#include "models/encoder.hpp"
+#include "nn/sequential.hpp"
+
+namespace cq::core {
+
+class ByolCqTrainer {
+ public:
+  /// Supported variants: kVanilla and kCqC (the ones the paper evaluates on
+  /// BYOL). The online encoder is borrowed and trained in place; the target
+  /// network is an internal EMA copy.
+  ByolCqTrainer(models::Encoder& online, PretrainConfig config);
+
+  PretrainStats train(const data::Dataset& dataset);
+
+  /// Target network (exposed for tests).
+  models::Encoder& target_encoder() { return target_; }
+
+ private:
+  models::Encoder& online_;
+  PretrainConfig config_;
+  Rng rng_;
+  models::Encoder target_;
+  std::unique_ptr<nn::Sequential> proj_online_;
+  std::unique_ptr<nn::Sequential> proj_target_;
+  std::unique_ptr<nn::Sequential> predictor_;
+};
+
+}  // namespace cq::core

@@ -1,0 +1,231 @@
+#include "core/losses.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+
+namespace cq::core {
+
+namespace {
+
+/// Backprop through row-wise L2 normalization: given u = z / |z| and
+/// dL/du, returns dL/dz = (dL/du - (dL/du . u) u) / |z|.
+Tensor normalize_backward(const Tensor& u, const Tensor& norms,
+                          const Tensor& grad_u) {
+  const auto n = u.dim(0), d = u.dim(1);
+  Tensor grad_z(u.shape());
+  for (std::int64_t i = 0; i < n; ++i) {
+    double dot = 0.0;
+    for (std::int64_t c = 0; c < d; ++c)
+      dot += static_cast<double>(grad_u.at(i, c)) * u.at(i, c);
+    const float inv = norms[i] > 1e-12f ? 1.0f / norms[i] : 1.0f;
+    for (std::int64_t c = 0; c < d; ++c)
+      grad_z.at(i, c) =
+          inv * (grad_u.at(i, c) - static_cast<float>(dot) * u.at(i, c));
+  }
+  return grad_z;
+}
+
+}  // namespace
+
+PairLoss nt_xent(const Tensor& za, const Tensor& zb, float tau) {
+  CQ_CHECK(za.shape().rank() == 2 && za.same_shape(zb));
+  CQ_CHECK_MSG(tau > 0.0f, "temperature must be positive");
+  const auto n = za.dim(0), d = za.dim(1);
+  CQ_CHECK_MSG(n >= 2, "nt_xent needs at least 2 pairs for negatives");
+  const auto m = 2 * n;
+
+  // z = [za; zb], normalized.
+  Tensor z(Shape{m, d});
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t c = 0; c < d; ++c) {
+      z.at(i, c) = za.at(i, c);
+      z.at(n + i, c) = zb.at(i, c);
+    }
+  Tensor norms;
+  Tensor u = ops::l2_normalize_rows(z, &norms);
+
+  // Similarities s = u u^T.
+  Tensor s = ops::matmul_nt(u, u);
+
+  // Per-anchor softmax over j != i at temperature tau.
+  // pos(i) = i + n (mod m).
+  Tensor g_s(Shape{m, m});  // dL/dS
+  double loss = 0.0;
+  const float inv_tau = 1.0f / tau;
+  const float anchor_w = 1.0f / static_cast<float>(m);
+  for (std::int64_t i = 0; i < m; ++i) {
+    const std::int64_t pos = (i + n) % m;
+    float row_max = -std::numeric_limits<float>::infinity();
+    for (std::int64_t j = 0; j < m; ++j)
+      if (j != i) row_max = std::max(row_max, s.at(i, j) * inv_tau);
+    double denom = 0.0;
+    for (std::int64_t j = 0; j < m; ++j)
+      if (j != i) denom += std::exp(s.at(i, j) * inv_tau - row_max);
+    loss += anchor_w *
+            (-(static_cast<double>(s.at(i, pos)) * inv_tau - row_max) +
+             std::log(denom));
+    for (std::int64_t j = 0; j < m; ++j) {
+      if (j == i) continue;
+      const float p =
+          static_cast<float>(std::exp(s.at(i, j) * inv_tau - row_max) / denom);
+      g_s.at(i, j) =
+          anchor_w * inv_tau * (p - (j == pos ? 1.0f : 0.0f));
+    }
+  }
+
+  // dL/dU = (G + G^T) U  (u_i appears in row i and column i of S).
+  Tensor g_sym = ops::add(g_s, ops::transpose(g_s));
+  Tensor grad_u = ops::matmul(g_sym, u);
+  Tensor grad_z = normalize_backward(u, norms, grad_u);
+
+  PairLoss out;
+  out.value = static_cast<float>(loss);
+  out.grad_a = Tensor(za.shape());
+  out.grad_b = Tensor(zb.shape());
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t c = 0; c < d; ++c) {
+      out.grad_a.at(i, c) = grad_z.at(i, c);
+      out.grad_b.at(i, c) = grad_z.at(n + i, c);
+    }
+  return out;
+}
+
+PairLoss byol_mse(const Tensor& predictions, const Tensor& targets) {
+  CQ_CHECK(predictions.shape().rank() == 2 &&
+           predictions.same_shape(targets));
+  const auto n = predictions.dim(0);
+  Tensor p_norms, t_norms;
+  Tensor u = ops::l2_normalize_rows(predictions, &p_norms);
+  Tensor v = ops::l2_normalize_rows(targets, &t_norms);
+
+  // L = (1/N) sum_i |u_i - v_i|^2 = (1/N) sum_i (2 - 2 u_i . v_i)
+  double loss = 0.0;
+  const auto d = predictions.dim(1);
+  Tensor grad_u(u.shape());
+  const float w = 1.0f / static_cast<float>(n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    double dot = 0.0;
+    for (std::int64_t c = 0; c < d; ++c)
+      dot += static_cast<double>(u.at(i, c)) * v.at(i, c);
+    loss += w * (2.0 - 2.0 * dot);
+    for (std::int64_t c = 0; c < d; ++c)
+      grad_u.at(i, c) = -2.0f * w * v.at(i, c);
+  }
+  PairLoss out;
+  out.value = static_cast<float>(loss);
+  out.grad_a = normalize_backward(u, p_norms, grad_u);
+  out.grad_b = Tensor(targets.shape());  // stop-gradient on the target
+  return out;
+}
+
+PairLoss symmetric_mse(const Tensor& za, const Tensor& zb) {
+  CQ_CHECK(za.shape().rank() == 2 && za.same_shape(zb));
+  const auto n = za.dim(0), d = za.dim(1);
+  Tensor a_norms, b_norms;
+  Tensor u = ops::l2_normalize_rows(za, &a_norms);
+  Tensor v = ops::l2_normalize_rows(zb, &b_norms);
+
+  double loss = 0.0;
+  Tensor grad_u(u.shape()), grad_v(v.shape());
+  const float w = 1.0f / static_cast<float>(n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t c = 0; c < d; ++c) {
+      const float diff = u.at(i, c) - v.at(i, c);
+      loss += w * static_cast<double>(diff) * diff;
+      grad_u.at(i, c) = 2.0f * w * diff;
+      grad_v.at(i, c) = -2.0f * w * diff;
+    }
+  }
+  PairLoss out;
+  out.value = static_cast<float>(loss);
+  out.grad_a = normalize_backward(u, a_norms, grad_u);
+  out.grad_b = normalize_backward(v, b_norms, grad_v);
+  return out;
+}
+
+PairLoss info_nce_queue(const Tensor& queries, const Tensor& keys,
+                        const Tensor& queue, float tau) {
+  CQ_CHECK(queries.shape().rank() == 2 && queries.same_shape(keys));
+  CQ_CHECK(queue.shape().rank() == 2 && queue.dim(1) == queries.dim(1));
+  CQ_CHECK_MSG(tau > 0.0f, "temperature must be positive");
+  const auto n = queries.dim(0), d = queries.dim(1), m = queue.dim(0);
+
+  Tensor q_norms;
+  Tensor u = ops::l2_normalize_rows(queries, &q_norms);
+  Tensor v = ops::l2_normalize_rows(keys);
+
+  const float inv_tau = 1.0f / tau;
+  const float w = 1.0f / static_cast<float>(n);
+  double loss = 0.0;
+  Tensor grad_u(u.shape());
+  std::vector<float> logits(static_cast<std::size_t>(m + 1));
+  for (std::int64_t i = 0; i < n; ++i) {
+    // logits[0] = positive, logits[1..m] = queue negatives.
+    double pos = 0.0;
+    for (std::int64_t c = 0; c < d; ++c)
+      pos += static_cast<double>(u.at(i, c)) * v.at(i, c);
+    logits[0] = static_cast<float>(pos) * inv_tau;
+    float mx = logits[0];
+    for (std::int64_t k = 0; k < m; ++k) {
+      double s = 0.0;
+      for (std::int64_t c = 0; c < d; ++c)
+        s += static_cast<double>(u.at(i, c)) * queue.at(k, c);
+      logits[static_cast<std::size_t>(k + 1)] =
+          static_cast<float>(s) * inv_tau;
+      mx = std::max(mx, logits[static_cast<std::size_t>(k + 1)]);
+    }
+    double denom = 0.0;
+    for (std::size_t j = 0; j < logits.size(); ++j)
+      denom += std::exp(logits[j] - mx);
+    loss += w * (-(static_cast<double>(logits[0]) - mx) + std::log(denom));
+    // Softmax over [pos, negatives]; dL/du_i accumulates each direction.
+    const float p0 =
+        static_cast<float>(std::exp(logits[0] - mx) / denom);
+    for (std::int64_t c = 0; c < d; ++c)
+      grad_u.at(i, c) = w * inv_tau * (p0 - 1.0f) * v.at(i, c);
+    for (std::int64_t k = 0; k < m; ++k) {
+      const float pk = static_cast<float>(
+          std::exp(logits[static_cast<std::size_t>(k + 1)] - mx) / denom);
+      for (std::int64_t c = 0; c < d; ++c)
+        grad_u.at(i, c) += w * inv_tau * pk * queue.at(k, c);
+    }
+  }
+
+  PairLoss out;
+  out.value = static_cast<float>(loss);
+  out.grad_a = normalize_backward(u, q_norms, grad_u);
+  out.grad_b = Tensor(keys.shape());  // stop-gradient on keys
+  return out;
+}
+
+ClassificationLoss cross_entropy(const Tensor& logits,
+                                 const std::vector<int>& labels) {
+  CQ_CHECK(logits.shape().rank() == 2);
+  const auto n = logits.dim(0), c = logits.dim(1);
+  CQ_CHECK(static_cast<std::int64_t>(labels.size()) == n);
+  for (int label : labels) CQ_CHECK(label >= 0 && label < c);
+
+  Tensor log_p = ops::log_softmax_rows(logits);
+  ClassificationLoss out;
+  out.grad_logits = Tensor(logits.shape());
+  const float w = 1.0f / static_cast<float>(n);
+  double loss = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const int y = labels[static_cast<std::size_t>(i)];
+    loss -= w * log_p.at(i, y);
+    std::int64_t best = 0;
+    for (std::int64_t j = 0; j < c; ++j) {
+      const float p = std::exp(log_p.at(i, j));
+      out.grad_logits.at(i, j) = w * (p - (j == y ? 1.0f : 0.0f));
+      if (log_p.at(i, j) > log_p.at(i, best)) best = j;
+    }
+    if (best == y) ++out.correct;
+  }
+  out.value = static_cast<float>(loss);
+  return out;
+}
+
+}  // namespace cq::core

@@ -1,0 +1,53 @@
+// Contrastive losses with analytic gradients.
+//
+// These are the objectives of the paper: the NT-Xent / NCE loss (Eq. 1-2,
+// SimCLR form) and BYOL's normalized MSE, plus softmax cross-entropy for the
+// evaluation classifiers. Gradients are returned with respect to the
+// *unnormalized* input features (the losses normalize internally), so
+// callers feed them straight into Module::backward.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace cq::core {
+
+struct PairLoss {
+  float value = 0.0f;
+  Tensor grad_a;  // dL/d(za)
+  Tensor grad_b;  // dL/d(zb)
+};
+
+/// NT-Xent (normalized temperature-scaled cross entropy) over a batch of N
+/// positive pairs (za[i], zb[i]). All 2N-2 other embeddings act as
+/// negatives for each anchor; the loss is averaged over the 2N anchors.
+PairLoss nt_xent(const Tensor& za, const Tensor& zb, float tau);
+
+/// BYOL regression loss: mean_i || p_i/|p_i| - t_i/|t_i| ||^2. The target is
+/// stop-gradient: only grad_a (w.r.t. predictions) is populated; grad_b is
+/// zero.
+PairLoss byol_mse(const Tensor& predictions, const Tensor& targets);
+
+/// Symmetric normalized MSE: like byol_mse but gradients flow to both
+/// sides. Used for CQ-C's cross-precision consistency terms on BYOL.
+PairLoss symmetric_mse(const Tensor& za, const Tensor& zb);
+
+/// MoCo-style InfoNCE with a memory queue (He et al. 2020): each query's
+/// positive is its key row; negatives are the queue rows. Keys and queue are
+/// stop-gradient — only grad_a (w.r.t. queries) is populated. `queue` rows
+/// are expected L2-normalized (the trainer maintains that invariant).
+PairLoss info_nce_queue(const Tensor& queries, const Tensor& keys,
+                        const Tensor& queue, float tau);
+
+struct ClassificationLoss {
+  float value = 0.0f;
+  Tensor grad_logits;  // [N, C]
+  std::int64_t correct = 0;
+};
+
+/// Softmax cross entropy, averaged over the batch; also reports top-1 hits.
+ClassificationLoss cross_entropy(const Tensor& logits,
+                                 const std::vector<int>& labels);
+
+}  // namespace cq::core

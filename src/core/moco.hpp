@@ -1,0 +1,48 @@
+// MoCo-family pretrainer (He et al. 2020 — the paper's reference [1]), with
+// Contrastive Quant applied on top.
+//
+// This is an *extension* beyond the paper's SimCLR/BYOL experiments: the
+// paper positions CQ as a general recipe for contrastive pipelines, and
+// MoCo's momentum encoder + negative queue is the third canonical pipeline.
+// CQ-A maps naturally: the query encoder runs at q1 and the (EMA) key
+// encoder at q2, so the queue accumulates keys produced under many
+// quantization levels — quantization-as-augmentation of the negatives too.
+#pragma once
+
+#include <memory>
+
+#include "core/cq.hpp"
+#include "data/dataset.hpp"
+#include "models/encoder.hpp"
+#include "nn/sequential.hpp"
+
+namespace cq::core {
+
+class MocoCqTrainer {
+ public:
+  /// Supported variants: kVanilla (plain MoCo) and kCqA (quantization
+  /// augmentation on query/key encoders). The query encoder is borrowed and
+  /// trained in place; the key network is an internal EMA copy.
+  MocoCqTrainer(models::Encoder& query_encoder, PretrainConfig config);
+
+  PretrainStats train(const data::Dataset& dataset);
+
+  /// The negative queue (exposed for tests): [queue_size, proj_dim],
+  /// row-normalized.
+  const Tensor& queue() const { return queue_; }
+  std::int64_t queue_cursor() const { return queue_cursor_; }
+
+ private:
+  void enqueue_keys(const Tensor& normalized_keys);
+
+  models::Encoder& query_;
+  PretrainConfig config_;
+  Rng rng_;
+  models::Encoder key_;
+  std::unique_ptr<nn::Sequential> proj_query_;
+  std::unique_ptr<nn::Sequential> proj_key_;
+  Tensor queue_;
+  std::int64_t queue_cursor_ = 0;
+};
+
+}  // namespace cq::core

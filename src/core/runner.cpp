@@ -1,0 +1,127 @@
+#include "core/runner.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/logging.hpp"
+
+namespace cq::core {
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+double experiment_scale() { return env_double("CQ_SCALE", 1.0); }
+
+namespace {
+std::int64_t scaled(std::int64_t base) {
+  return std::max<std::int64_t>(
+      32, static_cast<std::int64_t>(static_cast<double>(base) *
+                                    experiment_scale()));
+}
+}  // namespace
+
+DatasetBundle make_bundle(const std::string& name) {
+  DatasetBundle bundle;
+  bundle.name = name;
+  std::int64_t ssl = 0, labeled = 0, test = 0;
+  if (name == "synth-cifar") {
+    bundle.config = data::synth_cifar_config();
+    ssl = 384;
+    labeled = 640;
+    test = 240;
+  } else if (name == "synth-imagenet") {
+    bundle.config = data::synth_imagenet_config();
+    ssl = 448;
+    labeled = 800;
+    test = 256;
+  } else {
+    CQ_CHECK_MSG(false, "unknown dataset bundle '" << name << "'");
+  }
+  // Three independent deterministic streams so split contents do not shift
+  // when one split's size changes.
+  Rng ssl_rng(bundle.config.seed * 1000003 + 1);
+  Rng labeled_rng(bundle.config.seed * 1000003 + 2);
+  Rng test_rng(bundle.config.seed * 1000003 + 3);
+  bundle.ssl_train = data::make_synth_dataset(bundle.config, scaled(ssl),
+                                              ssl_rng);
+  bundle.labeled = data::make_synth_dataset(bundle.config, scaled(labeled),
+                                            labeled_rng);
+  bundle.test = data::make_synth_dataset(bundle.config, scaled(test),
+                                         test_rng);
+  return bundle;
+}
+
+std::string cache_dir() {
+  const char* dir = std::getenv("CQ_CACHE_DIR");
+  std::string path = (dir != nullptr && *dir != '\0') ? dir : ".cq_cache";
+  std::filesystem::create_directories(path);
+  return path;
+}
+
+namespace {
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (unsigned char ch : s) {
+    h ^= ch;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+}  // namespace
+
+PretrainResult pretrain_cached(models::Encoder& encoder,
+                               const PretrainConfig& config,
+                               const DatasetBundle& bundle,
+                               const std::string& family, bool cache) {
+  CQ_CHECK(family == "simclr" || family == "byol" || family == "moco");
+  std::ostringstream key;
+  key << family << "|" << encoder.arch << "|" << bundle.name << "|n="
+      << bundle.ssl_train.size() << "|" << config.cache_key();
+  std::ostringstream path;
+  path << cache_dir() << "/" << family << "_" << encoder.arch << "_"
+       << variant_name(config.variant) << "_" << std::hex << fnv1a(key.str())
+       << ".ckpt";
+
+  PretrainResult result;
+  result.checkpoint_path = path.str();
+  if (cache && std::filesystem::exists(path.str())) {
+    models::load_module(path.str(), *encoder.backbone);
+    result.from_cache = true;
+    CQ_LOG_INFO << "loaded cached encoder " << path.str();
+    return result;
+  }
+  CQ_LOG_INFO << "pretraining " << family << "/"
+              << variant_name(config.variant) << " " << encoder.arch
+              << " on " << bundle.name << " (" << bundle.ssl_train.size()
+              << " images, " << config.epochs << " epochs)";
+  if (family == "simclr") {
+    SimClrCqTrainer trainer(encoder, config);
+    result.stats = trainer.train(bundle.ssl_train);
+  } else if (family == "byol") {
+    ByolCqTrainer trainer(encoder, config);
+    result.stats = trainer.train(bundle.ssl_train);
+  } else {
+    MocoCqTrainer trainer(encoder, config);
+    result.stats = trainer.train(bundle.ssl_train);
+  }
+  if (cache && !result.stats.diverged)
+    models::save_module(path.str(), *encoder.backbone);
+  return result;
+}
+
+}  // namespace cq::core

@@ -1,0 +1,56 @@
+// Experiment orchestration: dataset bundles, environment scaling knobs, and
+// cached pretraining so bench binaries can share encoders.
+#pragma once
+
+#include <string>
+
+#include "core/byol.hpp"
+#include "core/cq.hpp"
+#include "core/moco.hpp"
+#include "core/simclr.hpp"
+#include "data/synth.hpp"
+#include "models/encoder.hpp"
+
+namespace cq::core {
+
+/// A dataset stand-in plus its evaluation splits.
+struct DatasetBundle {
+  std::string name;
+  data::SynthConfig config;
+  data::Dataset ssl_train;  // unlabeled pool used for pretraining
+  data::Dataset labeled;    // full labeled pool (10%/1% splits come from it)
+  data::Dataset test;
+};
+
+/// Integer / float environment overrides (unset or unparsable -> fallback).
+std::int64_t env_int(const char* name, std::int64_t fallback);
+double env_double(const char* name, double fallback);
+
+/// Global experiment scale: CQ_SCALE (default 1.0) multiplies dataset sizes
+/// and epoch counts of the bench harnesses.
+double experiment_scale();
+
+/// Builds "synth-cifar" or "synth-imagenet" with deterministic contents.
+/// Sizes honor CQ_SCALE.
+DatasetBundle make_bundle(const std::string& name);
+
+/// Checkpoint cache directory (CQ_CACHE_DIR, default ".cq_cache"); created
+/// on demand.
+std::string cache_dir();
+
+struct PretrainResult {
+  PretrainStats stats;
+  bool from_cache = false;
+  std::string checkpoint_path;
+};
+
+/// Pretrain `encoder` with the given config on `bundle.ssl_train`, or load
+/// a previously trained checkpoint with the same key. `family` is "simclr",
+/// "byol", or "moco". Pass cache=false to force retraining (stats are only
+/// meaningful for a fresh run; cached loads return empty stats).
+PretrainResult pretrain_cached(models::Encoder& encoder,
+                               const PretrainConfig& config,
+                               const DatasetBundle& bundle,
+                               const std::string& family, bool cache = true);
+
+}  // namespace cq::core

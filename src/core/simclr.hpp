@@ -1,0 +1,38 @@
+// SimCLR-family pretrainer covering vanilla SimCLR and the CQ variants.
+//
+// One trainer implements all five pipelines because they differ only in
+// (a) which views are built, (b) which precision each branch runs at, and
+// (c) which NT-Xent terms enter the loss. Branch forwards go through the
+// shared encoder + projection head; backwards run in reverse branch order
+// (the module cache-stack LIFO contract).
+#pragma once
+
+#include <memory>
+
+#include "core/cq.hpp"
+#include "data/dataset.hpp"
+#include "models/encoder.hpp"
+#include "nn/sequential.hpp"
+
+namespace cq::core {
+
+class SimClrCqTrainer {
+ public:
+  /// The encoder is borrowed and trained in place; the projection head is
+  /// owned by the trainer (and discarded after pretraining, as in SimCLR).
+  SimClrCqTrainer(models::Encoder& encoder, PretrainConfig config);
+
+  /// Run the full pretraining schedule over `dataset` (labels unused).
+  PretrainStats train(const data::Dataset& dataset);
+
+  /// The projection head (exposed for tests).
+  nn::Sequential& projection_head() { return *projection_; }
+
+ private:
+  models::Encoder& encoder_;
+  PretrainConfig config_;
+  Rng rng_;
+  std::unique_ptr<nn::Sequential> projection_;
+};
+
+}  // namespace cq::core

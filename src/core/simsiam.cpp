@@ -1,0 +1,153 @@
+#include "core/simsiam.hpp"
+
+#include <cmath>
+
+#include "core/losses.hpp"
+#include "models/heads.hpp"
+#include "optim/schedule.hpp"
+#include "optim/sgd.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace cq::core {
+
+namespace {
+constexpr float kDivergenceGradNorm = 1e4f;
+}
+
+SimSiamCqTrainer::SimSiamCqTrainer(models::Encoder& encoder,
+                                   PretrainConfig config)
+    : encoder_(encoder), config_(std::move(config)), rng_(config_.seed) {
+  CQ_CHECK_MSG(config_.variant == CqVariant::kVanilla ||
+                   config_.variant == CqVariant::kCqC,
+               "SimSiam trainer supports vanilla and CQ-C");
+  if (config_.variant == CqVariant::kCqC)
+    CQ_CHECK_MSG(!config_.precisions.empty(),
+                 "CQ-C needs a non-empty precision set");
+  projector_ = models::make_byol_mlp(encoder_.feature_dim,
+                                     config_.proj_hidden, config_.proj_dim,
+                                     rng_);
+  predictor_ = models::make_byol_mlp(config_.proj_dim, config_.pred_hidden,
+                                     config_.proj_dim, rng_);
+}
+
+PretrainStats SimSiamCqTrainer::train(const data::Dataset& dataset) {
+  CQ_CHECK(dataset.size() >= config_.batch_size);
+  Timer timer;
+  PretrainStats stats;
+
+  encoder_.backbone->set_mode(nn::Mode::kTrain);
+  projector_->set_mode(nn::Mode::kTrain);
+  predictor_->set_mode(nn::Mode::kTrain);
+
+  auto params = encoder_.backbone->parameters();
+  for (nn::Parameter* p : projector_->parameters()) params.push_back(p);
+  for (nn::Parameter* p : predictor_->parameters()) params.push_back(p);
+  optim::Sgd sgd(params, {.lr = config_.lr,
+                          .momentum = config_.momentum,
+                          .weight_decay = config_.weight_decay});
+
+  data::Batcher batcher(dataset.size(), config_.batch_size, rng_,
+                        /*drop_last=*/true);
+  const auto iters_per_epoch = batcher.batches_per_epoch();
+  const auto total_steps = iters_per_epoch * config_.epochs;
+  const auto warmup = std::min<std::int64_t>(
+      config_.warmup_epochs * iters_per_epoch, total_steps - 1);
+  optim::CosineSchedule schedule(config_.lr, total_steps, warmup);
+  const data::AugmentPipeline augment(config_.augment);
+  const bool quantized = config_.variant == CqVariant::kCqC;
+
+  std::int64_t step = 0;
+  for (std::int64_t epoch = 0; epoch < config_.epochs && !stats.diverged;
+       ++epoch) {
+    double epoch_loss = 0.0;
+    for (std::int64_t it = 0; it < iters_per_epoch; ++it, ++step) {
+      sgd.set_lr(schedule.lr_at(step));
+      const auto idx = batcher.next();
+      const Tensor v1 = augment.batch(dataset, idx, rng_);
+      const Tensor v2 = augment.batch(dataset, idx, rng_);
+
+      std::vector<int> precisions = {quant::kFullPrecisionBits};
+      if (quantized) {
+        auto [q1, q2] = (config_.precision_sampling ==
+                         PretrainConfig::PrecisionSampling::kCyclic)
+                            ? cyclic_precision_pair(config_.precisions, step,
+                                                    total_steps,
+                                                    config_.precision_cycles)
+                            : config_.precisions.sample_pair(
+                                  rng_, config_.distinct_pair);
+        precisions = {q1, q2};
+      }
+
+      // Branch order: (q_i, v1), (q_i, v2) for each precision.
+      struct Branch {
+        Tensor z;       // projector output (stop-grad target role)
+        Tensor p;       // predictor output (gradient-carrying role)
+        Tensor grad_p;  // accumulated dL/dp
+      };
+      std::vector<Branch> branches;
+      for (int bits : precisions) {
+        encoder_.policy->set_bits(bits);
+        for (const Tensor* view : {&v1, &v2}) {
+          Branch branch;
+          branch.z = projector_->forward(encoder_.forward(*view));
+          branch.p = predictor_->forward(branch.z);
+          branch.grad_p = Tensor::zeros(branch.p.shape());
+          branches.push_back(std::move(branch));
+        }
+      }
+      encoder_.policy->set_full_precision();
+
+      float loss = 0.0f;
+      // Symmetrized stop-gradient loss per precision: branch pairs
+      // (2i, 2i+1) hold (v1, v2) at precision i.
+      for (std::size_t i = 0; i + 1 < branches.size(); i += 2) {
+        PairLoss t1 = byol_mse(branches[i].p, branches[i + 1].z);
+        PairLoss t2 = byol_mse(branches[i + 1].p, branches[i].z);
+        loss += 0.5f * (t1.value + t2.value);
+        branches[i].grad_p.add_(t1.grad_a, 0.5f);
+        branches[i + 1].grad_p.add_(t2.grad_a, 0.5f);
+      }
+      if (quantized && branches.size() == 4) {
+        // Cross-precision consistency on the predictions of each view.
+        const std::pair<std::size_t, std::size_t> cross[] = {{0, 2}, {1, 3}};
+        for (const auto& [a, b] : cross) {
+          PairLoss term = symmetric_mse(branches[a].p, branches[b].p);
+          loss += term.value;
+          branches[a].grad_p.add_(term.grad_a);
+          branches[b].grad_p.add_(term.grad_b);
+        }
+      }
+
+      for (auto it_b = branches.rbegin(); it_b != branches.rend(); ++it_b) {
+        Tensor g = predictor_->backward(it_b->grad_p);
+        g = projector_->backward(g);
+        encoder_.backbone->backward(g);
+      }
+      sgd.step();
+      stats.max_grad_norm =
+          std::max(stats.max_grad_norm, sgd.last_grad_norm());
+      epoch_loss += loss;
+      ++stats.iterations;
+      if (!std::isfinite(loss) ||
+          sgd.last_grad_norm() > kDivergenceGradNorm) {
+        stats.diverged = true;
+        CQ_LOG_WARN << "simsiam/" << variant_name(config_.variant)
+                    << " diverged at step " << step;
+        break;
+      }
+    }
+    stats.epoch_loss.push_back(
+        static_cast<float>(epoch_loss / static_cast<double>(iters_per_epoch)));
+  }
+  stats.final_loss =
+      stats.epoch_loss.empty() ? 0.0f : stats.epoch_loss.back();
+  stats.seconds = timer.seconds();
+  encoder_.policy->set_full_precision();
+  encoder_.backbone->clear_cache();
+  projector_->clear_cache();
+  predictor_->clear_cache();
+  return stats;
+}
+
+}  // namespace cq::core

@@ -1,0 +1,37 @@
+// SimSiam pretrainer (Chen & He 2020 — the paper's reference [12]): the
+// minimal stop-gradient siamese method — no negatives, no momentum encoder.
+//
+// Another extension beyond the paper's SimCLR/BYOL experiments, closing out
+// the contrastive-family coverage. Loss per view pair:
+//   L = D(p1, z2)/2 + D(p2, z1)/2,   D(p, z) = |p/|p| - z/|z||^2,  z stop-grad
+// (equivalent up to affine terms to negative cosine similarity).
+// CQ-C adaptation mirrors the BYOL one: per-iteration precisions q1/q2, the
+// symmetrized loss at each precision, plus cross-precision consistency
+// between the predictions of the same view.
+#pragma once
+
+#include <memory>
+
+#include "core/cq.hpp"
+#include "data/dataset.hpp"
+#include "models/encoder.hpp"
+#include "nn/sequential.hpp"
+
+namespace cq::core {
+
+class SimSiamCqTrainer {
+ public:
+  /// Supported variants: kVanilla and kCqC.
+  SimSiamCqTrainer(models::Encoder& encoder, PretrainConfig config);
+
+  PretrainStats train(const data::Dataset& dataset);
+
+ private:
+  models::Encoder& encoder_;
+  PretrainConfig config_;
+  Rng rng_;
+  std::unique_ptr<nn::Sequential> projector_;
+  std::unique_ptr<nn::Sequential> predictor_;
+};
+
+}  // namespace cq::core

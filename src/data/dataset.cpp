@@ -1,0 +1,105 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+
+#include "data/image.hpp"
+#include "util/check.hpp"
+
+namespace cq::data {
+
+void Dataset::validate() const {
+  CQ_CHECK_MSG(images.size() == labels.size(), "images/labels size mismatch");
+  for (int label : labels)
+    CQ_CHECK_MSG(label >= 0 && label < num_classes,
+                 "label " << label << " outside [0, " << num_classes << ")");
+}
+
+Dataset subset_fraction(const Dataset& full, double fraction, Rng& rng) {
+  CQ_CHECK(fraction > 0.0 && fraction <= 1.0);
+  full.validate();
+  std::vector<std::vector<std::int64_t>> by_class(
+      static_cast<std::size_t>(full.num_classes));
+  for (std::int64_t i = 0; i < full.size(); ++i)
+    by_class[static_cast<std::size_t>(full.labels[static_cast<std::size_t>(i)])]
+        .push_back(i);
+
+  Dataset out;
+  out.num_classes = full.num_classes;
+  for (auto& members : by_class) {
+    if (members.empty()) continue;
+    rng.shuffle(members);
+    // Keep ceil(fraction * count) but at least 1 so every class stays
+    // represented, mirroring how papers stratify semi-supervised splits.
+    const auto keep = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(
+               fraction * static_cast<double>(members.size()) + 0.5));
+    for (std::int64_t k = 0; k < keep; ++k) {
+      const auto i = static_cast<std::size_t>(members[static_cast<std::size_t>(k)]);
+      out.images.push_back(full.images[i]);
+      out.labels.push_back(full.labels[i]);
+    }
+  }
+  return out;
+}
+
+Tensor gather_images(const Dataset& ds,
+                     std::span<const std::int64_t> indices) {
+  CQ_CHECK(!indices.empty());
+  std::vector<Tensor> picked;
+  picked.reserve(indices.size());
+  for (auto i : indices) {
+    CQ_CHECK(i >= 0 && i < ds.size());
+    picked.push_back(ds.images[static_cast<std::size_t>(i)]);
+  }
+  return stack_images(picked);
+}
+
+std::vector<int> gather_labels(const Dataset& ds,
+                               std::span<const std::int64_t> indices) {
+  std::vector<int> labels;
+  labels.reserve(indices.size());
+  for (auto i : indices) {
+    CQ_CHECK(i >= 0 && i < ds.size());
+    labels.push_back(ds.labels[static_cast<std::size_t>(i)]);
+  }
+  return labels;
+}
+
+Batcher::Batcher(std::int64_t dataset_size, std::int64_t batch_size, Rng& rng,
+                 bool drop_last)
+    : dataset_size_(dataset_size),
+      batch_size_(batch_size),
+      drop_last_(drop_last),
+      rng_(&rng) {
+  CQ_CHECK(dataset_size > 0 && batch_size > 0);
+  CQ_CHECK_MSG(!drop_last || batch_size <= dataset_size,
+               "drop_last with batch larger than dataset yields no batches");
+  order_.resize(static_cast<std::size_t>(dataset_size));
+  for (std::int64_t i = 0; i < dataset_size; ++i)
+    order_[static_cast<std::size_t>(i)] = i;
+  reshuffle();
+}
+
+void Batcher::reshuffle() {
+  rng_->shuffle(order_);
+  cursor_ = 0;
+}
+
+std::vector<std::int64_t> Batcher::next() {
+  if (cursor_ >= dataset_size_ ||
+      (drop_last_ && cursor_ + batch_size_ > dataset_size_)) {
+    reshuffle();
+  }
+  const auto take = std::min(batch_size_, dataset_size_ - cursor_);
+  std::vector<std::int64_t> batch(
+      order_.begin() + cursor_, order_.begin() + cursor_ + take);
+  cursor_ += take;
+  return batch;
+}
+
+std::int64_t Batcher::batches_per_epoch() const {
+  if (drop_last_) return dataset_size_ / batch_size_;
+  return (dataset_size_ + batch_size_ - 1) / batch_size_;
+}
+
+}  // namespace cq::data

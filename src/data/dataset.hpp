@@ -1,0 +1,57 @@
+// Labeled image dataset and batching.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace cq::data {
+
+struct Dataset {
+  std::vector<Tensor> images;  // each [3,H,W]
+  std::vector<int> labels;     // parallel to images
+  int num_classes = 0;
+
+  std::int64_t size() const { return static_cast<std::int64_t>(images.size()); }
+  bool empty() const { return images.empty(); }
+  /// Throws if images/labels disagree or labels are out of range.
+  void validate() const;
+};
+
+/// Stratified (per-class) random subset keeping ~fraction of each class, at
+/// least one sample per class present in the source. Models the paper's
+/// "10% / 1% labeled data" fine-tuning splits.
+Dataset subset_fraction(const Dataset& full, double fraction, Rng& rng);
+
+/// Stack the images at `indices` into an [N,3,H,W] batch.
+Tensor gather_images(const Dataset& ds, std::span<const std::int64_t> indices);
+std::vector<int> gather_labels(const Dataset& ds,
+                               std::span<const std::int64_t> indices);
+
+/// Epoch-shuffled minibatch index stream. Drops no samples: the final batch
+/// of an epoch may be smaller than batch_size (callers that need pair
+/// batches of even size can ask for even batches).
+class Batcher {
+ public:
+  Batcher(std::int64_t dataset_size, std::int64_t batch_size, Rng& rng,
+          bool drop_last = false);
+
+  /// Next minibatch of indices; reshuffles and wraps at epoch end.
+  std::vector<std::int64_t> next();
+
+  std::int64_t batches_per_epoch() const;
+
+ private:
+  void reshuffle();
+
+  std::int64_t dataset_size_;
+  std::int64_t batch_size_;
+  bool drop_last_;
+  Rng* rng_;
+  std::vector<std::int64_t> order_;
+  std::int64_t cursor_ = 0;
+};
+
+}  // namespace cq::data

@@ -1,0 +1,128 @@
+#include "data/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace cq::data {
+
+namespace {
+void check_image(const Tensor& img) {
+  CQ_CHECK_MSG(img.shape().rank() == 3 && img.dim(0) == 3,
+               "expected [3,H,W] image, got " << img.shape().str());
+}
+}  // namespace
+
+Tensor resize_bilinear(const Tensor& img, std::int64_t out_h,
+                       std::int64_t out_w) {
+  check_image(img);
+  CQ_CHECK(out_h > 0 && out_w > 0);
+  const auto h = img.dim(1), w = img.dim(2);
+  Tensor out(Shape{3, out_h, out_w});
+  const float sy = static_cast<float>(h) / static_cast<float>(out_h);
+  const float sx = static_cast<float>(w) / static_cast<float>(out_w);
+  for (std::int64_t c = 0; c < 3; ++c) {
+    const float* plane = img.data() + c * h * w;
+    float* oplane = out.data() + c * out_h * out_w;
+    for (std::int64_t y = 0; y < out_h; ++y) {
+      const float fy = (static_cast<float>(y) + 0.5f) * sy - 0.5f;
+      const std::int64_t y0 =
+          std::clamp<std::int64_t>(static_cast<std::int64_t>(std::floor(fy)),
+                                   0, h - 1);
+      const std::int64_t y1 = std::min<std::int64_t>(y0 + 1, h - 1);
+      const float wy = std::clamp(fy - static_cast<float>(y0), 0.0f, 1.0f);
+      for (std::int64_t x = 0; x < out_w; ++x) {
+        const float fx = (static_cast<float>(x) + 0.5f) * sx - 0.5f;
+        const std::int64_t x0 = std::clamp<std::int64_t>(
+            static_cast<std::int64_t>(std::floor(fx)), 0, w - 1);
+        const std::int64_t x1 = std::min<std::int64_t>(x0 + 1, w - 1);
+        const float wx = std::clamp(fx - static_cast<float>(x0), 0.0f, 1.0f);
+        const float v00 = plane[y0 * w + x0], v01 = plane[y0 * w + x1];
+        const float v10 = plane[y1 * w + x0], v11 = plane[y1 * w + x1];
+        oplane[y * out_w + x] = (1 - wy) * ((1 - wx) * v00 + wx * v01) +
+                                wy * ((1 - wx) * v10 + wx * v11);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor crop(const Tensor& img, std::int64_t top, std::int64_t left,
+            std::int64_t height, std::int64_t width) {
+  check_image(img);
+  const auto h = img.dim(1), w = img.dim(2);
+  CQ_CHECK_MSG(top >= 0 && left >= 0 && height > 0 && width > 0 &&
+                   top + height <= h && left + width <= w,
+               "crop [" << top << "," << left << "," << height << "," << width
+                        << "] outside " << img.shape().str());
+  Tensor out(Shape{3, height, width});
+  for (std::int64_t c = 0; c < 3; ++c)
+    for (std::int64_t y = 0; y < height; ++y) {
+      const float* src = img.data() + (c * h + top + y) * w + left;
+      float* dst = out.data() + (c * height + y) * width;
+      std::copy(src, src + width, dst);
+    }
+  return out;
+}
+
+Tensor hflip(const Tensor& img) {
+  check_image(img);
+  const auto h = img.dim(1), w = img.dim(2);
+  Tensor out(img.shape());
+  for (std::int64_t c = 0; c < 3; ++c)
+    for (std::int64_t y = 0; y < h; ++y) {
+      const float* src = img.data() + (c * h + y) * w;
+      float* dst = out.data() + (c * h + y) * w;
+      for (std::int64_t x = 0; x < w; ++x) dst[x] = src[w - 1 - x];
+    }
+  return out;
+}
+
+Tensor channel_affine(const Tensor& img, const float scale[3],
+                      const float shift[3]) {
+  check_image(img);
+  const auto plane_size = img.dim(1) * img.dim(2);
+  Tensor out = img;
+  for (std::int64_t c = 0; c < 3; ++c) {
+    float* d = out.data() + c * plane_size;
+    for (std::int64_t i = 0; i < plane_size; ++i)
+      d[i] = std::clamp(scale[c] * (d[i] - 0.5f) + 0.5f + shift[c], 0.0f, 1.0f);
+  }
+  return out;
+}
+
+Tensor grayscale(const Tensor& img) {
+  check_image(img);
+  const auto plane_size = img.dim(1) * img.dim(2);
+  Tensor out(img.shape());
+  const float* r = img.data();
+  const float* g = img.data() + plane_size;
+  const float* b = img.data() + 2 * plane_size;
+  for (std::int64_t i = 0; i < plane_size; ++i) {
+    const float v = 0.299f * r[i] + 0.587f * g[i] + 0.114f * b[i];
+    out[i] = v;
+    out[plane_size + i] = v;
+    out[2 * plane_size + i] = v;
+  }
+  return out;
+}
+
+Tensor stack_images(const std::vector<Tensor>& images) {
+  CQ_CHECK(!images.empty());
+  const auto& s = images.front().shape();
+  CQ_CHECK(s.rank() == 3);
+  const auto n = static_cast<std::int64_t>(images.size());
+  Tensor out(Shape{n, s[0], s[1], s[2]});
+  const auto per = s.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    CQ_CHECK_MSG(images[static_cast<std::size_t>(i)].shape() == s,
+                 "ragged image stack");
+    std::copy(images[static_cast<std::size_t>(i)].data(),
+              images[static_cast<std::size_t>(i)].data() + per,
+              out.data() + i * per);
+  }
+  return out;
+}
+
+}  // namespace cq::data

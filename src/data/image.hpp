@@ -1,0 +1,30 @@
+// Image helpers. An image is a Tensor of shape [3, H, W] with values
+// (nominally) in [0, 1].
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace cq::data {
+
+/// Bilinear resize to [3, out_h, out_w].
+Tensor resize_bilinear(const Tensor& img, std::int64_t out_h,
+                       std::int64_t out_w);
+
+/// Axis-aligned crop; the region must lie inside the image.
+Tensor crop(const Tensor& img, std::int64_t top, std::int64_t left,
+            std::int64_t height, std::int64_t width);
+
+/// Horizontal mirror.
+Tensor hflip(const Tensor& img);
+
+/// Per-channel affine: out = clamp(scale * (img - 0.5) + 0.5 + shift).
+Tensor channel_affine(const Tensor& img, const float scale[3],
+                      const float shift[3]);
+
+/// Luma grayscale replicated to 3 channels.
+Tensor grayscale(const Tensor& img);
+
+/// Stack a list of [3,H,W] images into [N,3,H,W].
+Tensor stack_images(const std::vector<Tensor>& images);
+
+}  // namespace cq::data

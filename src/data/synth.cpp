@@ -1,0 +1,266 @@
+#include "data/synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/check.hpp"
+
+namespace cq::data {
+
+namespace {
+
+constexpr float kPi = std::numbers::pi_v<float>;
+
+void hsv_to_rgb(float h, float s, float v, float rgb[3]) {
+  h = h - std::floor(h);  // wrap hue into [0,1)
+  const float c = v * s;
+  const float hp = h * 6.0f;
+  const float x = c * (1.0f - std::fabs(std::fmod(hp, 2.0f) - 1.0f));
+  float r = 0, g = 0, b = 0;
+  if (hp < 1) {
+    r = c; g = x;
+  } else if (hp < 2) {
+    r = x; g = c;
+  } else if (hp < 3) {
+    g = c; b = x;
+  } else if (hp < 4) {
+    g = x; b = c;
+  } else if (hp < 5) {
+    r = x; b = c;
+  } else {
+    r = c; b = x;
+  }
+  const float m = v - c;
+  rgb[0] = r + m;
+  rgb[1] = g + m;
+  rgb[2] = b + m;
+}
+
+float smoothstep(float edge0, float edge1, float x) {
+  const float t = std::clamp((x - edge0) / (edge1 - edge0), 0.0f, 1.0f);
+  return t * t * (3.0f - 2.0f * t);
+}
+
+/// Membership in [0,1] of object-local point (u, v); the object nominally
+/// occupies |u|,|v| <= 1. `soft` is the anti-aliasing edge width.
+float motif_membership(Motif motif, float u, float v, float freq, float soft) {
+  const float r = std::sqrt(u * u + v * v);
+  switch (motif) {
+    case Motif::kDisk:
+      return 1.0f - smoothstep(1.0f - soft, 1.0f + soft, r);
+    case Motif::kRing: {
+      const float d = std::fabs(r - 0.7f);
+      return 1.0f - smoothstep(0.3f - soft, 0.3f + soft, d);
+    }
+    case Motif::kSquare: {
+      const float d = std::max(std::fabs(u), std::fabs(v));
+      return 1.0f - smoothstep(1.0f - soft, 1.0f + soft, d);
+    }
+    case Motif::kFrame: {
+      const float d = std::max(std::fabs(u), std::fabs(v));
+      const float band = std::fabs(d - 0.75f);
+      return 1.0f - smoothstep(0.25f - soft, 0.25f + soft, band);
+    }
+    case Motif::kTriangle: {
+      // Upward triangle: inside when v > -1 and below the two slanted edges.
+      const float e0 = v + 1.0f;                     // bottom edge
+      const float e1 = 1.0f - (v + 2.0f * u);        // right edge
+      const float e2 = 1.0f - (v - 2.0f * u);        // left edge
+      const float d = std::min({e0, e1, e2});
+      return smoothstep(-soft, soft, d);
+    }
+    case Motif::kCross: {
+      const float arm = 0.35f;
+      const float in_v = std::fabs(u) < arm ? 1.0f : 0.0f;
+      const float in_h = std::fabs(v) < arm ? 1.0f : 0.0f;
+      const float inside =
+          (std::max(std::fabs(u), std::fabs(v)) <= 1.0f) ? 1.0f : 0.0f;
+      return inside * std::max(in_v, in_h);
+    }
+    case Motif::kStripesH: {
+      if (std::max(std::fabs(u), std::fabs(v)) > 1.0f) return 0.0f;
+      return 0.5f + 0.5f * std::sin(freq * kPi * v);
+    }
+    case Motif::kStripesV: {
+      if (std::max(std::fabs(u), std::fabs(v)) > 1.0f) return 0.0f;
+      return 0.5f + 0.5f * std::sin(freq * kPi * u);
+    }
+    case Motif::kStripesDiag: {
+      if (std::max(std::fabs(u), std::fabs(v)) > 1.0f) return 0.0f;
+      return 0.5f + 0.5f * std::sin(freq * kPi * (u + v) * 0.7071f);
+    }
+    case Motif::kChecker: {
+      if (std::max(std::fabs(u), std::fabs(v)) > 1.0f) return 0.0f;
+      const float a = std::sin(freq * kPi * u) * std::sin(freq * kPi * v);
+      return a > 0.0f ? 1.0f : 0.0f;
+    }
+    case Motif::kDots: {
+      if (r > 1.0f) return 0.0f;
+      const float du = std::fmod(std::fabs(u) * freq, 1.0f) - 0.5f;
+      const float dv = std::fmod(std::fabs(v) * freq, 1.0f) - 0.5f;
+      const float dd = std::sqrt(du * du + dv * dv);
+      return 1.0f - smoothstep(0.3f - soft, 0.3f + soft, dd);
+    }
+    case Motif::kDiamond: {
+      const float d = std::fabs(u) + std::fabs(v);
+      return 1.0f - smoothstep(1.0f - soft, 1.0f + soft, d);
+    }
+  }
+  return 0.0f;
+}
+
+}  // namespace
+
+ClassDef make_class_def(int class_id, int num_classes, std::uint64_t seed) {
+  CQ_CHECK(num_classes > 0 && class_id >= 0 && class_id < num_classes);
+  ClassDef def;
+  def.motif = static_cast<Motif>(class_id % kNumMotifs);
+  // Stateless hash stream for per-class constants.
+  std::uint64_t h = seed * 0x9E3779B97F4A7C15ULL +
+                    static_cast<std::uint64_t>(class_id) + 1;
+  const auto u01 = [&h]() {
+    return static_cast<float>(splitmix64(h) >> 11) * 0x1.0p-53f;
+  };
+  // Spread hues evenly over classes, with a seed-dependent rotation; classes
+  // that share a motif (id ±12) get well-separated hues.
+  const float hue =
+      static_cast<float>(class_id) / static_cast<float>(num_classes) +
+      0.37f * u01();
+  hsv_to_rgb(hue, 0.75f + 0.2f * u01(), 0.85f, def.fg);
+  hsv_to_rgb(hue + 0.45f, 0.35f, 0.30f + 0.15f * u01(), def.bg);
+  def.freq = 2.0f + static_cast<float>(class_id / kNumMotifs) +
+             1.5f * u01();
+  def.base_scale = 0.30f + 0.10f * u01();
+  return def;
+}
+
+SynthConfig synth_cifar_config() {
+  SynthConfig c;
+  c.num_classes = 8;
+  c.height = c.width = 16;
+  c.nuisance = 0.5f;
+  c.seed = 101;
+  return c;
+}
+
+SynthConfig synth_imagenet_config() {
+  SynthConfig c;
+  c.num_classes = 16;
+  c.height = c.width = 24;
+  c.nuisance = 0.85f;
+  c.seed = 202;
+  return c;
+}
+
+InstanceParams sample_instance(Rng& rng, float nuisance) {
+  CQ_CHECK(nuisance >= 0.0f && nuisance <= 1.0f);
+  InstanceParams p;
+  p.cx = 0.5f + nuisance * 0.25f * static_cast<float>(rng.uniform(-1, 1));
+  p.cy = 0.5f + nuisance * 0.25f * static_cast<float>(rng.uniform(-1, 1));
+  p.scale = 1.0f + nuisance * 0.5f * static_cast<float>(rng.uniform(-1, 1));
+  p.rot = nuisance * kPi * static_cast<float>(rng.uniform(-0.5, 0.5));
+  for (auto& c : p.color_shift)
+    c = nuisance * 0.15f * static_cast<float>(rng.uniform(-1, 1));
+  p.bg_gradient = nuisance * 0.3f * static_cast<float>(rng.uniform());
+  p.bg_angle = static_cast<float>(rng.uniform(0, 2 * kPi));
+  p.noise_sigma = nuisance * 0.05f * static_cast<float>(rng.uniform());
+  return p;
+}
+
+Tensor render_instance(const ClassDef& cls, const InstanceParams& inst,
+                       std::int64_t height, std::int64_t width, Rng& rng) {
+  CQ_CHECK(height > 0 && width > 0);
+  Tensor img(Shape{3, height, width});
+  // Background: base color with a lighting gradient.
+  const float gx = std::cos(inst.bg_angle), gy = std::sin(inst.bg_angle);
+  for (std::int64_t y = 0; y < height; ++y) {
+    for (std::int64_t x = 0; x < width; ++x) {
+      const float fy = (static_cast<float>(y) + 0.5f) /
+                       static_cast<float>(height);
+      const float fx = (static_cast<float>(x) + 0.5f) /
+                       static_cast<float>(width);
+      const float light =
+          inst.bg_gradient * ((fx - 0.5f) * gx + (fy - 0.5f) * gy);
+      for (std::int64_t c = 0; c < 3; ++c)
+        img[(c * height + y) * width + x] =
+            std::clamp(cls.bg[c] + light, 0.0f, 1.0f);
+    }
+  }
+  render_onto(img, cls, inst);
+  if (inst.noise_sigma > 0.0f) {
+    for (std::int64_t i = 0; i < img.numel(); ++i)
+      img[i] = std::clamp(
+          img[i] + static_cast<float>(rng.normal(0.0, inst.noise_sigma)),
+          0.0f, 1.0f);
+  }
+  return img;
+}
+
+PixelBox render_onto(Tensor& canvas, const ClassDef& cls,
+                     const InstanceParams& inst) {
+  CQ_CHECK(canvas.shape().rank() == 3 && canvas.dim(0) == 3);
+  const auto height = canvas.dim(1), width = canvas.dim(2);
+  const float half = cls.base_scale * inst.scale;
+  CQ_CHECK_MSG(half > 0.0f, "non-positive object scale");
+  const float cosr = std::cos(inst.rot), sinr = std::sin(inst.rot);
+  const float soft =
+      1.5f / (half * static_cast<float>(std::min(height, width)));
+
+  PixelBox box{width, height, 0, 0};
+  for (std::int64_t y = 0; y < height; ++y) {
+    for (std::int64_t x = 0; x < width; ++x) {
+      const float fy =
+          (static_cast<float>(y) + 0.5f) / static_cast<float>(height);
+      const float fx =
+          (static_cast<float>(x) + 0.5f) / static_cast<float>(width);
+      // Image -> object coordinates: translate, rotate, scale.
+      const float dx = (fx - inst.cx) / half;
+      const float dy = (fy - inst.cy) / half;
+      const float u = cosr * dx + sinr * dy;
+      const float v = -sinr * dx + cosr * dy;
+      if (std::max(std::fabs(u), std::fabs(v)) > 1.6f) continue;
+      const float m = motif_membership(cls.motif, u, v, cls.freq, soft);
+      if (m <= 0.01f) continue;
+      for (std::int64_t c = 0; c < 3; ++c) {
+        float& px = canvas[(c * height + y) * width + x];
+        const float fg =
+            std::clamp(cls.fg[c] + inst.color_shift[c], 0.0f, 1.0f);
+        px = (1.0f - m) * px + m * fg;
+      }
+      if (m > 0.5f) {
+        box.x0 = std::min(box.x0, x);
+        box.y0 = std::min(box.y0, y);
+        box.x1 = std::max(box.x1, x + 1);
+        box.y1 = std::max(box.y1, y + 1);
+      }
+    }
+  }
+  if (!box.valid()) box = PixelBox{};
+  return box;
+}
+
+Dataset make_synth_dataset(const SynthConfig& config, std::int64_t count,
+                           Rng& rng) {
+  CQ_CHECK(count > 0);
+  Dataset ds;
+  ds.num_classes = config.num_classes;
+  ds.images.reserve(static_cast<std::size_t>(count));
+  ds.labels.reserve(static_cast<std::size_t>(count));
+  std::vector<ClassDef> defs;
+  defs.reserve(static_cast<std::size_t>(config.num_classes));
+  for (int c = 0; c < config.num_classes; ++c)
+    defs.push_back(make_class_def(c, config.num_classes, config.seed));
+  for (std::int64_t i = 0; i < count; ++i) {
+    const int label = static_cast<int>(
+        rng.uniform_index(static_cast<std::uint64_t>(config.num_classes)));
+    const auto inst = sample_instance(rng, config.nuisance);
+    ds.images.push_back(render_instance(defs[static_cast<std::size_t>(label)],
+                                        inst, config.height, config.width,
+                                        rng));
+    ds.labels.push_back(label);
+  }
+  return ds;
+}
+
+}  // namespace cq::data

@@ -1,0 +1,95 @@
+// SynthVision: procedural image datasets standing in for CIFAR-100/ImageNet.
+//
+// Each class is a parametric generator — a shape motif with a class-specific
+// palette and texture frequency. Each instance perturbs the generator with
+// nuisance parameters (position, scale, rotation, color shift, background,
+// noise). Class identity is invariant under crops / flips / color jitter
+// while instances differ, which is exactly the structure contrastive
+// learning exploits on natural images (see DESIGN.md, substitutions).
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace cq::data {
+
+enum class Motif {
+  kDisk,
+  kRing,
+  kSquare,
+  kFrame,
+  kTriangle,
+  kCross,
+  kStripesH,
+  kStripesV,
+  kStripesDiag,
+  kChecker,
+  kDots,
+  kDiamond,
+};
+inline constexpr int kNumMotifs = 12;
+
+struct ClassDef {
+  Motif motif = Motif::kDisk;
+  float fg[3] = {1, 1, 1};  // foreground color
+  float bg[3] = {0, 0, 0};  // background base color
+  float freq = 3.0f;        // texture frequency (stripes/checker/dots)
+  float base_scale = 0.35f; // nominal object half-extent in [0,1] coords
+};
+
+/// Deterministic class definition: motif, palette, and frequency are all
+/// functions of (class_id, dataset seed).
+ClassDef make_class_def(int class_id, int num_classes, std::uint64_t seed);
+
+struct InstanceParams {
+  float cx = 0.5f, cy = 0.5f;  // object center in [0,1] image coords
+  float scale = 1.0f;          // multiplier on base_scale
+  float rot = 0.0f;            // radians
+  float color_shift[3] = {0, 0, 0};
+  float bg_gradient = 0.0f;    // background lighting gradient strength
+  float bg_angle = 0.0f;
+  float noise_sigma = 0.0f;
+};
+
+struct SynthConfig {
+  int num_classes = 8;
+  std::int64_t height = 16;
+  std::int64_t width = 16;
+  /// Strength of instance nuisance variation in [0, 1].
+  float nuisance = 0.5f;
+  std::uint64_t seed = 1;
+};
+
+/// The CIFAR-100 stand-in: fewer classes, small images, moderate nuisance.
+SynthConfig synth_cifar_config();
+/// The ImageNet stand-in: more classes, larger images, strong nuisance —
+/// preserves the paper's small-vs-large-dataset contrast.
+SynthConfig synth_imagenet_config();
+
+/// Sample instance nuisance parameters.
+InstanceParams sample_instance(Rng& rng, float nuisance);
+
+/// Render a full image of the class under the given instance parameters.
+Tensor render_instance(const ClassDef& cls, const InstanceParams& inst,
+                       std::int64_t height, std::int64_t width, Rng& rng);
+
+/// Axis-aligned pixel bounding box (inclusive-exclusive).
+struct PixelBox {
+  std::int64_t x0 = 0, y0 = 0, x1 = 0, y1 = 0;
+  bool valid() const { return x1 > x0 && y1 > y0; }
+};
+
+/// Alpha-blend the class motif onto an existing canvas; returns the tight
+/// bounding box of rendered foreground pixels. Used by the detection task.
+PixelBox render_onto(Tensor& canvas, const ClassDef& cls,
+                     const InstanceParams& inst);
+
+/// Generate a labeled dataset: `count` images with uniformly distributed
+/// class labels, deterministic given (config, rng).
+Dataset make_synth_dataset(const SynthConfig& config, std::int64_t count,
+                           Rng& rng);
+
+}  // namespace cq::data

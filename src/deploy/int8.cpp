@@ -1,0 +1,433 @@
+#include "deploy/int8.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "models/mobilenetv2.hpp"
+#include "models/resnet.hpp"
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+#include "quant/actquant.hpp"
+#include "tensor/im2col.hpp"
+#include "util/check.hpp"
+
+namespace cq::deploy {
+
+QTensor quantize_symmetric(const Tensor& t) {
+  QTensor q;
+  q.shape = t.shape();
+  q.data.resize(static_cast<std::size_t>(t.numel()));
+  float max_abs = 0.0f;
+  for (std::int64_t i = 0; i < t.numel(); ++i)
+    max_abs = std::max(max_abs, std::fabs(t[i]));
+  q.scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+  const float inv = 1.0f / q.scale;
+  for (std::int64_t i = 0; i < t.numel(); ++i)
+    q.data[static_cast<std::size_t>(i)] = static_cast<std::int8_t>(
+        std::clamp<long>(std::lround(t[i] * inv), -127L, 127L));
+  return q;
+}
+
+Tensor dequantize(const QTensor& q) {
+  Tensor t(q.shape);
+  for (std::int64_t i = 0; i < t.numel(); ++i)
+    t[i] = static_cast<float>(q.data[static_cast<std::size_t>(i)]) * q.scale;
+  return t;
+}
+
+namespace {
+
+/// Quantize an arbitrary fp32 buffer with a fixed scale.
+void quantize_buffer(const float* src, std::int64_t n, float inv_scale,
+                     std::int8_t* dst) {
+  for (std::int64_t i = 0; i < n; ++i)
+    dst[i] = static_cast<std::int8_t>(
+        std::clamp<long>(std::lround(src[i] * inv_scale), -127L, 127L));
+}
+
+float tensor_max_abs(const Tensor& t) {
+  float m = 0.0f;
+  for (std::int64_t i = 0; i < t.numel(); ++i)
+    m = std::max(m, std::fabs(t[i]));
+  return m;
+}
+
+class ConvOp : public Int8Op {
+ public:
+  ConvOp(const nn::Conv2dSpec& spec, const Tensor& weight,
+         std::vector<float> bias)
+      : spec_(spec), bias_(std::move(bias)) {
+    // Per-output-channel symmetric int8 weights.
+    const auto cout = weight.dim(0);
+    const auto krows = weight.dim(1);
+    weights_.resize(static_cast<std::size_t>(cout * krows));
+    scales_.resize(static_cast<std::size_t>(cout));
+    for (std::int64_t oc = 0; oc < cout; ++oc) {
+      float max_abs = 0.0f;
+      for (std::int64_t k = 0; k < krows; ++k)
+        max_abs = std::max(max_abs, std::fabs(weight.at(oc, k)));
+      const float scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+      scales_[static_cast<std::size_t>(oc)] = scale;
+      quantize_buffer(weight.data() + oc * krows, krows, 1.0f / scale,
+                      weights_.data() + oc * krows);
+    }
+  }
+
+  Tensor forward(const Tensor& x) const override {
+    CQ_CHECK(x.shape().rank() == 4 && x.dim(1) == spec_.in_channels);
+    const auto n = x.dim(0), in_h = x.dim(2), in_w = x.dim(3);
+    ConvGeometry g;
+    g.in_channels = spec_.in_channels / spec_.groups;
+    g.in_h = in_h;
+    g.in_w = in_w;
+    g.kernel_h = g.kernel_w = spec_.kernel;
+    g.stride = spec_.stride;
+    g.pad = spec_.pad;
+    const auto oh = g.out_h(), ow = g.out_w();
+    const auto spatial = oh * ow;
+    const auto krows = g.col_rows();
+    const auto cout_g = spec_.out_channels / spec_.groups;
+    const auto cin_g = g.in_channels;
+
+    // Dynamic per-tensor activation quantization.
+    const float in_scale = std::max(tensor_max_abs(x) / 127.0f, 1e-12f);
+    const float inv_in_scale = 1.0f / in_scale;
+
+    Tensor y(Shape{n, spec_.out_channels, oh, ow});
+    std::vector<float> cols_f(static_cast<std::size_t>(krows * spatial));
+    std::vector<std::int8_t> cols_q(cols_f.size());
+    for (std::int64_t img = 0; img < n; ++img) {
+      const float* in_base =
+          x.data() + img * spec_.in_channels * in_h * in_w;
+      float* out_base = y.data() + img * spec_.out_channels * spatial;
+      for (std::int64_t grp = 0; grp < spec_.groups; ++grp) {
+        im2col(in_base + grp * cin_g * in_h * in_w, g, cols_f.data());
+        quantize_buffer(cols_f.data(),
+                        static_cast<std::int64_t>(cols_f.size()),
+                        inv_in_scale, cols_q.data());
+        for (std::int64_t oc_local = 0; oc_local < cout_g; ++oc_local) {
+          const std::int64_t oc = grp * cout_g + oc_local;
+          const std::int8_t* wrow = weights_.data() + oc * krows;
+          float* orow = out_base + oc * spatial;
+          const float out_scale =
+              in_scale * scales_[static_cast<std::size_t>(oc)];
+          const float b = bias_[static_cast<std::size_t>(oc)];
+          for (std::int64_t s = 0; s < spatial; ++s) {
+            std::int32_t acc = 0;
+            const std::int8_t* ccol = cols_q.data() + s;
+            for (std::int64_t k = 0; k < krows; ++k)
+              acc += static_cast<std::int32_t>(wrow[k]) *
+                     ccol[k * spatial];
+            orow[s] = static_cast<float>(acc) * out_scale + b;
+          }
+        }
+      }
+    }
+    return y;
+  }
+
+  const char* name() const override { return "int8_conv"; }
+
+  std::int64_t bytes() const {
+    return static_cast<std::int64_t>(weights_.size());
+  }
+
+ private:
+  nn::Conv2dSpec spec_;
+  std::vector<std::int8_t> weights_;  // [Cout, krows]
+  std::vector<float> scales_;         // per output channel
+  std::vector<float> bias_;
+};
+
+class LinearOp : public Int8Op {
+ public:
+  LinearOp(const Tensor& weight, std::vector<float> bias)
+      : out_(weight.dim(0)), in_(weight.dim(1)), bias_(std::move(bias)) {
+    weights_.resize(static_cast<std::size_t>(out_ * in_));
+    scales_.resize(static_cast<std::size_t>(out_));
+    for (std::int64_t r = 0; r < out_; ++r) {
+      float max_abs = 0.0f;
+      for (std::int64_t c = 0; c < in_; ++c)
+        max_abs = std::max(max_abs, std::fabs(weight.at(r, c)));
+      const float scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+      scales_[static_cast<std::size_t>(r)] = scale;
+      quantize_buffer(weight.data() + r * in_, in_, 1.0f / scale,
+                      weights_.data() + r * in_);
+    }
+  }
+
+  Tensor forward(const Tensor& x) const override {
+    CQ_CHECK(x.shape().rank() == 2 && x.dim(1) == in_);
+    const auto n = x.dim(0);
+    const float in_scale = std::max(tensor_max_abs(x) / 127.0f, 1e-12f);
+    std::vector<std::int8_t> xq(static_cast<std::size_t>(n * in_));
+    quantize_buffer(x.data(), n * in_, 1.0f / in_scale, xq.data());
+    Tensor y(Shape{n, out_});
+    for (std::int64_t i = 0; i < n; ++i) {
+      const std::int8_t* xrow = xq.data() + i * in_;
+      for (std::int64_t r = 0; r < out_; ++r) {
+        const std::int8_t* wrow = weights_.data() + r * in_;
+        std::int32_t acc = 0;
+        for (std::int64_t c = 0; c < in_; ++c)
+          acc += static_cast<std::int32_t>(xrow[c]) * wrow[c];
+        y.at(i, r) = static_cast<float>(acc) * in_scale *
+                         scales_[static_cast<std::size_t>(r)] +
+                     bias_[static_cast<std::size_t>(r)];
+      }
+    }
+    return y;
+  }
+
+  const char* name() const override { return "int8_linear"; }
+
+  std::int64_t bytes() const {
+    return static_cast<std::int64_t>(weights_.size());
+  }
+
+ private:
+  std::int64_t out_, in_;
+  std::vector<std::int8_t> weights_;
+  std::vector<float> scales_;
+  std::vector<float> bias_;
+};
+
+class ReluOp : public Int8Op {
+ public:
+  explicit ReluOp(float cap) : cap_(cap) {}
+  Tensor forward(const Tensor& x) const override {
+    Tensor y = x;
+    for (std::int64_t i = 0; i < y.numel(); ++i) {
+      y[i] = y[i] > 0.0f ? y[i] : 0.0f;
+      if (cap_ > 0.0f && y[i] > cap_) y[i] = cap_;
+    }
+    return y;
+  }
+  const char* name() const override { return "relu"; }
+
+ private:
+  float cap_;
+};
+
+class MaxPoolOp : public Int8Op {
+ public:
+  MaxPoolOp(std::int64_t kernel, std::int64_t stride, std::int64_t pad)
+      : kernel_(kernel), stride_(stride), pad_(pad) {}
+  Tensor forward(const Tensor& x) const override {
+    const auto n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+    const auto oh = (h + 2 * pad_ - kernel_) / stride_ + 1;
+    const auto ow = (w + 2 * pad_ - kernel_) / stride_ + 1;
+    Tensor y(Shape{n, c, oh, ow});
+    std::int64_t o = 0;
+    for (std::int64_t img = 0; img < n; ++img)
+      for (std::int64_t ch = 0; ch < c; ++ch) {
+        const float* plane = x.data() + (img * c + ch) * h * w;
+        for (std::int64_t oy = 0; oy < oh; ++oy)
+          for (std::int64_t ox = 0; ox < ow; ++ox, ++o) {
+            float best = -std::numeric_limits<float>::infinity();
+            for (std::int64_t ky = 0; ky < kernel_; ++ky)
+              for (std::int64_t kx = 0; kx < kernel_; ++kx) {
+                const auto iy = oy * stride_ + ky - pad_;
+                const auto ix = ox * stride_ + kx - pad_;
+                if (iy < 0 || iy >= h || ix < 0 || ix >= w) continue;
+                best = std::max(best, plane[iy * w + ix]);
+              }
+            y[o] = best;
+          }
+      }
+    return y;
+  }
+  const char* name() const override { return "maxpool"; }
+
+ private:
+  std::int64_t kernel_, stride_, pad_;
+};
+
+class GlobalAvgPoolOp : public Int8Op {
+ public:
+  Tensor forward(const Tensor& x) const override {
+    const auto n = x.dim(0), c = x.dim(1), spatial = x.dim(2) * x.dim(3);
+    Tensor y(Shape{n, c});
+    for (std::int64_t img = 0; img < n; ++img)
+      for (std::int64_t ch = 0; ch < c; ++ch) {
+        const float* plane = x.data() + (img * c + ch) * spatial;
+        double s = 0.0;
+        for (std::int64_t i = 0; i < spatial; ++i) s += plane[i];
+        y.at(img, ch) = static_cast<float>(s / spatial);
+      }
+    return y;
+  }
+  const char* name() const override { return "gap"; }
+};
+
+class FlattenOp : public Int8Op {
+ public:
+  Tensor forward(const Tensor& x) const override {
+    const auto n = x.dim(0);
+    return x.reshape(Shape{n, x.numel() / n});
+  }
+  const char* name() const override { return "flatten"; }
+};
+
+class ResidualOp : public Int8Op {
+ public:
+  ResidualOp(std::vector<std::unique_ptr<Int8Op>> body,
+             std::vector<std::unique_ptr<Int8Op>> shortcut, bool relu_after)
+      : body_(std::move(body)),
+        shortcut_(std::move(shortcut)),
+        relu_after_(relu_after) {}
+
+  Tensor forward(const Tensor& x) const override {
+    Tensor main = x;
+    for (const auto& op : body_) main = op->forward(main);
+    Tensor skip = x;
+    for (const auto& op : shortcut_) skip = op->forward(skip);
+    CQ_CHECK(main.same_shape(skip));
+    main.add_(skip);
+    if (relu_after_)
+      for (std::int64_t i = 0; i < main.numel(); ++i)
+        if (main[i] < 0.0f) main[i] = 0.0f;
+    return main;
+  }
+  const char* name() const override { return "residual"; }
+
+ private:
+  std::vector<std::unique_ptr<Int8Op>> body_;
+  std::vector<std::unique_ptr<Int8Op>> shortcut_;
+  bool relu_after_;
+};
+
+/// Fold a BatchNorm into the preceding conv's weight/bias.
+void fold_bn(const nn::BatchNorm2d& bn, Tensor& weight,
+             std::vector<float>& bias) {
+  const auto cout = weight.dim(0);
+  CQ_CHECK_MSG(bn.channels() == cout, "BN channels != conv out channels");
+  if (bias.empty()) bias.assign(static_cast<std::size_t>(cout), 0.0f);
+  for (std::int64_t c = 0; c < cout; ++c) {
+    const float inv_std =
+        1.0f / std::sqrt(bn.running_var()[c] + bn.eps());
+    const float scale = bn.gamma()[c] * inv_std;
+    for (std::int64_t k = 0; k < weight.dim(1); ++k)
+      weight.at(c, k) *= scale;
+    bias[static_cast<std::size_t>(c)] =
+        bn.beta()[c] +
+        (bias[static_cast<std::size_t>(c)] - bn.running_mean()[c]) * scale;
+  }
+}
+
+std::int64_t compile_into(nn::Sequential& seq,
+                          std::vector<std::unique_ptr<Int8Op>>& ops);
+
+/// Compile one child (+ optional following BN); returns how many children
+/// were consumed and adds weight bytes to *bytes.
+std::int64_t compile_child(nn::Sequential& seq, std::size_t index,
+                           std::vector<std::unique_ptr<Int8Op>>& ops,
+                           std::int64_t* bytes) {
+  nn::Module& child = seq.child(index);
+  if (auto* conv = dynamic_cast<nn::Conv2d*>(&child)) {
+    Tensor weight = conv->weight().value;
+    std::vector<float> bias;
+    std::int64_t consumed = 1;
+    if (index + 1 < seq.size()) {
+      if (auto* bn = dynamic_cast<nn::BatchNorm2d*>(&seq.child(index + 1))) {
+        fold_bn(*bn, weight, bias);
+        consumed = 2;
+      }
+    }
+    if (bias.empty())
+      bias.assign(static_cast<std::size_t>(conv->spec().out_channels), 0.0f);
+    auto op = std::make_unique<ConvOp>(conv->spec(), weight, std::move(bias));
+    *bytes += op->bytes();
+    ops.push_back(std::move(op));
+    return consumed;
+  }
+  if (auto* linear = dynamic_cast<nn::Linear*>(&child)) {
+    std::vector<float> bias(
+        static_cast<std::size_t>(linear->out_features()), 0.0f);
+    if (linear->bias() != nullptr)
+      for (std::int64_t i = 0; i < linear->out_features(); ++i)
+        bias[static_cast<std::size_t>(i)] = linear->bias()->value[i];
+    auto op = std::make_unique<LinearOp>(linear->weight().value,
+                                         std::move(bias));
+    *bytes += op->bytes();
+    ops.push_back(std::move(op));
+    return 1;
+  }
+  if (dynamic_cast<nn::ReLU*>(&child) != nullptr) {
+    // ReLU's cap is private; recover ReLU6 by probing.
+    nn::ReLU& relu = static_cast<nn::ReLU&>(child);
+    const auto mode = relu.mode();
+    relu.set_mode(nn::Mode::kEval);
+    Tensor probe(Shape{1}, {100.0f});
+    const float capped = relu.forward(probe)[0];
+    relu.set_mode(mode);
+    ops.push_back(std::make_unique<ReluOp>(capped < 100.0f ? capped : 0.0f));
+    return 1;
+  }
+  if (dynamic_cast<quant::ActQuant*>(&child) != nullptr) {
+    return 1;  // deployment replaces fake quantization
+  }
+  if (auto* pool = dynamic_cast<nn::MaxPool2d*>(&child)) {
+    ops.push_back(std::make_unique<MaxPoolOp>(pool->kernel(), pool->stride(),
+                                              pool->pad()));
+    return 1;
+  }
+  if (dynamic_cast<nn::GlobalAvgPool*>(&child) != nullptr) {
+    ops.push_back(std::make_unique<GlobalAvgPoolOp>());
+    return 1;
+  }
+  if (dynamic_cast<nn::Flatten*>(&child) != nullptr) {
+    ops.push_back(std::make_unique<FlattenOp>());
+    return 1;
+  }
+  if (auto* block = dynamic_cast<models::BasicBlock*>(&child)) {
+    std::vector<std::unique_ptr<Int8Op>> body, shortcut;
+    *bytes += compile_into(block->main_path(), body);
+    if (block->shortcut_path() != nullptr)
+      *bytes += compile_into(*block->shortcut_path(), shortcut);
+    ops.push_back(std::make_unique<ResidualOp>(
+        std::move(body), std::move(shortcut), /*relu_after=*/true));
+    return 1;
+  }
+  if (auto* block = dynamic_cast<models::InvertedResidual*>(&child)) {
+    std::vector<std::unique_ptr<Int8Op>> body;
+    *bytes += compile_into(block->body(), body);
+    if (block->uses_residual()) {
+      ops.push_back(std::make_unique<ResidualOp>(
+          std::move(body), std::vector<std::unique_ptr<Int8Op>>{},
+          /*relu_after=*/false));
+    } else {
+      for (auto& op : body) ops.push_back(std::move(op));
+    }
+    return 1;
+  }
+  CQ_CHECK_MSG(false, "int8 compiler: unsupported module at index " << index);
+}
+
+std::int64_t compile_into(nn::Sequential& seq,
+                          std::vector<std::unique_ptr<Int8Op>>& ops) {
+  std::int64_t bytes = 0;
+  std::size_t index = 0;
+  while (index < seq.size())
+    index += static_cast<std::size_t>(compile_child(seq, index, ops, &bytes));
+  return bytes;
+}
+
+}  // namespace
+
+Tensor Int8Network::forward(const Tensor& x) const {
+  Tensor h = x;
+  for (const auto& op : ops_) h = op->forward(h);
+  return h;
+}
+
+Int8Network compile_int8(nn::Sequential& net) {
+  Int8Network compiled;
+  compiled.weight_bytes_ = compile_into(net, compiled.ops_);
+  return compiled;
+}
+
+}  // namespace cq::deploy

@@ -1,0 +1,69 @@
+// Int8 deployment: compile a trained fp32 backbone into an integer-
+// arithmetic inference network (Jacob et al. 2018 — the paper's ref [5]).
+//
+// The training side of this repo *fake*-quantizes (fp32 values snapped to a
+// q-bit grid); this module realizes the efficiency claim behind the paper's
+// premise ("quantization ... itself can boost the model efficiency") with
+// real int8 storage and int32 accumulation:
+//
+//  * BatchNorm layers are folded into the preceding convolution,
+//  * weights are per-output-channel symmetric int8,
+//  * activations are per-tensor symmetric int8, quantized dynamically at
+//    each op boundary (no calibration pass needed),
+//  * residual blocks (BasicBlock / InvertedResidual) compile recursively.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/sequential.hpp"
+#include "tensor/tensor.hpp"
+
+namespace cq::deploy {
+
+/// Per-tensor symmetric int8 quantization of an fp32 tensor:
+/// q = clamp(round(x / scale), -127, 127), scale = max|x| / 127.
+struct QTensor {
+  std::vector<std::int8_t> data;
+  float scale = 1.0f;
+  Shape shape;
+};
+
+QTensor quantize_symmetric(const Tensor& t);
+Tensor dequantize(const QTensor& q);
+
+/// A compiled inference op: fp32 tensor in, fp32 tensor out (integer
+/// arithmetic inside). Ops are stateless after compilation.
+class Int8Op {
+ public:
+  virtual ~Int8Op() = default;
+  virtual Tensor forward(const Tensor& x) const = 0;
+  virtual const char* name() const = 0;
+};
+
+/// A compiled network: an op pipeline plus bookkeeping.
+class Int8Network {
+ public:
+  Tensor forward(const Tensor& x) const;
+
+  std::size_t op_count() const { return ops_.size(); }
+  const Int8Op& op(std::size_t i) const { return *ops_.at(i); }
+
+  /// Total int8 weight bytes (the memory-footprint win vs 4x fp32).
+  std::int64_t weight_bytes() const { return weight_bytes_; }
+
+ private:
+  friend Int8Network compile_int8(nn::Sequential& net);
+  std::vector<std::unique_ptr<Int8Op>> ops_;
+  std::int64_t weight_bytes_ = 0;
+};
+
+/// Compile a trained backbone. Supported children: Conv2d (+ following
+/// BatchNorm2d, folded), Linear, ReLU, MaxPool2d, AvgPool2d, GlobalAvgPool,
+/// Flatten, ActQuant (dropped — deployment IS the quantization),
+/// models::BasicBlock and models::InvertedResidual (recursive). Throws
+/// CheckError on anything else. The source network must be in eval mode
+/// semantics (running BN statistics are what gets folded).
+Int8Network compile_int8(nn::Sequential& net);
+
+}  // namespace cq::deploy

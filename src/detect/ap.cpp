@@ -1,0 +1,73 @@
+#include "detect/ap.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace cq::detect {
+
+float average_precision(std::vector<Detection> detections,
+                        const std::vector<BBox>& ground_truth,
+                        float iou_threshold) {
+  CQ_CHECK(!ground_truth.empty());
+  CQ_CHECK(iou_threshold > 0.0f && iou_threshold < 1.0f);
+  const auto num_gt = static_cast<std::int64_t>(ground_truth.size());
+
+  std::sort(detections.begin(), detections.end(),
+            [](const Detection& a, const Detection& b) {
+              return a.confidence > b.confidence;
+            });
+
+  std::vector<bool> matched(ground_truth.size(), false);
+  std::vector<int> tp(detections.size(), 0);
+  for (std::size_t d = 0; d < detections.size(); ++d) {
+    const auto img = detections[d].image_id;
+    CQ_CHECK(img >= 0 && img < num_gt);
+    if (!matched[static_cast<std::size_t>(img)] &&
+        iou(detections[d].box,
+            ground_truth[static_cast<std::size_t>(img)]) >= iou_threshold) {
+      matched[static_cast<std::size_t>(img)] = true;
+      tp[d] = 1;
+    }
+  }
+
+  // Precision/recall points, then the interpolated envelope integral.
+  std::vector<double> precision, recall;
+  std::int64_t cum_tp = 0;
+  for (std::size_t d = 0; d < detections.size(); ++d) {
+    cum_tp += tp[d];
+    precision.push_back(static_cast<double>(cum_tp) /
+                        static_cast<double>(d + 1));
+    recall.push_back(static_cast<double>(cum_tp) /
+                     static_cast<double>(num_gt));
+  }
+  if (precision.empty()) return 0.0f;
+  // Envelope: precision[i] = max(precision[i:]).
+  for (std::size_t i = precision.size() - 1; i > 0; --i)
+    precision[i - 1] = std::max(precision[i - 1], precision[i]);
+  double ap = 0.0;
+  double prev_recall = 0.0;
+  for (std::size_t i = 0; i < precision.size(); ++i) {
+    ap += (recall[i] - prev_recall) * precision[i];
+    prev_recall = recall[i];
+  }
+  return static_cast<float>(ap);
+}
+
+ApResult evaluate_ap(const std::vector<Detection>& detections,
+                     const std::vector<BBox>& ground_truth) {
+  ApResult result;
+  double sum = 0.0;
+  int count = 0;
+  for (float t = 0.50f; t < 0.955f; t += 0.05f) {
+    const float ap = average_precision(detections, ground_truth, t);
+    sum += ap;
+    ++count;
+    if (std::abs(t - 0.50f) < 1e-4f) result.ap50 = ap;
+    if (std::abs(t - 0.75f) < 1e-4f) result.ap75 = ap;
+  }
+  result.ap = static_cast<float>(sum / count);
+  return result;
+}
+
+}  // namespace cq::detect

@@ -1,0 +1,26 @@
+// VOC/COCO-style average precision for single-object detection.
+#pragma once
+
+#include <vector>
+
+#include "detect/head.hpp"
+
+namespace cq::detect {
+
+/// AP at a single IoU threshold: detections are ranked by confidence,
+/// greedily matched to each image's ground truth, and precision is
+/// integrated over recall with the standard interpolated envelope.
+float average_precision(std::vector<Detection> detections,
+                        const std::vector<BBox>& ground_truth,
+                        float iou_threshold);
+
+struct ApResult {
+  float ap = 0.0f;    // mean over IoU 0.50 : 0.05 : 0.95 (COCO "AP")
+  float ap50 = 0.0f;  // IoU 0.50
+  float ap75 = 0.0f;  // IoU 0.75
+};
+
+ApResult evaluate_ap(const std::vector<Detection>& detections,
+                     const std::vector<BBox>& ground_truth);
+
+}  // namespace cq::detect

@@ -1,0 +1,32 @@
+#include "detect/boxes.hpp"
+
+#include <algorithm>
+
+namespace cq::detect {
+
+float BBox::area() const {
+  if (!valid()) return 0.0f;
+  return width() * height();
+}
+
+float iou(const BBox& a, const BBox& b) {
+  if (!a.valid() || !b.valid()) return 0.0f;
+  const float ix0 = std::max(a.x0, b.x0);
+  const float iy0 = std::max(a.y0, b.y0);
+  const float ix1 = std::min(a.x1, b.x1);
+  const float iy1 = std::min(a.y1, b.y1);
+  if (ix1 <= ix0 || iy1 <= iy0) return 0.0f;
+  const float inter = (ix1 - ix0) * (iy1 - iy0);
+  return inter / (a.area() + b.area() - inter);
+}
+
+BBox box_from_center(float cx, float cy, float w, float h) {
+  BBox box;
+  box.x0 = std::clamp(cx - 0.5f * w, 0.0f, 1.0f);
+  box.y0 = std::clamp(cy - 0.5f * h, 0.0f, 1.0f);
+  box.x1 = std::clamp(cx + 0.5f * w, 0.0f, 1.0f);
+  box.y1 = std::clamp(cy + 0.5f * h, 0.0f, 1.0f);
+  return box;
+}
+
+}  // namespace cq::detect

@@ -1,0 +1,25 @@
+// Axis-aligned bounding boxes in normalized [0, 1] image coordinates.
+#pragma once
+
+#include <cstdint>
+
+namespace cq::detect {
+
+struct BBox {
+  float x0 = 0.0f, y0 = 0.0f, x1 = 0.0f, y1 = 0.0f;
+
+  float width() const { return x1 - x0; }
+  float height() const { return y1 - y0; }
+  float area() const;
+  float cx() const { return 0.5f * (x0 + x1); }
+  float cy() const { return 0.5f * (y0 + y1); }
+  bool valid() const { return x1 > x0 && y1 > y0; }
+};
+
+/// Intersection-over-union; 0 for degenerate boxes.
+float iou(const BBox& a, const BBox& b);
+
+/// Build a box from center/size, clamped into [0, 1].
+BBox box_from_center(float cx, float cy, float w, float h);
+
+}  // namespace cq::detect

@@ -1,0 +1,86 @@
+#include "detect/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace cq::detect {
+
+DetectionDataset make_detection_dataset(const DetectionConfig& config,
+                                        std::int64_t count, Rng& rng) {
+  CQ_CHECK(count > 0);
+  const auto height = config.synth.height, width = config.synth.width;
+  std::vector<data::ClassDef> defs;
+  for (int c = 0; c < config.synth.num_classes; ++c)
+    defs.push_back(
+        data::make_class_def(c, config.synth.num_classes, config.synth.seed));
+
+  DetectionDataset ds;
+  ds.images.reserve(static_cast<std::size_t>(count));
+  ds.boxes.reserve(static_cast<std::size_t>(count));
+
+  std::int64_t made = 0;
+  while (made < count) {
+    // Cluttered background: dark base + gradient + soft noise blobs.
+    Tensor canvas(Shape{3, height, width});
+    const float base[3] = {static_cast<float>(rng.uniform(0.05, 0.3)),
+                           static_cast<float>(rng.uniform(0.05, 0.3)),
+                           static_cast<float>(rng.uniform(0.05, 0.3))};
+    const float ga = static_cast<float>(rng.uniform(0, 6.28318));
+    const float gs = static_cast<float>(rng.uniform(0.0, 0.2));
+    for (std::int64_t y = 0; y < height; ++y)
+      for (std::int64_t x = 0; x < width; ++x) {
+        const float fy = (static_cast<float>(y) + 0.5f) / height;
+        const float fx = (static_cast<float>(x) + 0.5f) / width;
+        const float light =
+            gs * ((fx - 0.5f) * std::cos(ga) + (fy - 0.5f) * std::sin(ga));
+        for (std::int64_t c = 0; c < 3; ++c)
+          canvas[(c * height + y) * width + x] =
+              std::clamp(base[c] + light, 0.0f, 1.0f);
+      }
+    for (int blob = 0; blob < config.clutter_blobs; ++blob) {
+      const float bx = static_cast<float>(rng.uniform());
+      const float by = static_cast<float>(rng.uniform());
+      const float br = static_cast<float>(rng.uniform(0.05, 0.15));
+      const float amp = static_cast<float>(rng.uniform(-0.15, 0.15));
+      for (std::int64_t y = 0; y < height; ++y)
+        for (std::int64_t x = 0; x < width; ++x) {
+          const float fy = (static_cast<float>(y) + 0.5f) / height;
+          const float fx = (static_cast<float>(x) + 0.5f) / width;
+          const float d2 = (fx - bx) * (fx - bx) + (fy - by) * (fy - by);
+          const float w = amp * std::exp(-d2 / (2.0f * br * br));
+          for (std::int64_t c = 0; c < 3; ++c) {
+            float& px = canvas[(c * height + y) * width + x];
+            px = std::clamp(px + w, 0.0f, 1.0f);
+          }
+        }
+    }
+
+    // One object, placed clear of the border so the box stays tight.
+    const auto cls = defs[rng.uniform_index(defs.size())];
+    data::InstanceParams inst = data::sample_instance(rng, 1.0f);
+    inst.cx = static_cast<float>(rng.uniform(0.3, 0.7));
+    inst.cy = static_cast<float>(rng.uniform(0.3, 0.7));
+    inst.scale = static_cast<float>(rng.uniform(0.5, 1.1));
+    const auto pixel_box = data::render_onto(canvas, cls, inst);
+    if (!pixel_box.valid()) continue;  // degenerate render; resample
+
+    // Mild sensor noise.
+    for (std::int64_t i = 0; i < canvas.numel(); ++i)
+      canvas[i] = std::clamp(
+          canvas[i] + static_cast<float>(rng.normal(0.0, 0.02)), 0.0f, 1.0f);
+
+    BBox box;
+    box.x0 = static_cast<float>(pixel_box.x0) / static_cast<float>(width);
+    box.y0 = static_cast<float>(pixel_box.y0) / static_cast<float>(height);
+    box.x1 = static_cast<float>(pixel_box.x1) / static_cast<float>(width);
+    box.y1 = static_cast<float>(pixel_box.y1) / static_cast<float>(height);
+    ds.images.push_back(std::move(canvas));
+    ds.boxes.push_back(box);
+    ++made;
+  }
+  return ds;
+}
+
+}  // namespace cq::detect

@@ -1,0 +1,33 @@
+// Synthetic single-object localization dataset — the Pascal VOC stand-in.
+//
+// Each canvas contains one object (a SynthVision motif, class sampled from
+// the SSL pretraining class set) at a random position/scale over a cluttered
+// background (gradient + noise blobs). The label is the object's tight
+// bounding box. See DESIGN.md for the substitution rationale.
+#pragma once
+
+#include <vector>
+
+#include "data/synth.hpp"
+#include "detect/boxes.hpp"
+
+namespace cq::detect {
+
+struct DetectionDataset {
+  std::vector<Tensor> images;  // [3,H,W]
+  std::vector<BBox> boxes;     // one ground-truth box per image
+
+  std::int64_t size() const { return static_cast<std::int64_t>(images.size()); }
+};
+
+struct DetectionConfig {
+  data::SynthConfig synth = data::synth_imagenet_config();
+  /// Number of distractor noise blobs per canvas.
+  int clutter_blobs = 3;
+  std::uint64_t seed = 77;
+};
+
+DetectionDataset make_detection_dataset(const DetectionConfig& config,
+                                        std::int64_t count, Rng& rng);
+
+}  // namespace cq::detect

@@ -1,0 +1,57 @@
+// Single-object grid detection head on top of a frozen pretrained trunk —
+// the YOLO-style transfer task of the paper's Table 3, scaled down.
+//
+// The trunk (encoder minus global pooling) produces [N, C, h, w]. The head
+// predicts 5 channels per cell: an objectness logit and (cx, cy, w, h)
+// through sigmoids. The cell containing the ground-truth center is positive;
+// objectness trains with BCE over all cells and the box regresses with MSE
+// at the positive cell. Inference takes the argmax-objectness cell, giving
+// one scored detection per image for VOC-style AP ranking.
+#pragma once
+
+#include <memory>
+
+#include "data/dataset.hpp"
+#include "detect/dataset.hpp"
+#include "nn/sequential.hpp"
+
+namespace cq::detect {
+
+struct Detection {
+  float confidence = 0.0f;
+  BBox box;
+  std::int64_t image_id = 0;
+};
+
+struct DetectorConfig {
+  std::int64_t epochs = 25;
+  std::int64_t batch_size = 16;
+  float lr = 2e-3f;
+  float box_loss_weight = 5.0f;
+  std::int64_t head_hidden = 16;
+  std::uint64_t seed = 5;
+};
+
+class Detector {
+ public:
+  /// `trunk` is borrowed, kept frozen (eval mode), and must outlive the
+  /// detector. `trunk_channels` is the trunk's output channel count.
+  Detector(nn::Sequential& trunk, std::int64_t trunk_channels,
+           DetectorConfig config);
+
+  /// Train the head on the dataset; returns the final total loss.
+  float train(const DetectionDataset& dataset);
+
+  /// One scored detection per image.
+  std::vector<Detection> detect(const DetectionDataset& dataset);
+
+ private:
+  Tensor head_forward(const Tensor& images);
+
+  nn::Sequential& trunk_;
+  DetectorConfig config_;
+  Rng rng_;
+  std::unique_ptr<nn::Sequential> head_;
+};
+
+}  // namespace cq::detect

@@ -1,0 +1,192 @@
+#include "eval/classifier.hpp"
+
+#include "core/losses.hpp"
+#include "data/image.hpp"
+#include "models/heads.hpp"
+#include "optim/schedule.hpp"
+#include "optim/sgd.hpp"
+#include "tensor/ops.hpp"
+#include "util/logging.hpp"
+
+namespace cq::eval {
+
+namespace {
+
+Tensor flip_batch_images(const data::Dataset& ds,
+                         std::span<const std::int64_t> idx, bool augment,
+                         Rng& rng) {
+  std::vector<Tensor> images;
+  images.reserve(idx.size());
+  for (auto i : idx) {
+    const Tensor& img = ds.images[static_cast<std::size_t>(i)];
+    images.push_back(augment && rng.bernoulli(0.5) ? data::hflip(img) : img);
+  }
+  return data::stack_images(images);
+}
+
+float test_accuracy_full(models::Encoder& encoder, nn::Sequential& head,
+                         const data::Dataset& test, int bits,
+                         std::int64_t batch_size) {
+  encoder.backbone->set_mode(nn::Mode::kEval);
+  head.set_mode(nn::Mode::kEval);
+  encoder.policy->set_bits(bits);
+  std::int64_t correct = 0;
+  for (std::int64_t start = 0; start < test.size(); start += batch_size) {
+    const auto stop = std::min(test.size(), start + batch_size);
+    std::vector<std::int64_t> idx;
+    for (std::int64_t i = start; i < stop; ++i) idx.push_back(i);
+    const Tensor logits =
+        head.forward(encoder.forward(data::gather_images(test, idx)));
+    const auto pred = ops::row_argmax(logits);
+    for (std::size_t k = 0; k < idx.size(); ++k)
+      if (pred[k] ==
+          test.labels[static_cast<std::size_t>(idx[k])])
+        ++correct;
+  }
+  encoder.policy->set_full_precision();
+  return 100.0f * static_cast<float>(correct) /
+         static_cast<float>(test.size());
+}
+
+}  // namespace
+
+Tensor extract_features(models::Encoder& encoder, const data::Dataset& ds,
+                        int bits, std::int64_t batch_size) {
+  CQ_CHECK(!ds.empty());
+  encoder.backbone->set_mode(nn::Mode::kEval);
+  encoder.policy->set_bits(bits);
+  Tensor features(Shape{ds.size(), encoder.feature_dim});
+  for (std::int64_t start = 0; start < ds.size(); start += batch_size) {
+    const auto stop = std::min(ds.size(), start + batch_size);
+    std::vector<std::int64_t> idx;
+    for (std::int64_t i = start; i < stop; ++i) idx.push_back(i);
+    const Tensor f = encoder.forward(data::gather_images(ds, idx));
+    for (std::int64_t r = 0; r < f.dim(0); ++r)
+      for (std::int64_t c = 0; c < encoder.feature_dim; ++c)
+        features.at(start + r, c) = f.at(r, c);
+  }
+  encoder.policy->set_full_precision();
+  return features;
+}
+
+EvalResult finetune_eval(models::Encoder& encoder, const data::Dataset& train,
+                         const data::Dataset& test,
+                         const EvalConfig& config) {
+  train.validate();
+  test.validate();
+  CQ_CHECK(train.num_classes == test.num_classes);
+  Rng rng(config.seed);
+
+  // Snapshot so the caller's pretrained encoder is untouched afterwards.
+  const auto pretrained = nn::snapshot_state(*encoder.backbone);
+
+  auto head = models::make_classifier(encoder.feature_dim, train.num_classes,
+                                      rng);
+  encoder.backbone->set_mode(nn::Mode::kTrain);
+  head->set_mode(nn::Mode::kTrain);
+  encoder.policy->set_bits(config.eval_bits);
+
+  auto params = encoder.backbone->parameters();
+  for (nn::Parameter* p : head->parameters()) params.push_back(p);
+  optim::Sgd sgd(params, {.lr = config.lr,
+                          .momentum = config.momentum,
+                          .weight_decay = config.weight_decay});
+
+  const auto batch =
+      std::min<std::int64_t>(config.batch_size, train.size());
+  data::Batcher batcher(train.size(), batch, rng);
+  const auto iters_per_epoch = batcher.batches_per_epoch();
+  optim::CosineSchedule schedule(config.lr,
+                                 iters_per_epoch * config.epochs);
+
+  float last_loss = 0.0f;
+  std::int64_t step = 0;
+  for (std::int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    for (std::int64_t it = 0; it < iters_per_epoch; ++it, ++step) {
+      sgd.set_lr(schedule.lr_at(step));
+      const auto idx = batcher.next();
+      const Tensor images =
+          flip_batch_images(train, idx, config.augment_flip, rng);
+      const auto labels = data::gather_labels(train, idx);
+      const Tensor logits = head->forward(encoder.forward(images));
+      const auto loss = core::cross_entropy(logits, labels);
+      last_loss = loss.value;
+      encoder.backbone->backward(head->backward(loss.grad_logits));
+      sgd.step();
+    }
+  }
+
+  EvalResult result;
+  result.final_train_loss = last_loss;
+  result.test_accuracy =
+      test_accuracy_full(encoder, *head, test, config.eval_bits,
+                         config.batch_size);
+  nn::restore_state(*encoder.backbone, pretrained);
+  encoder.backbone->set_mode(nn::Mode::kTrain);
+  encoder.policy->set_full_precision();
+  return result;
+}
+
+EvalResult linear_eval(models::Encoder& encoder, const data::Dataset& train,
+                       const data::Dataset& test, const EvalConfig& config) {
+  train.validate();
+  test.validate();
+  CQ_CHECK(train.num_classes == test.num_classes);
+  Rng rng(config.seed);
+
+  const Tensor train_features =
+      extract_features(encoder, train, config.eval_bits);
+  const Tensor test_features =
+      extract_features(encoder, test, config.eval_bits);
+
+  auto head = models::make_classifier(encoder.feature_dim, train.num_classes,
+                                      rng);
+  head->set_mode(nn::Mode::kTrain);
+  optim::Sgd sgd(head->parameters(), {.lr = config.lr,
+                                      .momentum = config.momentum,
+                                      .weight_decay = config.weight_decay});
+  const auto batch =
+      std::min<std::int64_t>(config.batch_size, train.size());
+  data::Batcher batcher(train.size(), batch, rng);
+  const auto iters_per_epoch = batcher.batches_per_epoch();
+  optim::CosineSchedule schedule(config.lr,
+                                 iters_per_epoch * config.epochs);
+
+  float last_loss = 0.0f;
+  std::int64_t step = 0;
+  for (std::int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    for (std::int64_t it = 0; it < iters_per_epoch; ++it, ++step) {
+      sgd.set_lr(schedule.lr_at(step));
+      const auto idx = batcher.next();
+      Tensor fb(Shape{static_cast<std::int64_t>(idx.size()),
+                      encoder.feature_dim});
+      for (std::size_t r = 0; r < idx.size(); ++r)
+        for (std::int64_t c = 0; c < encoder.feature_dim; ++c)
+          fb.at(static_cast<std::int64_t>(r), c) =
+              train_features.at(idx[r], c);
+      const auto labels = data::gather_labels(train, idx);
+      const Tensor logits = head->forward(fb);
+      const auto loss = core::cross_entropy(logits, labels);
+      last_loss = loss.value;
+      head->backward(loss.grad_logits);
+      sgd.step();
+    }
+  }
+
+  head->set_mode(nn::Mode::kEval);
+  const Tensor logits = head->forward(test_features);
+  const auto pred = ops::row_argmax(logits);
+  std::int64_t correct = 0;
+  for (std::int64_t i = 0; i < test.size(); ++i)
+    if (pred[static_cast<std::size_t>(i)] ==
+        test.labels[static_cast<std::size_t>(i)])
+      ++correct;
+
+  EvalResult result;
+  result.final_train_loss = last_loss;
+  result.test_accuracy =
+      100.0f * static_cast<float>(correct) / static_cast<float>(test.size());
+  return result;
+}
+
+}  // namespace cq::eval

@@ -1,0 +1,46 @@
+// Downstream evaluation protocols (paper Sec. 4.1):
+//  * fine-tuning: encoder + linear head trained end-to-end on a (small)
+//    labeled split, at a fixed precision (FP or 4-bit);
+//  * linear evaluation: encoder frozen, linear classifier on its features.
+#pragma once
+
+#include "data/dataset.hpp"
+#include "models/encoder.hpp"
+
+namespace cq::eval {
+
+struct EvalConfig {
+  std::int64_t epochs = 30;
+  std::int64_t batch_size = 32;
+  float lr = 0.05f;
+  float momentum = 0.9f;
+  float weight_decay = 1e-4f;
+  /// Fixed precision during fine-tuning and test (32 = FP, 4 = "4-bit").
+  int eval_bits = 32;
+  /// Horizontal-flip augmentation during (fine-)tuning.
+  bool augment_flip = true;
+  std::uint64_t seed = 11;
+};
+
+struct EvalResult {
+  float test_accuracy = 0.0f;  // percent
+  float final_train_loss = 0.0f;
+};
+
+/// Fine-tune encoder + head on `train`, report top-1 on `test`. The
+/// encoder's pretrained state is snapshotted on entry and restored on exit,
+/// so repeated evaluations of one pretrained encoder are independent.
+EvalResult finetune_eval(models::Encoder& encoder,
+                         const data::Dataset& train,
+                         const data::Dataset& test, const EvalConfig& config);
+
+/// Linear evaluation: features are extracted once with the frozen encoder
+/// (at config.eval_bits), then a linear classifier is trained on them.
+EvalResult linear_eval(models::Encoder& encoder, const data::Dataset& train,
+                       const data::Dataset& test, const EvalConfig& config);
+
+/// Extract [N, feature_dim] features in eval mode at the given precision.
+Tensor extract_features(models::Encoder& encoder, const data::Dataset& ds,
+                        int bits, std::int64_t batch_size = 64);
+
+}  // namespace cq::eval

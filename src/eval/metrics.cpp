@@ -1,0 +1,63 @@
+#include "eval/metrics.hpp"
+
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+
+namespace cq::eval {
+
+float top1_accuracy(const Tensor& logits, const std::vector<int>& labels) {
+  CQ_CHECK(logits.shape().rank() == 2);
+  CQ_CHECK(static_cast<std::int64_t>(labels.size()) == logits.dim(0));
+  const auto pred = ops::row_argmax(logits);
+  std::int64_t correct = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    if (pred[i] == labels[i]) ++correct;
+  return 100.0f * static_cast<float>(correct) /
+         static_cast<float>(labels.size());
+}
+
+ConfusionMatrix::ConfusionMatrix(int num_classes)
+    : num_classes_(num_classes),
+      counts_(static_cast<std::size_t>(num_classes) *
+                  static_cast<std::size_t>(num_classes),
+              0) {
+  CQ_CHECK(num_classes > 0);
+}
+
+void ConfusionMatrix::add(int truth, int predicted) {
+  CQ_CHECK(truth >= 0 && truth < num_classes_ && predicted >= 0 &&
+           predicted < num_classes_);
+  ++counts_[static_cast<std::size_t>(truth) *
+                static_cast<std::size_t>(num_classes_) +
+            static_cast<std::size_t>(predicted)];
+  ++total_;
+}
+
+std::int64_t ConfusionMatrix::count(int truth, int predicted) const {
+  CQ_CHECK(truth >= 0 && truth < num_classes_ && predicted >= 0 &&
+           predicted < num_classes_);
+  return counts_[static_cast<std::size_t>(truth) *
+                     static_cast<std::size_t>(num_classes_) +
+                 static_cast<std::size_t>(predicted)];
+}
+
+float ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0f;
+  std::int64_t diag = 0;
+  for (int c = 0; c < num_classes_; ++c) diag += count(c, c);
+  return 100.0f * static_cast<float>(diag) / static_cast<float>(total_);
+}
+
+std::vector<float> ConfusionMatrix::per_class_recall() const {
+  std::vector<float> recall(static_cast<std::size_t>(num_classes_), 0.0f);
+  for (int t = 0; t < num_classes_; ++t) {
+    std::int64_t row = 0;
+    for (int p = 0; p < num_classes_; ++p) row += count(t, p);
+    if (row > 0)
+      recall[static_cast<std::size_t>(t)] =
+          100.0f * static_cast<float>(count(t, t)) / static_cast<float>(row);
+  }
+  return recall;
+}
+
+}  // namespace cq::eval

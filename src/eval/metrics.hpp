@@ -1,0 +1,32 @@
+// Classification metrics.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace cq::eval {
+
+/// Top-1 accuracy (percent) of row-argmax predictions.
+float top1_accuracy(const Tensor& logits, const std::vector<int>& labels);
+
+/// Row-normalized confusion matrix.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(int num_classes);
+
+  void add(int truth, int predicted);
+  std::int64_t count(int truth, int predicted) const;
+  std::int64_t total() const { return total_; }
+  /// Overall accuracy in percent.
+  float accuracy() const;
+  /// Per-class recall in percent (nan-free: empty classes report 0).
+  std::vector<float> per_class_recall() const;
+
+ private:
+  int num_classes_;
+  std::vector<std::int64_t> counts_;
+  std::int64_t total_ = 0;
+};
+
+}  // namespace cq::eval

@@ -1,0 +1,103 @@
+#include "eval/separability.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "util/check.hpp"
+
+namespace cq::eval {
+
+namespace {
+std::vector<double> pairwise_dists(const Tensor& x) {
+  const auto n = x.dim(0), d = x.dim(1);
+  std::vector<double> dist(static_cast<std::size_t>(n * n), 0.0);
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t j = i + 1; j < n; ++j) {
+      double s = 0.0;
+      for (std::int64_t c = 0; c < d; ++c) {
+        const double diff = static_cast<double>(x.at(i, c)) - x.at(j, c);
+        s += diff * diff;
+      }
+      const double dd = std::sqrt(s);
+      dist[static_cast<std::size_t>(i * n + j)] = dd;
+      dist[static_cast<std::size_t>(j * n + i)] = dd;
+    }
+  return dist;
+}
+}  // namespace
+
+float silhouette_score(const Tensor& points, const std::vector<int>& labels) {
+  CQ_CHECK(points.shape().rank() == 2);
+  const auto n = points.dim(0);
+  CQ_CHECK(static_cast<std::int64_t>(labels.size()) == n);
+  CQ_CHECK(n >= 2);
+
+  const auto dist = pairwise_dists(points);
+  std::map<int, std::int64_t> class_counts;
+  for (int label : labels) ++class_counts[label];
+  CQ_CHECK_MSG(class_counts.size() >= 2,
+               "silhouette needs at least 2 classes");
+
+  double total = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const int yi = labels[static_cast<std::size_t>(i)];
+    if (class_counts[yi] < 2) continue;  // singleton contributes 0
+    // a = mean intra-class distance; b = min over other classes of the mean
+    // distance to that class.
+    std::map<int, double> sums;
+    for (std::int64_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      sums[labels[static_cast<std::size_t>(j)]] +=
+          dist[static_cast<std::size_t>(i * n + j)];
+    }
+    const double a =
+        sums[yi] / static_cast<double>(class_counts[yi] - 1);
+    double b = std::numeric_limits<double>::infinity();
+    for (const auto& [cls, sum] : sums) {
+      if (cls == yi) continue;
+      b = std::min(b, sum / static_cast<double>(class_counts[cls]));
+    }
+    const double denom = std::max(a, b);
+    if (denom > 0.0) total += (b - a) / denom;
+  }
+  return static_cast<float>(total / static_cast<double>(n));
+}
+
+float knn_accuracy(const Tensor& points, const std::vector<int>& labels,
+                   int k) {
+  CQ_CHECK(points.shape().rank() == 2);
+  const auto n = points.dim(0);
+  CQ_CHECK(static_cast<std::int64_t>(labels.size()) == n);
+  CQ_CHECK(k >= 1 && n >= 2);
+
+  const auto dist = pairwise_dists(points);
+  std::int64_t correct = 0;
+  std::vector<std::int64_t> order;
+  for (std::int64_t i = 0; i < n; ++i) {
+    order.clear();
+    for (std::int64_t j = 0; j < n; ++j)
+      if (j != i) order.push_back(j);
+    const auto kk = std::min<std::int64_t>(k, n - 1);
+    std::partial_sort(order.begin(), order.begin() + kk, order.end(),
+                      [&](std::int64_t a, std::int64_t b) {
+                        return dist[static_cast<std::size_t>(i * n + a)] <
+                               dist[static_cast<std::size_t>(i * n + b)];
+                      });
+    std::map<int, int> votes;
+    for (std::int64_t j = 0; j < kk; ++j)
+      ++votes[labels[static_cast<std::size_t>(
+          order[static_cast<std::size_t>(j)])]];
+    int best_class = -1, best_votes = -1;
+    for (const auto& [cls, v] : votes)
+      if (v > best_votes) {
+        best_votes = v;
+        best_class = cls;
+      }
+    if (best_class == labels[static_cast<std::size_t>(i)]) ++correct;
+  }
+  return 100.0f * static_cast<float>(correct) / static_cast<float>(n);
+}
+
+}  // namespace cq::eval

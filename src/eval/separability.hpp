@@ -1,0 +1,19 @@
+// Quantitative separability of labeled point sets — turns the paper's
+// qualitative Fig. 2 claim ("better linear separability") into numbers.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace cq::eval {
+
+/// Mean silhouette coefficient in [-1, 1] over all points (euclidean).
+/// Points in singleton classes contribute 0.
+float silhouette_score(const Tensor& points, const std::vector<int>& labels);
+
+/// Leave-one-out k-nearest-neighbour accuracy in percent.
+float knn_accuracy(const Tensor& points, const std::vector<int>& labels,
+                   int k = 5);
+
+}  // namespace cq::eval

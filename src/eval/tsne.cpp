@@ -1,0 +1,171 @@
+#include "eval/tsne.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace cq::eval {
+
+namespace {
+
+/// Squared euclidean distance matrix of the rows of x.
+std::vector<double> pairwise_sq_dists(const Tensor& x) {
+  const auto n = x.dim(0), d = x.dim(1);
+  std::vector<double> dist(static_cast<std::size_t>(n * n), 0.0);
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t j = i + 1; j < n; ++j) {
+      double s = 0.0;
+      for (std::int64_t c = 0; c < d; ++c) {
+        const double diff =
+            static_cast<double>(x.at(i, c)) - x.at(j, c);
+        s += diff * diff;
+      }
+      dist[static_cast<std::size_t>(i * n + j)] = s;
+      dist[static_cast<std::size_t>(j * n + i)] = s;
+    }
+  return dist;
+}
+
+/// Row-conditional probabilities p_{j|i} at the beta (=1/2sigma^2) that hits
+/// the target perplexity, via binary search.
+void conditional_probs(const std::vector<double>& dist, std::int64_t n,
+                       double perplexity, std::vector<double>& p) {
+  const double target_entropy = std::log(perplexity);
+  p.assign(static_cast<std::size_t>(n * n), 0.0);
+  std::vector<double> row(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    double beta_lo = 0.0, beta_hi = 1e18, beta = 1.0;
+    for (int iter = 0; iter < 64; ++iter) {
+      double sum = 0.0;
+      for (std::int64_t j = 0; j < n; ++j) {
+        row[static_cast<std::size_t>(j)] =
+            (j == i) ? 0.0
+                     : std::exp(-beta *
+                                dist[static_cast<std::size_t>(i * n + j)]);
+        sum += row[static_cast<std::size_t>(j)];
+      }
+      if (sum <= 0.0) sum = 1e-12;
+      // Shannon entropy of the row distribution.
+      double entropy = 0.0;
+      for (std::int64_t j = 0; j < n; ++j) {
+        const double pj = row[static_cast<std::size_t>(j)] / sum;
+        if (pj > 1e-12) entropy -= pj * std::log(pj);
+      }
+      if (std::fabs(entropy - target_entropy) < 1e-5) break;
+      if (entropy > target_entropy) {
+        beta_lo = beta;
+        beta = (beta_hi >= 1e18) ? beta * 2.0 : 0.5 * (beta + beta_hi);
+      } else {
+        beta_hi = beta;
+        beta = 0.5 * (beta + beta_lo);
+      }
+    }
+    double sum = 0.0;
+    for (std::int64_t j = 0; j < n; ++j) {
+      row[static_cast<std::size_t>(j)] =
+          (j == i) ? 0.0
+                   : std::exp(-beta *
+                              dist[static_cast<std::size_t>(i * n + j)]);
+      sum += row[static_cast<std::size_t>(j)];
+    }
+    if (sum <= 0.0) sum = 1e-12;
+    for (std::int64_t j = 0; j < n; ++j)
+      p[static_cast<std::size_t>(i * n + j)] =
+          row[static_cast<std::size_t>(j)] / sum;
+  }
+}
+
+}  // namespace
+
+Tensor tsne(const Tensor& features, const TsneConfig& config) {
+  CQ_CHECK(features.shape().rank() == 2);
+  const auto n = features.dim(0);
+  CQ_CHECK_MSG(static_cast<double>(n) > 3.0 * config.perplexity,
+               "tsne needs N > 3 * perplexity");
+
+  const auto dist = pairwise_sq_dists(features);
+  std::vector<double> p_cond;
+  conditional_probs(dist, n, config.perplexity, p_cond);
+
+  // Symmetrize: p_ij = (p_{j|i} + p_{i|j}) / 2n, floored for stability.
+  std::vector<double> p(static_cast<std::size_t>(n * n), 0.0);
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t j = 0; j < n; ++j)
+      p[static_cast<std::size_t>(i * n + j)] =
+          std::max((p_cond[static_cast<std::size_t>(i * n + j)] +
+                    p_cond[static_cast<std::size_t>(j * n + i)]) /
+                       (2.0 * static_cast<double>(n)),
+                   1e-12);
+
+  Rng rng(config.seed);
+  std::vector<double> y(static_cast<std::size_t>(n * 2));
+  for (auto& v : y) v = rng.normal(0.0, 1e-2);
+  std::vector<double> velocity(y.size(), 0.0);
+  std::vector<double> grad(y.size(), 0.0);
+  std::vector<double> q(static_cast<std::size_t>(n * n), 0.0);
+
+  for (std::int64_t iter = 0; iter < config.iterations; ++iter) {
+    const double exag =
+        iter < config.exaggeration_iters ? config.exaggeration : 1.0;
+    const double momentum = iter < config.momentum_switch_iter
+                                ? config.initial_momentum
+                                : config.final_momentum;
+    // Student-t low-dimensional affinities.
+    double q_sum = 0.0;
+    for (std::int64_t i = 0; i < n; ++i)
+      for (std::int64_t j = i + 1; j < n; ++j) {
+        const double dy0 = y[static_cast<std::size_t>(2 * i)] -
+                           y[static_cast<std::size_t>(2 * j)];
+        const double dy1 = y[static_cast<std::size_t>(2 * i + 1)] -
+                           y[static_cast<std::size_t>(2 * j + 1)];
+        const double num = 1.0 / (1.0 + dy0 * dy0 + dy1 * dy1);
+        q[static_cast<std::size_t>(i * n + j)] = num;
+        q[static_cast<std::size_t>(j * n + i)] = num;
+        q_sum += 2.0 * num;
+      }
+    if (q_sum <= 0.0) q_sum = 1e-12;
+
+    std::fill(grad.begin(), grad.end(), 0.0);
+    for (std::int64_t i = 0; i < n; ++i)
+      for (std::int64_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const double num = q[static_cast<std::size_t>(i * n + j)];
+        const double qij = std::max(num / q_sum, 1e-12);
+        const double coeff =
+            4.0 * (exag * p[static_cast<std::size_t>(i * n + j)] - qij) * num;
+        grad[static_cast<std::size_t>(2 * i)] +=
+            coeff * (y[static_cast<std::size_t>(2 * i)] -
+                     y[static_cast<std::size_t>(2 * j)]);
+        grad[static_cast<std::size_t>(2 * i + 1)] +=
+            coeff * (y[static_cast<std::size_t>(2 * i + 1)] -
+                     y[static_cast<std::size_t>(2 * j + 1)]);
+      }
+    for (std::size_t k = 0; k < y.size(); ++k) {
+      velocity[k] = momentum * velocity[k] - config.learning_rate * grad[k];
+      y[k] += velocity[k];
+    }
+    // Re-center.
+    double mean0 = 0.0, mean1 = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      mean0 += y[static_cast<std::size_t>(2 * i)];
+      mean1 += y[static_cast<std::size_t>(2 * i + 1)];
+    }
+    mean0 /= static_cast<double>(n);
+    mean1 /= static_cast<double>(n);
+    for (std::int64_t i = 0; i < n; ++i) {
+      y[static_cast<std::size_t>(2 * i)] -= mean0;
+      y[static_cast<std::size_t>(2 * i + 1)] -= mean1;
+    }
+  }
+
+  Tensor out(Shape{n, 2});
+  for (std::int64_t i = 0; i < n; ++i) {
+    out.at(i, 0) = static_cast<float>(y[static_cast<std::size_t>(2 * i)]);
+    out.at(i, 1) = static_cast<float>(y[static_cast<std::size_t>(2 * i + 1)]);
+  }
+  return out;
+}
+
+}  // namespace cq::eval

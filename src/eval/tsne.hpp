@@ -1,0 +1,27 @@
+// Exact t-SNE (van der Maaten & Hinton 2008) — reproduces the paper's
+// Fig. 2 representation visualizations.
+#pragma once
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace cq::eval {
+
+struct TsneConfig {
+  double perplexity = 15.0;
+  std::int64_t iterations = 350;
+  double learning_rate = 100.0;
+  /// Early exaggeration: P scaled by `exaggeration` for the first
+  /// `exaggeration_iters` iterations.
+  double exaggeration = 4.0;
+  std::int64_t exaggeration_iters = 80;
+  double initial_momentum = 0.5;
+  double final_momentum = 0.8;
+  std::int64_t momentum_switch_iter = 120;
+  std::uint64_t seed = 42;
+};
+
+/// Embed [N, D] features into [N, 2]. N must exceed 3 * perplexity.
+Tensor tsne(const Tensor& features, const TsneConfig& config = {});
+
+}  // namespace cq::eval

@@ -1,0 +1,57 @@
+#include "models/heads.hpp"
+
+#include "nn/activations.hpp"
+
+namespace cq::models {
+
+BatchNorm1d::BatchNorm1d(std::int64_t features, std::string name)
+    : features_(features), bn_(features, 0.1f, 1e-5f, std::move(name)) {}
+
+Tensor BatchNorm1d::forward(const Tensor& x) {
+  CQ_CHECK(x.shape().rank() == 2 && x.dim(1) == features_);
+  const auto n = x.dim(0);
+  Tensor y = bn_.forward(x.reshape(Shape{n, features_, 1, 1}));
+  return y.reshape(Shape{n, features_});
+}
+
+Tensor BatchNorm1d::backward(const Tensor& grad_out) {
+  const auto n = grad_out.dim(0);
+  Tensor g = bn_.backward(grad_out.reshape(Shape{n, features_, 1, 1}));
+  return g.reshape(Shape{n, features_});
+}
+
+void BatchNorm1d::visit_children(const std::function<void(Module&)>& fn) {
+  fn(bn_);
+}
+
+std::unique_ptr<nn::Sequential> make_projection_head(std::int64_t in_dim,
+                                                     std::int64_t hidden_dim,
+                                                     std::int64_t out_dim,
+                                                     Rng& rng) {
+  auto head = std::make_unique<nn::Sequential>();
+  head->emplace<nn::Linear>(in_dim, hidden_dim, rng, true, "proj.fc1");
+  head->emplace<nn::ReLU>();
+  head->emplace<nn::Linear>(hidden_dim, out_dim, rng, true, "proj.fc2");
+  return head;
+}
+
+std::unique_ptr<nn::Sequential> make_byol_mlp(std::int64_t in_dim,
+                                              std::int64_t hidden_dim,
+                                              std::int64_t out_dim, Rng& rng) {
+  auto head = std::make_unique<nn::Sequential>();
+  head->emplace<nn::Linear>(in_dim, hidden_dim, rng, true, "byol.fc1");
+  head->emplace<BatchNorm1d>(hidden_dim, "byol.bn");
+  head->emplace<nn::ReLU>();
+  head->emplace<nn::Linear>(hidden_dim, out_dim, rng, true, "byol.fc2");
+  return head;
+}
+
+std::unique_ptr<nn::Sequential> make_classifier(std::int64_t in_dim,
+                                                std::int64_t num_classes,
+                                                Rng& rng) {
+  auto head = std::make_unique<nn::Sequential>();
+  head->emplace<nn::Linear>(in_dim, num_classes, rng, true, "cls.fc");
+  return head;
+}
+
+}  // namespace cq::models

@@ -1,0 +1,42 @@
+// MLP heads used by the SSL pipelines and the evaluators.
+#pragma once
+
+#include <memory>
+
+#include "nn/batchnorm.hpp"
+#include "nn/linear.hpp"
+#include "nn/sequential.hpp"
+
+namespace cq::models {
+
+/// BatchNorm over [N, D] features (adapter around BatchNorm2d).
+class BatchNorm1d : public nn::Module {
+ public:
+  explicit BatchNorm1d(std::int64_t features, std::string name = "bn1d");
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void visit_children(const std::function<void(Module&)>& fn) override;
+
+ private:
+  std::int64_t features_;
+  nn::BatchNorm2d bn_;
+};
+
+/// SimCLR projection head: Linear -> ReLU -> Linear (Chen et al. 2020).
+std::unique_ptr<nn::Sequential> make_projection_head(std::int64_t in_dim,
+                                                     std::int64_t hidden_dim,
+                                                     std::int64_t out_dim,
+                                                     Rng& rng);
+
+/// BYOL projector/predictor: Linear -> BN -> ReLU -> Linear (Grill et al.).
+std::unique_ptr<nn::Sequential> make_byol_mlp(std::int64_t in_dim,
+                                              std::int64_t hidden_dim,
+                                              std::int64_t out_dim, Rng& rng);
+
+/// Linear classifier head.
+std::unique_ptr<nn::Sequential> make_classifier(std::int64_t in_dim,
+                                                std::int64_t num_classes,
+                                                Rng& rng);
+
+}  // namespace cq::models

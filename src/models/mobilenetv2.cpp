@@ -1,0 +1,126 @@
+#include "models/mobilenetv2.hpp"
+
+#include "nn/activations.hpp"
+#include "nn/pooling.hpp"
+#include "tensor/ops.hpp"
+
+namespace cq::models {
+
+namespace {
+nn::Conv2d& add_qconv(nn::Sequential& seq, const nn::Conv2dSpec& spec,
+                      std::shared_ptr<const quant::QuantPolicy> policy,
+                      Rng& rng, const std::string& name) {
+  auto& conv = seq.emplace<nn::Conv2d>(spec, rng, name);
+  conv.set_weight_transform(
+      std::make_shared<quant::FakeQuantWeight>(std::move(policy)));
+  return conv;
+}
+}  // namespace
+
+InvertedResidual::InvertedResidual(
+    std::int64_t in_ch, std::int64_t out_ch, std::int64_t stride,
+    std::int64_t expand_ratio,
+    std::shared_ptr<const quant::QuantPolicy> policy, Rng& rng,
+    const std::string& name)
+    : use_residual_(stride == 1 && in_ch == out_ch), actq_(policy) {
+  CQ_CHECK(expand_ratio >= 1);
+  const std::int64_t hidden = in_ch * expand_ratio;
+  if (expand_ratio != 1) {
+    nn::Conv2dSpec expand{.in_channels = in_ch,
+                          .out_channels = hidden,
+                          .kernel = 1,
+                          .stride = 1,
+                          .pad = 0};
+    add_qconv(body_, expand, policy, rng, name + ".expand");
+    body_.emplace<nn::BatchNorm2d>(hidden, 0.1f, 1e-5f, name + ".bn_e");
+    body_.emplace<nn::ReLU>(6.0f);
+  }
+  nn::Conv2dSpec dw{.in_channels = hidden,
+                    .out_channels = hidden,
+                    .kernel = 3,
+                    .stride = stride,
+                    .pad = 1,
+                    .groups = hidden};
+  add_qconv(body_, dw, policy, rng, name + ".dw");
+  body_.emplace<nn::BatchNorm2d>(hidden, 0.1f, 1e-5f, name + ".bn_dw");
+  body_.emplace<nn::ReLU>(6.0f);
+  nn::Conv2dSpec project{.in_channels = hidden,
+                         .out_channels = out_ch,
+                         .kernel = 1,
+                         .stride = 1,
+                         .pad = 0};
+  add_qconv(body_, project, policy, rng, name + ".project");
+  body_.emplace<nn::BatchNorm2d>(out_ch, 0.1f, 1e-5f, name + ".bn_p");
+  // Linear bottleneck: no activation after the projection.
+}
+
+Tensor InvertedResidual::forward(const Tensor& x) {
+  Tensor y = body_.forward(x);
+  if (use_residual_) y = ops::add(y, x);
+  return actq_.forward(y);
+}
+
+Tensor InvertedResidual::backward(const Tensor& grad_out) {
+  Tensor g = actq_.backward(grad_out);
+  Tensor grad_in = body_.backward(g);
+  if (use_residual_) grad_in.add_(g);
+  return grad_in;
+}
+
+void InvertedResidual::visit_children(const std::function<void(Module&)>& fn) {
+  fn(body_);
+  fn(actq_);
+}
+
+MobileNetV2Config mobilenetv2_config() {
+  MobileNetV2Config c;
+  c.blocks = {
+      {1, 8, 1, 1},
+      {2, 12, 2, 2},
+      {2, 16, 2, 2},
+      {2, 24, 2, 1},
+  };
+  return c;
+}
+
+std::unique_ptr<nn::Sequential> build_mobilenetv2(
+    const MobileNetV2Config& config,
+    std::shared_ptr<const quant::QuantPolicy> policy, Rng& rng,
+    std::int64_t* feature_dim_out) {
+  auto net = std::make_unique<nn::Sequential>();
+  nn::Conv2dSpec stem{.in_channels = config.in_channels,
+                      .out_channels = config.stem_ch,
+                      .kernel = 3,
+                      .stride = 1,
+                      .pad = 1};
+  add_qconv(*net, stem, policy, rng, "stem");
+  net->emplace<nn::BatchNorm2d>(config.stem_ch, 0.1f, 1e-5f, "stem.bn");
+  net->emplace<nn::ReLU>(6.0f);
+  net->emplace<quant::ActQuant>(policy);
+
+  std::int64_t in_ch = config.stem_ch;
+  int idx = 0;
+  for (const auto& spec : config.blocks) {
+    for (std::int64_t r = 0; r < spec.repeats; ++r, ++idx) {
+      const std::int64_t stride = (r == 0) ? spec.stride : 1;
+      net->emplace<InvertedResidual>(in_ch, spec.out_ch, stride, spec.expand,
+                                     policy, rng,
+                                     "ir" + std::to_string(idx));
+      in_ch = spec.out_ch;
+    }
+  }
+  nn::Conv2dSpec head{.in_channels = in_ch,
+                      .out_channels = config.head_ch,
+                      .kernel = 1,
+                      .stride = 1,
+                      .pad = 0};
+  add_qconv(*net, head, policy, rng, "head");
+  net->emplace<nn::BatchNorm2d>(config.head_ch, 0.1f, 1e-5f, "head.bn");
+  net->emplace<nn::ReLU>(6.0f);
+  net->emplace<quant::ActQuant>(policy);
+  net->emplace<nn::GlobalAvgPool>();
+  if (feature_dim_out != nullptr) *feature_dim_out = config.head_ch;
+  return net;
+}
+
+}  // namespace cq::models

@@ -1,0 +1,119 @@
+#include "models/resnet.hpp"
+
+#include "nn/activations.hpp"
+#include "nn/pooling.hpp"
+#include "tensor/ops.hpp"
+
+namespace cq::models {
+
+namespace {
+
+nn::Conv2d& add_qconv(nn::Sequential& seq, const nn::Conv2dSpec& spec,
+                      std::shared_ptr<const quant::QuantPolicy> policy,
+                      Rng& rng, const std::string& name) {
+  auto& conv = seq.emplace<nn::Conv2d>(spec, rng, name);
+  conv.set_weight_transform(
+      std::make_shared<quant::FakeQuantWeight>(std::move(policy)));
+  return conv;
+}
+
+}  // namespace
+
+BasicBlock::BasicBlock(std::int64_t in_ch, std::int64_t out_ch,
+                       std::int64_t stride,
+                       std::shared_ptr<const quant::QuantPolicy> policy,
+                       Rng& rng, const std::string& name)
+    : actq_(policy) {
+  nn::Conv2dSpec c1{.in_channels = in_ch,
+                    .out_channels = out_ch,
+                    .kernel = 3,
+                    .stride = stride,
+                    .pad = 1};
+  add_qconv(main_, c1, policy, rng, name + ".conv1");
+  main_.emplace<nn::BatchNorm2d>(out_ch, 0.1f, 1e-5f, name + ".bn1");
+  main_.emplace<nn::ReLU>();
+  nn::Conv2dSpec c2{.in_channels = out_ch,
+                    .out_channels = out_ch,
+                    .kernel = 3,
+                    .stride = 1,
+                    .pad = 1};
+  add_qconv(main_, c2, policy, rng, name + ".conv2");
+  main_.emplace<nn::BatchNorm2d>(out_ch, 0.1f, 1e-5f, name + ".bn2");
+
+  if (stride != 1 || in_ch != out_ch) {
+    shortcut_ = std::make_unique<nn::Sequential>();
+    nn::Conv2dSpec cs{.in_channels = in_ch,
+                      .out_channels = out_ch,
+                      .kernel = 1,
+                      .stride = stride,
+                      .pad = 0};
+    add_qconv(*shortcut_, cs, policy, rng, name + ".down");
+    shortcut_->emplace<nn::BatchNorm2d>(out_ch, 0.1f, 1e-5f, name + ".bn_down");
+  }
+}
+
+Tensor BasicBlock::forward(const Tensor& x) {
+  Tensor m = main_.forward(x);
+  Tensor s = shortcut_ ? shortcut_->forward(x) : x;
+  Tensor y = relu_.forward(ops::add(m, s));
+  return actq_.forward(y);
+}
+
+Tensor BasicBlock::backward(const Tensor& grad_out) {
+  Tensor g = actq_.backward(grad_out);
+  g = relu_.backward(g);
+  // d(main + shortcut): the same gradient flows down both paths.
+  Tensor grad_short = shortcut_ ? shortcut_->backward(g) : g;
+  Tensor grad_main = main_.backward(g);
+  return ops::add(grad_main, grad_short);
+}
+
+void BasicBlock::visit_children(const std::function<void(Module&)>& fn) {
+  fn(main_);
+  if (shortcut_) fn(*shortcut_);
+  fn(relu_);
+  fn(actq_);
+}
+
+ResNetConfig resnet18_config() { return {{2, 2, 2, 2}, 8, 3}; }
+ResNetConfig resnet34_config() { return {{3, 4, 6, 3}, 8, 3}; }
+ResNetConfig resnet74_config() { return {{12, 12, 12}, 4, 3}; }
+ResNetConfig resnet110_config() { return {{18, 18, 18}, 4, 3}; }
+ResNetConfig resnet152_config() { return {{25, 25, 25}, 4, 3}; }
+
+std::unique_ptr<nn::Sequential> build_resnet(
+    const ResNetConfig& config,
+    std::shared_ptr<const quant::QuantPolicy> policy, Rng& rng,
+    std::int64_t* feature_dim_out, bool include_gap) {
+  CQ_CHECK(!config.stage_blocks.empty() && config.base_width > 0);
+  auto net = std::make_unique<nn::Sequential>();
+
+  // Stem: 3x3 stride-1 conv (the CIFAR-resolution stem; a 7x7/maxpool stem
+  // would destroy 16-32 px inputs).
+  nn::Conv2dSpec stem{.in_channels = config.in_channels,
+                      .out_channels = config.base_width,
+                      .kernel = 3,
+                      .stride = 1,
+                      .pad = 1};
+  add_qconv(*net, stem, policy, rng, "stem");
+  net->emplace<nn::BatchNorm2d>(config.base_width, 0.1f, 1e-5f, "stem.bn");
+  net->emplace<nn::ReLU>();
+  net->emplace<quant::ActQuant>(policy);
+
+  std::int64_t in_ch = config.base_width;
+  for (std::size_t stage = 0; stage < config.stage_blocks.size(); ++stage) {
+    const std::int64_t out_ch = config.base_width << stage;
+    for (std::int64_t b = 0; b < config.stage_blocks[stage]; ++b) {
+      const std::int64_t stride = (stage > 0 && b == 0) ? 2 : 1;
+      net->emplace<BasicBlock>(in_ch, out_ch, stride, policy, rng,
+                               "s" + std::to_string(stage) + ".b" +
+                                   std::to_string(b));
+      in_ch = out_ch;
+    }
+  }
+  if (include_gap) net->emplace<nn::GlobalAvgPool>();
+  if (feature_dim_out != nullptr) *feature_dim_out = in_ch;
+  return net;
+}
+
+}  // namespace cq::models

@@ -1,0 +1,52 @@
+#include "nn/activations.hpp"
+
+namespace cq::nn {
+
+Tensor ReLU::forward(const Tensor& x) {
+  Tensor y = x;
+  float* d = y.data();
+  const auto n = y.numel();
+  if (cap_ > 0.0f) {
+    for (std::int64_t i = 0; i < n; ++i)
+      d[i] = d[i] < 0.0f ? 0.0f : (d[i] > cap_ ? cap_ : d[i]);
+  } else {
+    for (std::int64_t i = 0; i < n; ++i) d[i] = d[i] > 0.0f ? d[i] : 0.0f;
+  }
+  if (mode_ == Mode::kTrain) cache_.push_back(x);
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  CQ_CHECK_MSG(!cache_.empty(), "relu backward without matching forward");
+  Tensor x = std::move(cache_.back());
+  cache_.pop_back();
+  CQ_CHECK(grad_out.same_shape(x));
+  Tensor g = grad_out;
+  float* gd = g.data();
+  const float* xd = x.data();
+  const auto n = g.numel();
+  if (cap_ > 0.0f) {
+    for (std::int64_t i = 0; i < n; ++i)
+      if (xd[i] <= 0.0f || xd[i] >= cap_) gd[i] = 0.0f;
+  } else {
+    for (std::int64_t i = 0; i < n; ++i)
+      if (xd[i] <= 0.0f) gd[i] = 0.0f;
+  }
+  return g;
+}
+
+Tensor Flatten::forward(const Tensor& x) {
+  CQ_CHECK(x.shape().rank() >= 2);
+  if (mode_ == Mode::kTrain) shapes_.push_back(x.shape());
+  const auto n = x.dim(0);
+  return x.reshape(Shape{n, x.numel() / n});
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  CQ_CHECK_MSG(!shapes_.empty(), "flatten backward without matching forward");
+  Shape s = std::move(shapes_.back());
+  shapes_.pop_back();
+  return grad_out.reshape(std::move(s));
+}
+
+}  // namespace cq::nn

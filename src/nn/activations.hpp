@@ -1,0 +1,40 @@
+// Pointwise activations and shape adapters.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace cq::nn {
+
+/// ReLU, with an optional upper clip (cap = 6 gives ReLU6 for MobileNetV2;
+/// cap <= 0 means unbounded).
+class ReLU : public Module {
+ public:
+  explicit ReLU(float cap = 0.0f) : cap_(cap) {}
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::size_t pending_caches() const override { return cache_.size(); }
+
+ protected:
+  void on_clear_cache() override { cache_.clear(); }
+
+ private:
+  float cap_;
+  std::vector<Tensor> cache_;  // inputs
+};
+
+/// Flatten [N, C, H, W] -> [N, C*H*W].
+class Flatten : public Module {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::size_t pending_caches() const override { return shapes_.size(); }
+
+ protected:
+  void on_clear_cache() override { shapes_.clear(); }
+
+ private:
+  std::vector<Shape> shapes_;
+};
+
+}  // namespace cq::nn

@@ -1,0 +1,136 @@
+#include "nn/batchnorm.hpp"
+
+#include <cmath>
+
+namespace cq::nn {
+
+BatchNorm2d::BatchNorm2d(std::int64_t channels, float momentum, float eps,
+                         std::string name)
+    : channels_(channels),
+      momentum_(momentum),
+      eps_(eps),
+      gamma_(Tensor::ones(Shape{channels}), name + ".gamma", /*decay=*/false),
+      beta_(Tensor::zeros(Shape{channels}), name + ".beta", /*decay=*/false),
+      running_mean_(Tensor::zeros(Shape{channels})),
+      running_var_(Tensor::ones(Shape{channels})) {
+  CQ_CHECK(channels > 0);
+}
+
+Tensor BatchNorm2d::forward(const Tensor& x) {
+  CQ_CHECK_MSG(x.shape().rank() == 4 && x.dim(1) == channels_,
+               "bn input " << x.shape().str() << " expects [N, " << channels_
+                           << ", H, W]");
+  const auto n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const auto spatial = h * w;
+  const auto count = n * spatial;
+  Tensor y(x.shape());
+
+  if (mode_ == Mode::kTrain) {
+    Cache entry;
+    entry.xhat = Tensor(x.shape());
+    entry.inv_std = Tensor(Shape{channels_});
+    entry.n = n;
+    entry.h = h;
+    entry.w = w;
+    for (std::int64_t c = 0; c < channels_; ++c) {
+      double sum = 0.0, sq = 0.0;
+      for (std::int64_t img = 0; img < n; ++img) {
+        const float* p = x.data() + (img * channels_ + c) * spatial;
+        for (std::int64_t s = 0; s < spatial; ++s) {
+          sum += p[s];
+          sq += static_cast<double>(p[s]) * p[s];
+        }
+      }
+      const double mean = sum / static_cast<double>(count);
+      const double var = sq / static_cast<double>(count) - mean * mean;
+      const float inv_std =
+          1.0f / std::sqrt(static_cast<float>(var) + eps_);
+      entry.inv_std[c] = inv_std;
+      running_mean_[c] = (1.0f - momentum_) * running_mean_[c] +
+                         momentum_ * static_cast<float>(mean);
+      running_var_[c] = (1.0f - momentum_) * running_var_[c] +
+                        momentum_ * static_cast<float>(var);
+      const float g = gamma_.value[c], b = beta_.value[c];
+      const float m = static_cast<float>(mean);
+      for (std::int64_t img = 0; img < n; ++img) {
+        const float* p = x.data() + (img * channels_ + c) * spatial;
+        float* xh = entry.xhat.data() + (img * channels_ + c) * spatial;
+        float* yo = y.data() + (img * channels_ + c) * spatial;
+        for (std::int64_t s = 0; s < spatial; ++s) {
+          const float v = (p[s] - m) * inv_std;
+          xh[s] = v;
+          yo[s] = g * v + b;
+        }
+      }
+    }
+    cache_.push_back(std::move(entry));
+  } else {
+    for (std::int64_t c = 0; c < channels_; ++c) {
+      const float inv_std = 1.0f / std::sqrt(running_var_[c] + eps_);
+      const float m = running_mean_[c];
+      const float g = gamma_.value[c], b = beta_.value[c];
+      for (std::int64_t img = 0; img < n; ++img) {
+        const float* p = x.data() + (img * channels_ + c) * spatial;
+        float* yo = y.data() + (img * channels_ + c) * spatial;
+        for (std::int64_t s = 0; s < spatial; ++s)
+          yo[s] = g * (p[s] - m) * inv_std + b;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_out) {
+  CQ_CHECK_MSG(!cache_.empty(), "bn backward without matching forward");
+  Cache entry = std::move(cache_.back());
+  cache_.pop_back();
+  const auto n = entry.n, h = entry.h, w = entry.w;
+  const auto spatial = h * w;
+  const auto count = n * spatial;
+  CQ_CHECK(grad_out.shape().rank() == 4 && grad_out.dim(0) == n &&
+           grad_out.dim(1) == channels_ && grad_out.dim(2) == h &&
+           grad_out.dim(3) == w);
+
+  Tensor grad_in(grad_out.shape());
+  for (std::int64_t c = 0; c < channels_; ++c) {
+    // Accumulate dgamma, dbeta, and the two reduction terms of the BN
+    // input-gradient formula.
+    double dgamma = 0.0, dbeta = 0.0;
+    for (std::int64_t img = 0; img < n; ++img) {
+      const float* go = grad_out.data() + (img * channels_ + c) * spatial;
+      const float* xh = entry.xhat.data() + (img * channels_ + c) * spatial;
+      for (std::int64_t s = 0; s < spatial; ++s) {
+        dgamma += static_cast<double>(go[s]) * xh[s];
+        dbeta += go[s];
+      }
+    }
+    gamma_.grad[c] += static_cast<float>(dgamma);
+    beta_.grad[c] += static_cast<float>(dbeta);
+
+    const float g = gamma_.value[c];
+    const float inv_std = entry.inv_std[c];
+    const float inv_count = 1.0f / static_cast<float>(count);
+    const float mean_dy = static_cast<float>(dbeta) * inv_count;
+    const float mean_dy_xhat = static_cast<float>(dgamma) * inv_count;
+    for (std::int64_t img = 0; img < n; ++img) {
+      const float* go = grad_out.data() + (img * channels_ + c) * spatial;
+      const float* xh = entry.xhat.data() + (img * channels_ + c) * spatial;
+      float* gi = grad_in.data() + (img * channels_ + c) * spatial;
+      for (std::int64_t s = 0; s < spatial; ++s)
+        gi[s] = g * inv_std * (go[s] - mean_dy - xh[s] * mean_dy_xhat);
+    }
+  }
+  return grad_in;
+}
+
+void BatchNorm2d::collect_parameters(std::vector<Parameter*>& out) {
+  out.push_back(&gamma_);
+  out.push_back(&beta_);
+}
+
+void BatchNorm2d::collect_buffers(std::vector<Tensor*>& out) {
+  out.push_back(&running_mean_);
+  out.push_back(&running_var_);
+}
+
+}  // namespace cq::nn

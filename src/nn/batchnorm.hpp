@@ -1,0 +1,52 @@
+// BatchNorm2d over NCHW activations.
+//
+// Training mode normalizes with batch statistics and updates running
+// estimates; eval mode uses the running estimates. Note that in Contrastive
+// Quant the encoder runs several branches per iteration, so running stats are
+// updated once per branch — this mirrors what a multi-view PyTorch pipeline
+// does and is intentional.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace cq::nn {
+
+class BatchNorm2d : public Module {
+ public:
+  explicit BatchNorm2d(std::int64_t channels, float momentum = 0.1f,
+                       float eps = 1e-5f, std::string name = "bn");
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+  void collect_buffers(std::vector<Tensor*>& out) override;
+  std::size_t pending_caches() const override { return cache_.size(); }
+
+  std::int64_t channels() const { return channels_; }
+  float eps() const { return eps_; }
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+  const Tensor& gamma() const { return gamma_.value; }
+  const Tensor& beta() const { return beta_.value; }
+
+ protected:
+  void on_clear_cache() override { cache_.clear(); }
+
+ private:
+  struct Cache {
+    Tensor xhat;     // normalized input, same shape as x
+    Tensor inv_std;  // [C]
+    std::int64_t n = 0, h = 0, w = 0;
+  };
+
+  std::int64_t channels_;
+  float momentum_;
+  float eps_;
+  Parameter gamma_;
+  Parameter beta_;
+  Tensor running_mean_;
+  Tensor running_var_;
+  std::vector<Cache> cache_;
+};
+
+}  // namespace cq::nn

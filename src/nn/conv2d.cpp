@@ -1,0 +1,180 @@
+#include "nn/conv2d.hpp"
+
+#include "nn/init.hpp"
+#include "tensor/ops.hpp"
+
+namespace cq::nn {
+
+Conv2d::Conv2d(const Conv2dSpec& spec, Rng& rng, std::string name)
+    : spec_(spec) {
+  CQ_CHECK(spec.in_channels > 0 && spec.out_channels > 0);
+  CQ_CHECK(spec.kernel > 0 && spec.stride > 0 && spec.pad >= 0);
+  CQ_CHECK_MSG(spec.groups > 0 && spec.in_channels % spec.groups == 0 &&
+                   spec.out_channels % spec.groups == 0,
+               "groups must divide both channel counts");
+  const auto cin_g = spec.in_channels / spec.groups;
+  const auto fan_in = cin_g * spec.kernel * spec.kernel;
+  weight_ = Parameter(
+      init::he_normal(Shape{spec.out_channels, fan_in}, fan_in, rng),
+      name + ".weight", /*decay=*/true);
+  if (spec.bias)
+    bias_ = Parameter(Tensor::zeros(Shape{spec.out_channels}), name + ".bias",
+                      /*decay=*/false);
+}
+
+ConvGeometry Conv2d::group_geometry(std::int64_t in_h,
+                                    std::int64_t in_w) const {
+  ConvGeometry g;
+  g.in_channels = spec_.in_channels / spec_.groups;
+  g.in_h = in_h;
+  g.in_w = in_w;
+  g.kernel_h = g.kernel_w = spec_.kernel;
+  g.stride = spec_.stride;
+  g.pad = spec_.pad;
+  return g;
+}
+
+Tensor Conv2d::forward(const Tensor& x) {
+  CQ_CHECK_MSG(x.shape().rank() == 4 && x.dim(1) == spec_.in_channels,
+               "conv input " << x.shape().str() << " expects [N, "
+                             << spec_.in_channels << ", H, W]");
+  const auto n = x.dim(0), in_h = x.dim(2), in_w = x.dim(3);
+  const auto g = group_geometry(in_h, in_w);
+  const auto oh = g.out_h(), ow = g.out_w();
+  CQ_CHECK_MSG(oh > 0 && ow > 0, "conv output would be empty for input "
+                                     << x.shape().str());
+
+  const bool transformed = transform_ && transform_->active();
+  Tensor w_eff =
+      transformed ? transform_->apply(weight_.value) : weight_.value;
+
+  const auto groups = spec_.groups;
+  const auto cout_g = spec_.out_channels / groups;
+  const auto cin_g = g.in_channels;
+  const auto krows = g.col_rows();  // cin_g * K * K
+
+  Tensor y(Shape{n, spec_.out_channels, oh, ow});
+  std::vector<float> cols(static_cast<std::size_t>(krows * oh * ow));
+  const float* W = w_eff.data();
+  for (std::int64_t img = 0; img < n; ++img) {
+    const float* in_base = x.data() + img * spec_.in_channels * in_h * in_w;
+    float* out_base = y.data() + img * spec_.out_channels * oh * ow;
+    for (std::int64_t grp = 0; grp < groups; ++grp) {
+      im2col(in_base + grp * cin_g * in_h * in_w, g, cols.data());
+      // out[cout_g, oh*ow] = W_grp[cout_g, krows] * cols[krows, oh*ow]
+      const float* wg = W + grp * cout_g * krows;
+      float* og = out_base + grp * cout_g * oh * ow;
+      const auto spatial = oh * ow;
+      for (std::int64_t oc = 0; oc < cout_g; ++oc) {
+        float* orow = og + oc * spatial;
+        for (std::int64_t s = 0; s < spatial; ++s) orow[s] = 0.0f;
+        const float* wrow = wg + oc * krows;
+        for (std::int64_t kk = 0; kk < krows; ++kk) {
+          const float wv = wrow[kk];
+          if (wv == 0.0f) continue;
+          const float* crow = cols.data() + kk * spatial;
+          for (std::int64_t s = 0; s < spatial; ++s) orow[s] += wv * crow[s];
+        }
+      }
+    }
+    if (spec_.bias) {
+      for (std::int64_t oc = 0; oc < spec_.out_channels; ++oc) {
+        float* orow = out_base + oc * oh * ow;
+        const float b = bias_.value[oc];
+        for (std::int64_t s = 0; s < oh * ow; ++s) orow[s] += b;
+      }
+    }
+  }
+
+  if (mode_ == Mode::kTrain) {
+    Cache entry;
+    entry.input = x;
+    if (transformed) entry.effective_weight = std::move(w_eff);
+    cache_.push_back(std::move(entry));
+  }
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  CQ_CHECK_MSG(!cache_.empty(), "conv backward without matching forward");
+  Cache entry = std::move(cache_.back());
+  cache_.pop_back();
+
+  const Tensor& x = entry.input;
+  const auto n = x.dim(0), in_h = x.dim(2), in_w = x.dim(3);
+  const auto g = group_geometry(in_h, in_w);
+  const auto oh = g.out_h(), ow = g.out_w();
+  CQ_CHECK(grad_out.shape().rank() == 4 && grad_out.dim(0) == n &&
+           grad_out.dim(1) == spec_.out_channels && grad_out.dim(2) == oh &&
+           grad_out.dim(3) == ow);
+
+  const auto groups = spec_.groups;
+  const auto cout_g = spec_.out_channels / groups;
+  const auto cin_g = g.in_channels;
+  const auto krows = g.col_rows();
+  const auto spatial = oh * ow;
+
+  const Tensor& w_used =
+      entry.effective_weight ? *entry.effective_weight : weight_.value;
+  const float* W = w_used.data();
+  float* Wg = weight_.grad.data();
+
+  Tensor grad_in(x.shape());
+  std::vector<float> cols(static_cast<std::size_t>(krows * spatial));
+  std::vector<float> dcols(static_cast<std::size_t>(krows * spatial));
+
+  for (std::int64_t img = 0; img < n; ++img) {
+    const float* in_base = x.data() + img * spec_.in_channels * in_h * in_w;
+    const float* go_base = grad_out.data() + img * spec_.out_channels * spatial;
+    float* gi_base = grad_in.data() + img * spec_.in_channels * in_h * in_w;
+    for (std::int64_t grp = 0; grp < groups; ++grp) {
+      // Recompute cols (cheaper in memory than caching per-image columns).
+      im2col(in_base + grp * cin_g * in_h * in_w, g, cols.data());
+      const float* go = go_base + grp * cout_g * spatial;
+      // dW_grp += go[cout_g, spatial] * cols^T[spatial, krows]
+      float* wg_grad = Wg + grp * cout_g * krows;
+      for (std::int64_t oc = 0; oc < cout_g; ++oc) {
+        const float* gorow = go + oc * spatial;
+        float* wrow = wg_grad + oc * krows;
+        for (std::int64_t kk = 0; kk < krows; ++kk) {
+          const float* crow = cols.data() + kk * spatial;
+          double s = 0.0;
+          for (std::int64_t sp = 0; sp < spatial; ++sp)
+            s += static_cast<double>(gorow[sp]) * crow[sp];
+          wrow[kk] += static_cast<float>(s);
+        }
+      }
+      // dcols[krows, spatial] = W_grp^T[krows, cout_g] * go[cout_g, spatial]
+      std::fill(dcols.begin(), dcols.end(), 0.0f);
+      const float* wgrp = W + grp * cout_g * krows;
+      for (std::int64_t oc = 0; oc < cout_g; ++oc) {
+        const float* wrow = wgrp + oc * krows;
+        const float* gorow = go + oc * spatial;
+        for (std::int64_t kk = 0; kk < krows; ++kk) {
+          const float wv = wrow[kk];
+          if (wv == 0.0f) continue;
+          float* drow = dcols.data() + kk * spatial;
+          for (std::int64_t sp = 0; sp < spatial; ++sp)
+            drow[sp] += wv * gorow[sp];
+        }
+      }
+      col2im(dcols.data(), g, gi_base + grp * cin_g * in_h * in_w);
+    }
+    if (spec_.bias) {
+      for (std::int64_t oc = 0; oc < spec_.out_channels; ++oc) {
+        const float* gorow = go_base + oc * spatial;
+        double s = 0.0;
+        for (std::int64_t sp = 0; sp < spatial; ++sp) s += gorow[sp];
+        bias_.grad[oc] += static_cast<float>(s);
+      }
+    }
+  }
+  return grad_in;
+}
+
+void Conv2d::collect_parameters(std::vector<Parameter*>& out) {
+  out.push_back(&weight_);
+  if (spec_.bias) out.push_back(&bias_);
+}
+
+}  // namespace cq::nn

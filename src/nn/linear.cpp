@@ -1,0 +1,73 @@
+#include "nn/linear.hpp"
+
+#include <cmath>
+
+#include "nn/init.hpp"
+#include "tensor/ops.hpp"
+
+namespace cq::nn {
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng,
+               bool bias, std::string name)
+    : in_features_(in_features),
+      out_features_(out_features),
+      has_bias_(bias) {
+  CQ_CHECK(in_features > 0 && out_features > 0);
+  weight_ = Parameter(init::he_uniform(Shape{out_features, in_features},
+                                       in_features, rng),
+                      name + ".weight", /*decay=*/true);
+  if (has_bias_)
+    bias_ = Parameter(Tensor::zeros(Shape{out_features}), name + ".bias",
+                      /*decay=*/false);
+}
+
+Tensor Linear::forward(const Tensor& x) {
+  CQ_CHECK_MSG(x.shape().rank() == 2 && x.dim(1) == in_features_,
+               "linear input " << x.shape().str() << " expects [N, "
+                               << in_features_ << "]");
+  const bool transformed = transform_ && transform_->active();
+  Tensor w_eff =
+      transformed ? transform_->apply(weight_.value) : weight_.value;
+
+  Tensor y = ops::matmul_nt(x, w_eff);  // [N, out]
+  if (has_bias_) {
+    const auto n = y.dim(0);
+    for (std::int64_t r = 0; r < n; ++r)
+      for (std::int64_t c = 0; c < out_features_; ++c)
+        y.at(r, c) += bias_.value[c];
+  }
+  if (mode_ == Mode::kTrain) {
+    Cache entry;
+    entry.input = x;
+    if (transformed) entry.effective_weight = std::move(w_eff);
+    cache_.push_back(std::move(entry));
+  }
+  return y;
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  CQ_CHECK_MSG(!cache_.empty(), "linear backward without matching forward");
+  Cache entry = std::move(cache_.back());
+  cache_.pop_back();
+  CQ_CHECK(grad_out.shape().rank() == 2 && grad_out.dim(1) == out_features_);
+  CQ_CHECK(grad_out.dim(0) == entry.input.dim(0));
+
+  // Straight-through estimator: dL/dW_master := dL/dW_effective.
+  weight_.grad.add_(ops::matmul_tn(grad_out, entry.input));
+  if (has_bias_) {
+    const auto n = grad_out.dim(0);
+    for (std::int64_t r = 0; r < n; ++r)
+      for (std::int64_t c = 0; c < out_features_; ++c)
+        bias_.grad[c] += grad_out.at(r, c);
+  }
+  const Tensor& w_used =
+      entry.effective_weight ? *entry.effective_weight : weight_.value;
+  return ops::matmul(grad_out, w_used);  // [N, in]
+}
+
+void Linear::collect_parameters(std::vector<Parameter*>& out) {
+  out.push_back(&weight_);
+  if (has_bias_) out.push_back(&bias_);
+}
+
+}  // namespace cq::nn

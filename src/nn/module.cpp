@@ -1,0 +1,108 @@
+#include "nn/module.hpp"
+
+#include "util/check.hpp"
+
+namespace cq::nn {
+
+void Module::collect_parameters(std::vector<Parameter*>& out) {
+  visit_children([&out](Module& m) { m.collect_parameters(out); });
+}
+
+void Module::collect_buffers(std::vector<Tensor*>& out) {
+  visit_children([&out](Module& m) { m.collect_buffers(out); });
+}
+
+void Module::visit_children(const std::function<void(Module&)>& /*fn*/) {}
+
+void Module::set_mode(Mode mode) {
+  mode_ = mode;
+  on_set_mode(mode);
+  visit_children([mode](Module& m) { m.set_mode(mode); });
+}
+
+void Module::clear_cache() {
+  on_clear_cache();
+  visit_children([](Module& m) { m.clear_cache(); });
+}
+
+std::vector<Parameter*> Module::parameters() {
+  std::vector<Parameter*> out;
+  collect_parameters(out);
+  return out;
+}
+
+void Module::zero_grad() {
+  for (Parameter* p : parameters()) p->zero_grad();
+}
+
+std::int64_t Module::parameter_count() {
+  std::int64_t n = 0;
+  for (Parameter* p : parameters()) n += p->value.numel();
+  return n;
+}
+
+void copy_parameters(Module& src, Module& dst) {
+  auto sp = src.parameters();
+  auto dp = dst.parameters();
+  CQ_CHECK_MSG(sp.size() == dp.size(), "parameter count mismatch in copy");
+  for (std::size_t i = 0; i < sp.size(); ++i) {
+    CQ_CHECK_MSG(sp[i]->value.same_shape(dp[i]->value),
+                 "parameter shape mismatch at " << sp[i]->name);
+    dp[i]->value = sp[i]->value;
+  }
+  std::vector<Tensor*> sb, db;
+  src.collect_buffers(sb);
+  dst.collect_buffers(db);
+  CQ_CHECK_MSG(sb.size() == db.size(), "buffer count mismatch in copy");
+  for (std::size_t i = 0; i < sb.size(); ++i) *db[i] = *sb[i];
+}
+
+void ema_update(Module& src, Module& dst, float momentum) {
+  CQ_CHECK(momentum >= 0.0f && momentum <= 1.0f);
+  auto sp = src.parameters();
+  auto dp = dst.parameters();
+  CQ_CHECK_MSG(sp.size() == dp.size(), "parameter count mismatch in ema");
+  for (std::size_t i = 0; i < sp.size(); ++i) {
+    Tensor& d = dp[i]->value;
+    const Tensor& s = sp[i]->value;
+    CQ_CHECK(d.same_shape(s));
+    d.mul_(momentum);
+    d.add_(s, 1.0f - momentum);
+  }
+  std::vector<Tensor*> sb, db;
+  src.collect_buffers(sb);
+  dst.collect_buffers(db);
+  CQ_CHECK_MSG(sb.size() == db.size(), "buffer count mismatch in ema");
+  for (std::size_t i = 0; i < sb.size(); ++i) {
+    db[i]->mul_(momentum);
+    db[i]->add_(*sb[i], 1.0f - momentum);
+  }
+}
+
+std::vector<Tensor> snapshot_state(Module& module) {
+  std::vector<Tensor> state;
+  for (Parameter* p : module.parameters()) state.push_back(p->value);
+  std::vector<Tensor*> buffers;
+  module.collect_buffers(buffers);
+  for (Tensor* b : buffers) state.push_back(*b);
+  return state;
+}
+
+void restore_state(Module& module, const std::vector<Tensor>& state) {
+  auto params = module.parameters();
+  std::vector<Tensor*> buffers;
+  module.collect_buffers(buffers);
+  CQ_CHECK_MSG(state.size() == params.size() + buffers.size(),
+               "state size mismatch in restore");
+  std::size_t i = 0;
+  for (Parameter* p : params) {
+    CQ_CHECK(state[i].same_shape(p->value));
+    p->value = state[i++];
+  }
+  for (Tensor* b : buffers) {
+    CQ_CHECK(state[i].same_shape(*b));
+    *b = state[i++];
+  }
+}
+
+}  // namespace cq::nn

@@ -1,0 +1,120 @@
+// Module protocol: explicit layer-wise forward/backward with cache stacks.
+//
+// Why cache *stacks*: Contrastive Quant pushes several views of a batch
+// through the *same* encoder (at different quantization levels) before the
+// loss is known, then backpropagates each branch. Every module therefore
+// keeps a LIFO stack of forward caches:
+//
+//   forward(v1); forward(v2); ... ; backward(g2); backward(g1);
+//
+// INVARIANT: backward() calls must mirror forward() calls in reverse (LIFO)
+// order while the module is in training mode. Parameter gradients accumulate
+// across branches, which is exactly the sum-of-losses semantics CQ needs.
+//
+// Eval-mode forwards push no caches and must not be followed by backward().
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace cq::nn {
+
+/// A learnable tensor and its gradient accumulator.
+struct Parameter {
+  Tensor value;
+  Tensor grad;
+  std::string name;
+  /// Parameters flagged false are excluded from weight decay (biases, BN).
+  bool decay = true;
+
+  Parameter() = default;
+  Parameter(Tensor v, std::string n, bool decay_flag = true)
+      : value(std::move(v)), grad(Tensor::zeros(value.shape())),
+        name(std::move(n)), decay(decay_flag) {}
+
+  void zero_grad() { grad.fill(0.0f); }
+};
+
+enum class Mode { kTrain, kEval };
+
+/// Hook that rewrites a weight tensor on its way into a layer's forward pass.
+/// The quantization library implements this (fake-quant with a straight-
+/// through estimator); nn stays independent of quant.
+class WeightTransform {
+ public:
+  virtual ~WeightTransform() = default;
+  /// Whether the transform currently does anything (e.g. bits < 32).
+  virtual bool active() const = 0;
+  /// The transformed weight used for the forward pass.
+  virtual Tensor apply(const Tensor& weight) const = 0;
+};
+
+class Module {
+ public:
+  virtual ~Module() = default;
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// Forward pass. In training mode, pushes a cache entry consumed by the
+  /// matching backward() call.
+  virtual Tensor forward(const Tensor& x) = 0;
+
+  /// Backward pass: consumes the most recent cache entry, accumulates
+  /// parameter gradients, and returns the gradient w.r.t. that forward's
+  /// input.
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  /// Append this module's parameters (and its children's) to `out`.
+  virtual void collect_parameters(std::vector<Parameter*>& out);
+
+  /// Append non-learnable state (e.g. BatchNorm running stats) to `out`.
+  /// Included in copy_parameters / ema_update so BYOL target networks track
+  /// normalization state as well as weights.
+  virtual void collect_buffers(std::vector<Tensor*>& out);
+
+  /// Visit direct children (containers override).
+  virtual void visit_children(const std::function<void(Module&)>& fn);
+
+  /// Train/eval mode, propagated to children.
+  void set_mode(Mode mode);
+  Mode mode() const { return mode_; }
+
+  /// Drop any un-consumed forward caches (this module and children).
+  void clear_cache();
+
+  /// Number of pending (un-consumed) forward caches on this module.
+  virtual std::size_t pending_caches() const { return 0; }
+
+  std::vector<Parameter*> parameters();
+  void zero_grad();
+  /// Total learnable scalar count.
+  std::int64_t parameter_count();
+
+ protected:
+  /// Module-local hooks invoked by set_mode / clear_cache.
+  virtual void on_set_mode(Mode /*mode*/) {}
+  virtual void on_clear_cache() {}
+
+  Mode mode_ = Mode::kTrain;
+};
+
+/// Copies all parameter values from src into dst (shapes must match
+/// pairwise, in collection order). Used by BYOL's target-network updates and
+/// by checkpoint restore.
+void copy_parameters(Module& src, Module& dst);
+
+/// dst <- momentum * dst + (1 - momentum) * src, parameter-wise (EMA).
+void ema_update(Module& src, Module& dst, float momentum);
+
+/// Deep copy of all parameter values and buffers, in collection order.
+/// snapshot/restore lets an evaluator fine-tune an encoder and then put the
+/// pretrained weights back.
+std::vector<Tensor> snapshot_state(Module& module);
+void restore_state(Module& module, const std::vector<Tensor>& state);
+
+}  // namespace cq::nn

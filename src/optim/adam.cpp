@@ -1,0 +1,41 @@
+#include "optim/adam.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace cq::optim {
+
+Adam::Adam(std::vector<nn::Parameter*> params, AdamConfig config)
+    : params_(std::move(params)), config_(config) {
+  CQ_CHECK(!params_.empty());
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (nn::Parameter* p : params_) {
+    m_.push_back(Tensor::zeros(p->value.shape()));
+    v_.push_back(Tensor::zeros(p->value.shape()));
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 =
+      1.0f - std::pow(config_.beta1, static_cast<float>(t_));
+  const float bc2 =
+      1.0f - std::pow(config_.beta2, static_cast<float>(t_));
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    nn::Parameter* p = params_[k];
+    const float wd = p->decay ? config_.weight_decay : 0.0f;
+    for (std::int64_t i = 0; i < p->value.numel(); ++i) {
+      const float g = p->grad[i] + wd * p->value[i];
+      m_[k][i] = config_.beta1 * m_[k][i] + (1.0f - config_.beta1) * g;
+      v_[k][i] = config_.beta2 * v_[k][i] + (1.0f - config_.beta2) * g * g;
+      const float mhat = m_[k][i] / bc1;
+      const float vhat = v_[k][i] / bc2;
+      p->value[i] -= config_.lr * mhat / (std::sqrt(vhat) + config_.eps);
+    }
+    p->zero_grad();
+  }
+}
+
+}  // namespace cq::optim

@@ -1,0 +1,36 @@
+// Adam (Kingma & Ba, 2015). Used by the detection head and available to
+// library users; the paper's pipelines use SGD.
+#pragma once
+
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace cq::optim {
+
+struct AdamConfig {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 0.0f;
+};
+
+class Adam {
+ public:
+  Adam(std::vector<nn::Parameter*> params, AdamConfig config);
+
+  void step();
+
+  void set_lr(float lr) { config_.lr = lr; }
+  float lr() const { return config_.lr; }
+
+ private:
+  std::vector<nn::Parameter*> params_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  AdamConfig config_;
+  std::int64_t t_ = 0;
+};
+
+}  // namespace cq::optim

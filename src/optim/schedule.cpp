@@ -1,0 +1,36 @@
+#include "optim/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/check.hpp"
+
+namespace cq::optim {
+
+CosineSchedule::CosineSchedule(float base_lr, std::int64_t total_steps,
+                               std::int64_t warmup_steps, float final_lr)
+    : base_lr_(base_lr),
+      total_steps_(total_steps),
+      warmup_steps_(warmup_steps),
+      final_lr_(final_lr) {
+  CQ_CHECK(base_lr > 0.0f && total_steps > 0 && warmup_steps >= 0);
+  CQ_CHECK(warmup_steps < total_steps);
+  CQ_CHECK(final_lr >= 0.0f && final_lr <= base_lr);
+}
+
+float CosineSchedule::lr_at(std::int64_t step) const {
+  step = std::clamp<std::int64_t>(step, 0, total_steps_ - 1);
+  if (step < warmup_steps_) {
+    return base_lr_ * static_cast<float>(step + 1) /
+           static_cast<float>(warmup_steps_);
+  }
+  const float progress =
+      static_cast<float>(step - warmup_steps_) /
+      static_cast<float>(total_steps_ - warmup_steps_);
+  const float cosine =
+      0.5f * (1.0f + std::cos(std::numbers::pi_v<float> * progress));
+  return final_lr_ + (base_lr_ - final_lr_) * cosine;
+}
+
+}  // namespace cq::optim

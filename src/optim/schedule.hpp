@@ -1,0 +1,27 @@
+// Learning-rate schedules. The paper uses cosine decay for both pretraining
+// and fine-tuning; warmup is standard for contrastive pretraining.
+#pragma once
+
+#include <cstdint>
+
+namespace cq::optim {
+
+class CosineSchedule {
+ public:
+  /// lr(t) decays from base_lr to final_lr over total_steps, after an
+  /// optional linear warmup from 0.
+  CosineSchedule(float base_lr, std::int64_t total_steps,
+                 std::int64_t warmup_steps = 0, float final_lr = 0.0f);
+
+  float lr_at(std::int64_t step) const;
+
+  std::int64_t total_steps() const { return total_steps_; }
+
+ private:
+  float base_lr_;
+  std::int64_t total_steps_;
+  std::int64_t warmup_steps_;
+  float final_lr_;
+};
+
+}  // namespace cq::optim

@@ -1,0 +1,43 @@
+#include "optim/sgd.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace cq::optim {
+
+Sgd::Sgd(std::vector<nn::Parameter*> params, SgdConfig config)
+    : params_(std::move(params)), config_(config) {
+  CQ_CHECK(!params_.empty());
+  CQ_CHECK(config_.momentum >= 0.0f && config_.momentum < 1.0f);
+  velocity_.reserve(params_.size());
+  for (nn::Parameter* p : params_)
+    velocity_.push_back(Tensor::zeros(p->value.shape()));
+}
+
+void Sgd::step() {
+  // Global grad norm (for diagnostics and optional clipping).
+  double sq = 0.0;
+  for (nn::Parameter* p : params_)
+    for (std::int64_t i = 0; i < p->grad.numel(); ++i)
+      sq += static_cast<double>(p->grad[i]) * p->grad[i];
+  last_grad_norm_ = static_cast<float>(std::sqrt(sq));
+
+  float grad_scale = 1.0f;
+  if (config_.clip_norm > 0.0f && last_grad_norm_ > config_.clip_norm)
+    grad_scale = config_.clip_norm / last_grad_norm_;
+
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    nn::Parameter* p = params_[k];
+    Tensor& v = velocity_[k];
+    const float wd = p->decay ? config_.weight_decay : 0.0f;
+    for (std::int64_t i = 0; i < p->value.numel(); ++i) {
+      const float g = grad_scale * p->grad[i] + wd * p->value[i];
+      v[i] = config_.momentum * v[i] + g;
+      p->value[i] -= config_.lr * v[i];
+    }
+    p->zero_grad();
+  }
+}
+
+}  // namespace cq::optim

@@ -1,0 +1,43 @@
+// SGD with momentum and decoupled-from-biases weight decay — the optimizer
+// the paper uses for pretraining and fine-tuning (momentum 0.9).
+#pragma once
+
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace cq::optim {
+
+struct SgdConfig {
+  float lr = 0.1f;
+  float momentum = 0.9f;
+  float weight_decay = 0.0f;
+  /// Gradient-norm clipping threshold; <= 0 disables. (CQ-B in the paper
+  /// "suffers from severe gradient explosion"; clipping is intentionally off
+  /// by default so that instability is observable.)
+  float clip_norm = 0.0f;
+};
+
+class Sgd {
+ public:
+  Sgd(std::vector<nn::Parameter*> params, SgdConfig config);
+
+  /// Apply one update from the accumulated gradients, then zero them.
+  void step();
+
+  void set_lr(float lr) { config_.lr = lr; }
+  float lr() const { return config_.lr; }
+  const SgdConfig& config() const { return config_; }
+
+  /// Global gradient L2 norm of the last step() (before clipping); useful
+  /// for divergence diagnostics.
+  float last_grad_norm() const { return last_grad_norm_; }
+
+ private:
+  std::vector<nn::Parameter*> params_;
+  std::vector<Tensor> velocity_;
+  SgdConfig config_;
+  float last_grad_norm_ = 0.0f;
+};
+
+}  // namespace cq::optim

@@ -1,0 +1,34 @@
+#include "quant/actquant.hpp"
+
+namespace cq::quant {
+
+Tensor ActQuant::forward(const Tensor& x) {
+  const auto& qconfig = policy_->quantizer().config();
+  const bool needs_mask = qconfig.range == RangeMode::kPercentile &&
+                          qconfig.perturb == PerturbMode::kQuantize;
+  std::vector<std::uint8_t> mask;
+  Tensor y = x;
+  if (policy_->active()) {
+    y = needs_mask ? policy_->quantizer().quantize(x, policy_->bits(), &mask)
+                   : policy_->transform(x);
+  }
+  if (mode() == nn::Mode::kTrain) {
+    if (!policy_->active() || !needs_mask) mask.clear();
+    masks_.push_back(std::move(mask));
+  }
+  return y;
+}
+
+Tensor ActQuant::backward(const Tensor& grad_out) {
+  CQ_CHECK_MSG(!masks_.empty(), "actquant backward without matching forward");
+  std::vector<std::uint8_t> mask = std::move(masks_.back());
+  masks_.pop_back();
+  if (mask.empty()) return grad_out;  // pure straight-through
+  CQ_CHECK(static_cast<std::size_t>(grad_out.numel()) == mask.size());
+  Tensor g = grad_out;
+  for (std::int64_t i = 0; i < g.numel(); ++i)
+    if (mask[static_cast<std::size_t>(i)] == 0) g[i] = 0.0f;
+  return g;
+}
+
+}  // namespace cq::quant

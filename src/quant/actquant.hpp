@@ -1,0 +1,33 @@
+// ActQuant: fake-quantization of intermediate activations.
+//
+// Forward quantizes the activation tensor at the policy's current bit-width;
+// backward is a straight-through estimator (identity), masked at clamped
+// positions when the quantizer uses percentile clipping.
+#pragma once
+
+#include <memory>
+
+#include "nn/module.hpp"
+#include "quant/policy.hpp"
+
+namespace cq::quant {
+
+class ActQuant : public nn::Module {
+ public:
+  explicit ActQuant(std::shared_ptr<const QuantPolicy> policy)
+      : policy_(std::move(policy)) {}
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::size_t pending_caches() const override { return masks_.size(); }
+
+ protected:
+  void on_clear_cache() override { masks_.clear(); }
+
+ private:
+  std::shared_ptr<const QuantPolicy> policy_;
+  // One entry per training forward; empty mask vector == no clipping.
+  std::vector<std::vector<std::uint8_t>> masks_;
+};
+
+}  // namespace cq::quant

@@ -1,0 +1,62 @@
+#include "quant/policy.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace cq::quant {
+
+Tensor QuantPolicy::transform(const Tensor& a) const {
+  if (!active()) return a;
+  if (quantizer_.config().perturb == PerturbMode::kGaussian)
+    return quantizer_.perturb_gaussian(a, bits_, noise_rng_);
+  return quantizer_.quantize(a, bits_);
+}
+
+PrecisionSet::PrecisionSet(std::vector<int> bits) : bits_(std::move(bits)) {
+  for (int b : bits_) CQ_CHECK_MSG(b >= 1, "invalid bit-width " << b);
+}
+
+PrecisionSet PrecisionSet::range(int lo, int hi) {
+  CQ_CHECK(lo >= 1 && lo <= hi);
+  std::vector<int> bits;
+  bits.reserve(static_cast<std::size_t>(hi - lo + 1));
+  for (int b = lo; b <= hi; ++b) bits.push_back(b);
+  return PrecisionSet(std::move(bits));
+}
+
+int PrecisionSet::sample(Rng& rng) const {
+  CQ_CHECK(!bits_.empty());
+  return bits_[rng.uniform_index(bits_.size())];
+}
+
+std::pair<int, int> PrecisionSet::sample_pair(Rng& rng, bool distinct) const {
+  CQ_CHECK(!bits_.empty());
+  const int q1 = sample(rng);
+  if (!distinct || bits_.size() < 2) return {q1, sample(rng)};
+  int q2 = q1;
+  while (q2 == q1) q2 = sample(rng);
+  return {q1, q2};
+}
+
+std::string PrecisionSet::str() const {
+  if (bits_.empty()) return "{}";
+  // Contiguous ranges print as "lo-hi" to match the paper's notation.
+  bool contiguous = true;
+  for (std::size_t i = 1; i < bits_.size(); ++i)
+    if (bits_[i] != bits_[i - 1] + 1) contiguous = false;
+  std::ostringstream os;
+  if (contiguous && bits_.size() > 1) {
+    os << bits_.front() << "-" << bits_.back();
+  } else {
+    os << "{";
+    for (std::size_t i = 0; i < bits_.size(); ++i) {
+      if (i) os << ",";
+      os << bits_[i];
+    }
+    os << "}";
+  }
+  return os.str();
+}
+
+}  // namespace cq::quant

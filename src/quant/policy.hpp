@@ -1,0 +1,95 @@
+// QuantPolicy — the shared "current bit-width" knob of a quantized encoder —
+// and PrecisionSet, the pool CQ samples (q1, q2) from each iteration.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "nn/module.hpp"
+#include "quant/quantizer.hpp"
+#include "util/rng.hpp"
+
+namespace cq::quant {
+
+/// Shared by every quant-aware layer of one encoder. Setting the bit-width
+/// here switches the whole encoder: F_q(x, theta_q) in the paper's Eq. 4.
+class QuantPolicy {
+ public:
+  explicit QuantPolicy(QuantizerConfig config = {})
+      : quantizer_(config) {}
+
+  /// Current bit-width; >= kFullPrecisionBits means full precision.
+  int bits() const { return bits_; }
+  void set_bits(int bits) { bits_ = bits; }
+  /// Convenience: full precision.
+  void set_full_precision() { bits_ = kFullPrecisionBits; }
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+
+  /// Whether quantization currently changes anything.
+  bool active() const { return enabled_ && bits_ < kFullPrecisionBits; }
+
+  const LinearQuantizer& quantizer() const { return quantizer_; }
+
+  /// Apply the configured perturbation (Eq. 10 fake quantization, or the
+  /// magnitude-matched Gaussian of PerturbMode::kGaussian) at the current
+  /// bit-width. Identity when inactive. The noise stream is internal and
+  /// deterministic per policy instance (seeded at construction).
+  Tensor transform(const Tensor& a) const;
+
+ private:
+  LinearQuantizer quantizer_;
+  int bits_ = kFullPrecisionBits;
+  bool enabled_ = true;
+  mutable Rng noise_rng_{0xC0FFEEULL};
+};
+
+/// WeightTransform that fake-quantizes layer weights at the policy's current
+/// bit-width. Installed on Conv2d / Linear layers; the layers implement the
+/// straight-through estimator by applying the effective-weight gradient to
+/// the fp32 master weight.
+class FakeQuantWeight : public nn::WeightTransform {
+ public:
+  explicit FakeQuantWeight(std::shared_ptr<const QuantPolicy> policy)
+      : policy_(std::move(policy)) {}
+
+  bool active() const override { return policy_->active(); }
+  Tensor apply(const Tensor& weight) const override {
+    return policy_->transform(weight);
+  }
+
+ private:
+  std::shared_ptr<const QuantPolicy> policy_;
+};
+
+/// A set of candidate bit-widths. The paper uses contiguous ranges ("4-16",
+/// "6-16", "8-16": every integer precision in the range).
+class PrecisionSet {
+ public:
+  PrecisionSet() = default;
+  explicit PrecisionSet(std::vector<int> bits);
+
+  /// Every integer bit-width in [lo, hi].
+  static PrecisionSet range(int lo, int hi);
+
+  bool empty() const { return bits_.empty(); }
+  std::size_t size() const { return bits_.size(); }
+  const std::vector<int>& bits() const { return bits_; }
+
+  /// Sample one bit-width uniformly.
+  int sample(Rng& rng) const;
+
+  /// Sample the per-iteration pair (q1, q2). With `distinct` (default, and
+  /// what the paper's "differently augmented weights/activations" implies),
+  /// q1 != q2 whenever the set has at least two entries.
+  std::pair<int, int> sample_pair(Rng& rng, bool distinct = true) const;
+
+  std::string str() const;
+
+ private:
+  std::vector<int> bits_;
+};
+
+}  // namespace cq::quant

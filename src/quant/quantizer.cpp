@@ -1,0 +1,105 @@
+#include "quant/quantizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+
+namespace cq::quant {
+
+LinearQuantizer::LinearQuantizer(QuantizerConfig config) : config_(config) {
+  CQ_CHECK(config_.percentile > 0.5 && config_.percentile <= 1.0);
+}
+
+LinearQuantizer::Range LinearQuantizer::dynamic_range(const Tensor& a) const {
+  Range r;
+  if (config_.range == RangeMode::kMinMax) {
+    r.lo = ops::min(a);
+    r.hi = ops::max(a);
+    return r;
+  }
+  // Percentile clipping: take the (1-p) and p quantiles.
+  const auto n = a.numel();
+  std::vector<float> sorted(a.data(), a.data() + n);
+  const auto lo_idx = static_cast<std::int64_t>(
+      (1.0 - config_.percentile) * static_cast<double>(n - 1));
+  const auto hi_idx = static_cast<std::int64_t>(
+      config_.percentile * static_cast<double>(n - 1));
+  std::nth_element(sorted.begin(), sorted.begin() + lo_idx, sorted.end());
+  r.lo = sorted[static_cast<std::size_t>(lo_idx)];
+  std::nth_element(sorted.begin(), sorted.begin() + hi_idx, sorted.end());
+  r.hi = sorted[static_cast<std::size_t>(hi_idx)];
+  if (r.lo > r.hi) std::swap(r.lo, r.hi);
+  return r;
+}
+
+float LinearQuantizer::step_size(const Tensor& a, int bits) const {
+  CQ_CHECK_MSG(bits >= 1, "bit-width must be >= 1");
+  if (bits >= kFullPrecisionBits) return 0.0f;
+  const auto r = dynamic_range(a);
+  const double levels = std::pow(2.0, bits) - 1.0;
+  return static_cast<float>(static_cast<double>(r.width()) / levels);
+}
+
+Tensor LinearQuantizer::quantize(
+    const Tensor& a, int bits,
+    std::vector<std::uint8_t>* clip_mask_out) const {
+  CQ_CHECK_MSG(bits >= 1, "bit-width must be >= 1");
+  if (clip_mask_out != nullptr)
+    clip_mask_out->assign(static_cast<std::size_t>(a.numel()), 1);
+  if (bits >= kFullPrecisionBits) return a;
+
+  const auto r = dynamic_range(a);
+  const double width = static_cast<double>(r.hi) - r.lo;
+  if (!(width > 0.0) || !std::isfinite(width)) return a;  // constant tensor
+
+  const double levels = std::pow(2.0, bits) - 1.0;
+  const float s = static_cast<float>(width / levels);
+  const float inv_s = 1.0f / s;
+  const bool clip = config_.range == RangeMode::kPercentile;
+
+  Tensor out = a;
+  float* d = out.data();
+  const auto n = out.numel();
+  if (config_.rounding == RoundingMode::kNearest) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      float v = d[i];
+      if (clip) {
+        const float c = std::clamp(v, r.lo, r.hi);
+        if (clip_mask_out != nullptr && c != v)
+          (*clip_mask_out)[static_cast<std::size_t>(i)] = 0;
+        v = c;
+      }
+      d[i] = s * std::nearbyint(v * inv_s);
+    }
+  } else {
+    for (std::int64_t i = 0; i < n; ++i) {
+      float v = d[i];
+      if (clip) {
+        const float c = std::clamp(v, r.lo, r.hi);
+        if (clip_mask_out != nullptr && c != v)
+          (*clip_mask_out)[static_cast<std::size_t>(i)] = 0;
+        v = c;
+      }
+      d[i] = s * std::floor(v * inv_s);
+    }
+  }
+  return out;
+}
+
+Tensor LinearQuantizer::perturb_gaussian(const Tensor& a, int bits,
+                                         Rng& rng) const {
+  CQ_CHECK_MSG(bits >= 1, "bit-width must be >= 1");
+  if (bits >= kFullPrecisionBits) return a;
+  const float s = step_size(a, bits);
+  if (!(s > 0.0f) || !std::isfinite(s)) return a;
+  const float sigma = 0.5f * s;
+  Tensor out = a;
+  for (std::int64_t i = 0; i < out.numel(); ++i)
+    out[i] += static_cast<float>(rng.normal(0.0, sigma));
+  return out;
+}
+
+}  // namespace cq::quant

@@ -1,0 +1,76 @@
+// Linear quantizer (paper Eq. 10):
+//
+//   A_q = S_a * round(A / S_a),   S_a = A_range / (2^q - 1)
+//
+// where A_range is the dynamic range (max - min) of the tensor. The paper
+// prints a floor in Eq. 10; standard linear quantizers (Jacob et al., the
+// paper's reference [5]) round to nearest, so rounding is configurable and
+// kNearest is the default. bits >= 32 (or a non-finite range) is identity.
+//
+// RangeMode::kPercentile is an ablation: the range is taken between the
+// (1-p) and p quantiles and values outside are clamped, which makes the
+// straight-through estimator mask gradients at clamped positions.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+
+namespace cq::quant {
+
+enum class RoundingMode { kNearest, kFloor };
+enum class RangeMode { kMinMax, kPercentile };
+
+/// What "augmenting at q bits" injects (paper Sec. 4 "Insights" suggests
+/// exploring other weight/activation perturbations beyond quantization):
+///  kQuantize — Eq. 10 deterministic fake quantization (the paper's CQ);
+///  kGaussian — additive Gaussian noise with sigma = S_a / 2, i.e. noise of
+///              the same magnitude a q-bit quantizer would inject ("CQ-Noise"
+///              extension).
+enum class PerturbMode { kQuantize, kGaussian };
+
+struct QuantizerConfig {
+  RoundingMode rounding = RoundingMode::kNearest;
+  RangeMode range = RangeMode::kMinMax;
+  /// Quantile used in kPercentile mode (range = q(p) - q(1-p)).
+  double percentile = 0.999;
+  PerturbMode perturb = PerturbMode::kQuantize;
+};
+
+/// Identity threshold: bit-widths at or above this are treated as "full
+/// precision" and left untouched.
+inline constexpr int kFullPrecisionBits = 32;
+
+class LinearQuantizer {
+ public:
+  explicit LinearQuantizer(QuantizerConfig config = {});
+
+  const QuantizerConfig& config() const { return config_; }
+
+  /// The dynamic range [lo, hi] the quantizer would use for `a`.
+  struct Range {
+    float lo = 0.0f;
+    float hi = 0.0f;
+    float width() const { return hi - lo; }
+  };
+  Range dynamic_range(const Tensor& a) const;
+
+  /// Step size S_a for the given tensor and bit-width.
+  float step_size(const Tensor& a, int bits) const;
+
+  /// Quantize a copy of `a` to `bits` bits. If `clip_mask_out` is non-null it
+  /// is resized to a.numel() and set to 1 where the value passed through the
+  /// (possibly clamped) quantizer unclipped, 0 where it was clamped — the STE
+  /// uses this in kPercentile mode.
+  Tensor quantize(const Tensor& a, int bits,
+                  std::vector<std::uint8_t>* clip_mask_out = nullptr) const;
+
+  /// Additive Gaussian perturbation matched to the q-bit step size:
+  /// out = a + N(0, (S_a / 2)^2). Identity at full precision.
+  Tensor perturb_gaussian(const Tensor& a, int bits, Rng& rng) const;
+
+ private:
+  QuantizerConfig config_;
+};
+
+}  // namespace cq::quant

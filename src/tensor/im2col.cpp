@@ -1,0 +1,53 @@
+#include "tensor/im2col.hpp"
+
+namespace cq {
+
+void im2col(const float* image, const ConvGeometry& g, float* cols) {
+  const auto oh = g.out_h(), ow = g.out_w();
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.in_channels; ++c) {
+    const float* chan = image + c * g.in_h * g.in_w;
+    for (std::int64_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (std::int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+        float* out_row = cols + row * oh * ow;
+        for (std::int64_t y = 0; y < oh; ++y) {
+          const std::int64_t iy = y * g.stride + kh - g.pad;
+          if (iy < 0 || iy >= g.in_h) {
+            for (std::int64_t x = 0; x < ow; ++x) out_row[y * ow + x] = 0.0f;
+            continue;
+          }
+          const float* in_row = chan + iy * g.in_w;
+          for (std::int64_t x = 0; x < ow; ++x) {
+            const std::int64_t ix = x * g.stride + kw - g.pad;
+            out_row[y * ow + x] =
+                (ix >= 0 && ix < g.in_w) ? in_row[ix] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* cols, const ConvGeometry& g, float* image_grad) {
+  const auto oh = g.out_h(), ow = g.out_w();
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.in_channels; ++c) {
+    float* chan = image_grad + c * g.in_h * g.in_w;
+    for (std::int64_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (std::int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+        const float* in_row = cols + row * oh * ow;
+        for (std::int64_t y = 0; y < oh; ++y) {
+          const std::int64_t iy = y * g.stride + kh - g.pad;
+          if (iy < 0 || iy >= g.in_h) continue;
+          float* out_row = chan + iy * g.in_w;
+          for (std::int64_t x = 0; x < ow; ++x) {
+            const std::int64_t ix = x * g.stride + kw - g.pad;
+            if (ix >= 0 && ix < g.in_w) out_row[ix] += in_row[y * ow + x];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace cq

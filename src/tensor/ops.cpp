@@ -1,0 +1,305 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace cq::ops {
+
+namespace {
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  CQ_CHECK_MSG(a.same_shape(b), op << " shape mismatch: " << a.shape().str()
+                                   << " vs " << b.shape().str());
+}
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "add");
+  Tensor out = a;
+  out.add_(b);
+  return out;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "sub");
+  Tensor out = a;
+  out.add_(b, -1.0f);
+  return out;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "mul");
+  Tensor out = a;
+  float* dst = out.data();
+  const float* src = b.data();
+  const auto n = out.numel();
+  for (std::int64_t i = 0; i < n; ++i) dst[i] *= src[i];
+  return out;
+}
+
+Tensor scale(const Tensor& a, float s) {
+  Tensor out = a;
+  out.mul_(s);
+  return out;
+}
+
+Tensor add_scalar(const Tensor& a, float s) {
+  Tensor out = a;
+  for (std::int64_t i = 0; i < out.numel(); ++i) out[i] += s;
+  return out;
+}
+
+Tensor map(const Tensor& a, const std::function<float(float)>& f) {
+  Tensor out = a;
+  for (std::int64_t i = 0; i < out.numel(); ++i) out[i] = f(out[i]);
+  return out;
+}
+
+Tensor relu(const Tensor& a) {
+  Tensor out = a;
+  float* d = out.data();
+  for (std::int64_t i = 0; i < out.numel(); ++i) d[i] = d[i] > 0 ? d[i] : 0.0f;
+  return out;
+}
+
+Tensor exp(const Tensor& a) {
+  Tensor out = a;
+  for (std::int64_t i = 0; i < out.numel(); ++i) out[i] = std::exp(out[i]);
+  return out;
+}
+
+Tensor log(const Tensor& a) {
+  Tensor out = a;
+  for (std::int64_t i = 0; i < out.numel(); ++i) out[i] = std::log(out[i]);
+  return out;
+}
+
+Tensor sqrt(const Tensor& a) {
+  Tensor out = a;
+  for (std::int64_t i = 0; i < out.numel(); ++i) out[i] = std::sqrt(out[i]);
+  return out;
+}
+
+Tensor clamp(const Tensor& a, float lo, float hi) {
+  CQ_CHECK(lo <= hi);
+  Tensor out = a;
+  for (std::int64_t i = 0; i < out.numel(); ++i)
+    out[i] = std::clamp(out[i], lo, hi);
+  return out;
+}
+
+float sum(const Tensor& a) {
+  // Kahan summation: cheap insurance for long reductions in fp32.
+  double s = 0.0;
+  for (std::int64_t i = 0; i < a.numel(); ++i) s += a[i];
+  return static_cast<float>(s);
+}
+
+float mean(const Tensor& a) {
+  return sum(a) / static_cast<float>(a.numel());
+}
+
+float max(const Tensor& a) {
+  float m = -std::numeric_limits<float>::infinity();
+  for (std::int64_t i = 0; i < a.numel(); ++i) m = std::max(m, a[i]);
+  return m;
+}
+
+float min(const Tensor& a) {
+  float m = std::numeric_limits<float>::infinity();
+  for (std::int64_t i = 0; i < a.numel(); ++i) m = std::min(m, a[i]);
+  return m;
+}
+
+std::int64_t argmax(const Tensor& a) {
+  std::int64_t best = 0;
+  for (std::int64_t i = 1; i < a.numel(); ++i)
+    if (a[i] > a[best]) best = i;
+  return best;
+}
+
+float norm(const Tensor& a) {
+  double s = 0.0;
+  for (std::int64_t i = 0; i < a.numel(); ++i)
+    s += static_cast<double>(a[i]) * a[i];
+  return static_cast<float>(std::sqrt(s));
+}
+
+float dot(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "dot");
+  double s = 0.0;
+  for (std::int64_t i = 0; i < a.numel(); ++i)
+    s += static_cast<double>(a[i]) * b[i];
+  return static_cast<float>(s);
+}
+
+Tensor row_sum(const Tensor& a) {
+  CQ_CHECK(a.shape().rank() == 2);
+  const auto n = a.dim(0), d = a.dim(1);
+  Tensor out(Shape{n});
+  for (std::int64_t r = 0; r < n; ++r) {
+    double s = 0.0;
+    for (std::int64_t c = 0; c < d; ++c) s += a.at(r, c);
+    out[r] = static_cast<float>(s);
+  }
+  return out;
+}
+
+Tensor row_max(const Tensor& a) {
+  CQ_CHECK(a.shape().rank() == 2);
+  const auto n = a.dim(0), d = a.dim(1);
+  Tensor out(Shape{n});
+  for (std::int64_t r = 0; r < n; ++r) {
+    float m = -std::numeric_limits<float>::infinity();
+    for (std::int64_t c = 0; c < d; ++c) m = std::max(m, a.at(r, c));
+    out[r] = m;
+  }
+  return out;
+}
+
+std::vector<std::int64_t> row_argmax(const Tensor& a) {
+  CQ_CHECK(a.shape().rank() == 2);
+  const auto n = a.dim(0), d = a.dim(1);
+  std::vector<std::int64_t> out(static_cast<std::size_t>(n));
+  for (std::int64_t r = 0; r < n; ++r) {
+    std::int64_t best = 0;
+    for (std::int64_t c = 1; c < d; ++c)
+      if (a.at(r, c) > a.at(r, best)) best = c;
+    out[static_cast<std::size_t>(r)] = best;
+  }
+  return out;
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  CQ_CHECK(a.shape().rank() == 2 && b.shape().rank() == 2);
+  const auto m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  CQ_CHECK_MSG(b.dim(0) == k, "matmul inner dims: " << a.shape().str() << " * "
+                                                    << b.shape().str());
+  Tensor c(Shape{m, n});
+  const float* A = a.data();
+  const float* B = b.data();
+  float* C = c.data();
+  // ikj loop order: unit-stride inner loop over both B and C rows.
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* crow = C + i * n;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float aval = A[i * k + kk];
+      if (aval == 0.0f) continue;
+      const float* brow = B + kk * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  CQ_CHECK(a.shape().rank() == 2 && b.shape().rank() == 2);
+  const auto k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  CQ_CHECK_MSG(b.dim(0) == k, "matmul_tn inner dims: " << a.shape().str()
+                                                       << "^T * "
+                                                       << b.shape().str());
+  Tensor c(Shape{m, n});
+  const float* A = a.data();
+  const float* B = b.data();
+  float* C = c.data();
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    const float* arow = A + kk * m;
+    const float* brow = B + kk * n;
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float aval = arow[i];
+      if (aval == 0.0f) continue;
+      float* crow = C + i * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  CQ_CHECK(a.shape().rank() == 2 && b.shape().rank() == 2);
+  const auto m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  CQ_CHECK_MSG(b.dim(1) == k, "matmul_nt inner dims: " << a.shape().str()
+                                                       << " * "
+                                                       << b.shape().str()
+                                                       << "^T");
+  Tensor c(Shape{m, n});
+  const float* A = a.data();
+  const float* B = b.data();
+  float* C = c.data();
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = A + i * k;
+    float* crow = C + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* brow = B + j * k;
+      double s = 0.0;
+      for (std::int64_t kk = 0; kk < k; ++kk) s += double(arow[kk]) * brow[kk];
+      crow[j] = static_cast<float>(s);
+    }
+  }
+  return c;
+}
+
+Tensor transpose(const Tensor& a) {
+  CQ_CHECK(a.shape().rank() == 2);
+  const auto m = a.dim(0), n = a.dim(1);
+  Tensor out(Shape{n, m});
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j) out.at(j, i) = a.at(i, j);
+  return out;
+}
+
+Tensor softmax_rows(const Tensor& a) {
+  CQ_CHECK(a.shape().rank() == 2);
+  const auto n = a.dim(0), d = a.dim(1);
+  Tensor out = a;
+  for (std::int64_t r = 0; r < n; ++r) {
+    float m = -std::numeric_limits<float>::infinity();
+    for (std::int64_t c = 0; c < d; ++c) m = std::max(m, out.at(r, c));
+    double s = 0.0;
+    for (std::int64_t c = 0; c < d; ++c) {
+      const float e = std::exp(out.at(r, c) - m);
+      out.at(r, c) = e;
+      s += e;
+    }
+    const float inv = static_cast<float>(1.0 / s);
+    for (std::int64_t c = 0; c < d; ++c) out.at(r, c) *= inv;
+  }
+  return out;
+}
+
+Tensor log_softmax_rows(const Tensor& a) {
+  CQ_CHECK(a.shape().rank() == 2);
+  const auto n = a.dim(0), d = a.dim(1);
+  Tensor out = a;
+  for (std::int64_t r = 0; r < n; ++r) {
+    float m = -std::numeric_limits<float>::infinity();
+    for (std::int64_t c = 0; c < d; ++c) m = std::max(m, out.at(r, c));
+    double s = 0.0;
+    for (std::int64_t c = 0; c < d; ++c) s += std::exp(out.at(r, c) - m);
+    const float lse = m + static_cast<float>(std::log(s));
+    for (std::int64_t c = 0; c < d; ++c) out.at(r, c) -= lse;
+  }
+  return out;
+}
+
+Tensor l2_normalize_rows(const Tensor& a, Tensor* norms_out, float eps) {
+  CQ_CHECK(a.shape().rank() == 2);
+  const auto n = a.dim(0), d = a.dim(1);
+  Tensor out = a;
+  Tensor norms(Shape{n});
+  for (std::int64_t r = 0; r < n; ++r) {
+    double s = 0.0;
+    for (std::int64_t c = 0; c < d; ++c)
+      s += static_cast<double>(out.at(r, c)) * out.at(r, c);
+    const float nr = static_cast<float>(std::sqrt(s));
+    norms[r] = nr;
+    if (nr > eps) {
+      const float inv = 1.0f / nr;
+      for (std::int64_t c = 0; c < d; ++c) out.at(r, c) *= inv;
+    }
+  }
+  if (norms_out != nullptr) *norms_out = std::move(norms);
+  return out;
+}
+
+}  // namespace cq::ops

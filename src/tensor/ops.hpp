@@ -1,0 +1,68 @@
+// Eager tensor operations. All ops allocate their result; shapes are
+// validated with CQ_CHECK so misuse fails at the call site.
+#pragma once
+
+#include <functional>
+
+#include "tensor/tensor.hpp"
+
+namespace cq::ops {
+
+// ---- elementwise -----------------------------------------------------------
+
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+Tensor scale(const Tensor& a, float s);
+Tensor add_scalar(const Tensor& a, float s);
+/// Apply `f` to every element.
+Tensor map(const Tensor& a, const std::function<float(float)>& f);
+Tensor relu(const Tensor& a);
+Tensor exp(const Tensor& a);
+Tensor log(const Tensor& a);
+Tensor sqrt(const Tensor& a);
+Tensor clamp(const Tensor& a, float lo, float hi);
+
+// ---- reductions ------------------------------------------------------------
+
+float sum(const Tensor& a);
+float mean(const Tensor& a);
+float max(const Tensor& a);
+float min(const Tensor& a);
+/// Index of the max element (first on ties).
+std::int64_t argmax(const Tensor& a);
+/// L2 norm over all elements.
+float norm(const Tensor& a);
+/// Dot product over all elements (shapes must match).
+float dot(const Tensor& a, const Tensor& b);
+
+/// Row-wise reductions on a rank-2 tensor [N, D].
+Tensor row_sum(const Tensor& a);   // -> [N]
+Tensor row_max(const Tensor& a);   // -> [N]
+/// Argmax along dim 1 of an [N, D] tensor -> vector of indices.
+std::vector<std::int64_t> row_argmax(const Tensor& a);
+
+// ---- linear algebra --------------------------------------------------------
+
+/// C[M,N] = A[M,K] * B[K,N].
+Tensor matmul(const Tensor& a, const Tensor& b);
+/// C[M,N] = A[K,M]^T * B[K,N].
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+/// C[M,N] = A[M,K] * B[N,K]^T.
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+/// Transpose of a rank-2 tensor.
+Tensor transpose(const Tensor& a);
+
+// ---- neural-net helpers ----------------------------------------------------
+
+/// Row-wise softmax of an [N, D] tensor (numerically stabilized).
+Tensor softmax_rows(const Tensor& a);
+/// Row-wise log-softmax of an [N, D] tensor.
+Tensor log_softmax_rows(const Tensor& a);
+/// L2-normalize each row of an [N, D] tensor; rows with norm < eps are left
+/// unchanged. Returns the normalized tensor and writes per-row norms into
+/// `norms_out` (size N) when non-null.
+Tensor l2_normalize_rows(const Tensor& a, Tensor* norms_out = nullptr,
+                         float eps = 1e-12f);
+
+}  // namespace cq::ops

@@ -1,0 +1,41 @@
+#include "tensor/shape.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace cq {
+
+Shape::Shape(std::initializer_list<std::int64_t> dims)
+    : Shape(std::vector<std::int64_t>(dims)) {}
+
+Shape::Shape(std::vector<std::int64_t> dims) : dims_(std::move(dims)) {
+  for (auto d : dims_) CQ_CHECK_MSG(d > 0, "non-positive dim in " << str());
+}
+
+std::int64_t Shape::numel() const {
+  std::int64_t n = 1;
+  for (auto d : dims_) n *= d;
+  return n;
+}
+
+std::int64_t Shape::dim(std::int64_t i) const {
+  const auto r = static_cast<std::int64_t>(rank());
+  if (i < 0) i += r;
+  CQ_CHECK_MSG(i >= 0 && i < r, "dim index " << i << " out of range for "
+                                             << str());
+  return dims_[static_cast<std::size_t>(i)];
+}
+
+std::string Shape::str() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i) os << ", ";
+    os << dims_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace cq

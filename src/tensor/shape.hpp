@@ -1,0 +1,37 @@
+// Shape: dimension list for dense row-major tensors.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace cq {
+
+/// Immutable-by-convention list of dimensions. All dims must be positive
+/// (scalars are represented as rank-0 shapes with numel() == 1).
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims);
+  explicit Shape(std::vector<std::int64_t> dims);
+
+  std::size_t rank() const { return dims_.size(); }
+  std::int64_t numel() const;
+
+  /// Dimension i; negative i counts from the end (Python-style).
+  std::int64_t dim(std::int64_t i) const;
+  std::int64_t operator[](std::size_t i) const { return dims_[i]; }
+
+  const std::vector<std::int64_t>& dims() const { return dims_; }
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  std::string str() const;
+
+ private:
+  std::vector<std::int64_t> dims_;
+};
+
+}  // namespace cq

@@ -1,0 +1,100 @@
+#include "tensor/tensor.hpp"
+
+namespace cq {
+
+Tensor::Tensor() : shape_(), data_(1, 0.0f) {}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(shape_.numel()), 0.0f) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  CQ_CHECK_MSG(static_cast<std::int64_t>(data_.size()) == shape_.numel(),
+               "data size " << data_.size() << " != shape numel "
+                            << shape_.numel());
+}
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::uniform(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.uniform(lo, hi));
+  return t;
+}
+
+Tensor Tensor::randn(Shape shape, Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.normal(mean, stddev));
+  return t;
+}
+
+Tensor Tensor::from(std::initializer_list<float> values) {
+  return Tensor(Shape{static_cast<std::int64_t>(values.size())},
+                std::vector<float>(values));
+}
+
+float& Tensor::at(std::int64_t r, std::int64_t c) {
+  CQ_DCHECK(shape_.rank() == 2);
+  return (*this)[r * shape_[1] + c];
+}
+
+float Tensor::at(std::int64_t r, std::int64_t c) const {
+  CQ_DCHECK(shape_.rank() == 2);
+  return (*this)[r * shape_[1] + c];
+}
+
+float& Tensor::at(std::int64_t c, std::int64_t h, std::int64_t w) {
+  CQ_DCHECK(shape_.rank() == 3);
+  return (*this)[(c * shape_[1] + h) * shape_[2] + w];
+}
+
+float Tensor::at(std::int64_t c, std::int64_t h, std::int64_t w) const {
+  CQ_DCHECK(shape_.rank() == 3);
+  return (*this)[(c * shape_[1] + h) * shape_[2] + w];
+}
+
+float& Tensor::at(std::int64_t n, std::int64_t c, std::int64_t h,
+                  std::int64_t w) {
+  CQ_DCHECK(shape_.rank() == 4);
+  return (*this)[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+}
+
+float Tensor::at(std::int64_t n, std::int64_t c, std::int64_t h,
+                 std::int64_t w) const {
+  CQ_DCHECK(shape_.rank() == 4);
+  return (*this)[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+}
+
+Tensor Tensor::reshape(Shape new_shape) const {
+  CQ_CHECK_MSG(new_shape.numel() == numel(),
+               "reshape " << shape_.str() << " -> " << new_shape.str()
+                          << " changes element count");
+  return Tensor(std::move(new_shape), data_);
+}
+
+void Tensor::fill(float value) {
+  for (auto& v : data_) v = value;
+}
+
+Tensor& Tensor::add_(const Tensor& other, float scale) {
+  CQ_CHECK_MSG(same_shape(other), "add_ shape mismatch: " << shape_.str()
+                                                          << " vs "
+                                                          << other.shape_.str());
+  const float* src = other.data();
+  float* dst = data();
+  const auto n = data_.size();
+  for (std::size_t i = 0; i < n; ++i) dst[i] += scale * src[i];
+  return *this;
+}
+
+Tensor& Tensor::mul_(float scale) {
+  for (auto& v : data_) v *= scale;
+  return *this;
+}
+
+}  // namespace cq

@@ -1,0 +1,87 @@
+// Tensor: dense, contiguous, row-major float32 array with value semantics.
+//
+// Deliberately simple (Core Guidelines P.11): no strides, no views, no lazy
+// evaluation. Every op in ops.hpp is eager and allocates its result. This is
+// exactly enough substrate for the CQ training pipelines and keeps every op
+// trivially testable against numeric gradients.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tensor/shape.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace cq {
+
+class Tensor {
+ public:
+  /// Empty tensor (rank 0, one element, value 0).
+  Tensor();
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+  /// Tensor with explicit data; data.size() must equal shape.numel().
+  Tensor(Shape shape, std::vector<float> data);
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor full(Shape shape, float value);
+  static Tensor ones(Shape shape) { return full(std::move(shape), 1.0f); }
+  /// I.i.d. uniform entries in [lo, hi).
+  static Tensor uniform(Shape shape, Rng& rng, float lo = 0.0f,
+                        float hi = 1.0f);
+  /// I.i.d. normal entries.
+  static Tensor randn(Shape shape, Rng& rng, float mean = 0.0f,
+                      float stddev = 1.0f);
+  /// 1-D tensor from values.
+  static Tensor from(std::initializer_list<float> values);
+
+  const Shape& shape() const { return shape_; }
+  std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
+  std::int64_t dim(std::int64_t i) const { return shape_.dim(i); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> span() { return {data_.data(), data_.size()}; }
+  std::span<const float> span() const { return {data_.data(), data_.size()}; }
+
+  float& operator[](std::int64_t i) {
+    CQ_DCHECK(i >= 0 && i < numel());
+    return data_[static_cast<std::size_t>(i)];
+  }
+  float operator[](std::int64_t i) const {
+    CQ_DCHECK(i >= 0 && i < numel());
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  /// 2-D accessor; requires rank 2.
+  float& at(std::int64_t r, std::int64_t c);
+  float at(std::int64_t r, std::int64_t c) const;
+  /// 3-D accessor (CHW images); requires rank 3.
+  float& at(std::int64_t c, std::int64_t h, std::int64_t w);
+  float at(std::int64_t c, std::int64_t h, std::int64_t w) const;
+  /// 4-D accessor (NCHW); requires rank 4.
+  float& at(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w);
+  float at(std::int64_t n, std::int64_t c, std::int64_t h,
+           std::int64_t w) const;
+
+  /// Reinterpret as a new shape with the same element count.
+  Tensor reshape(Shape new_shape) const;
+
+  /// Set all elements to `value`.
+  void fill(float value);
+
+  /// In-place elementwise updates (used by optimizers; avoid temporaries).
+  Tensor& add_(const Tensor& other, float scale = 1.0f);
+  Tensor& mul_(float scale);
+
+  bool same_shape(const Tensor& other) const {
+    return shape_ == other.shape_;
+  }
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace cq

@@ -1,0 +1,54 @@
+// Lightweight contract-checking macros (Core Guidelines I.6 / E.12 style).
+//
+// CQ_CHECK     — precondition / invariant that depends on caller input; always
+//                on, throws cq::CheckError with a formatted message.
+// CQ_DCHECK    — internal invariant; compiled out in NDEBUG builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cq {
+
+/// Thrown when a CQ_CHECK contract is violated.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CQ_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+}  // namespace cq
+
+#define CQ_CHECK(cond)                                                \
+  do {                                                                \
+    if (!(cond)) ::cq::detail::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define CQ_CHECK_MSG(cond, msg)                                       \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      std::ostringstream cq_check_os_;                                \
+      cq_check_os_ << msg;                                            \
+      ::cq::detail::check_failed(#cond, __FILE__, __LINE__,           \
+                                 cq_check_os_.str());                 \
+    }                                                                 \
+  } while (false)
+
+#ifdef NDEBUG
+#define CQ_DCHECK(cond) \
+  do {                  \
+  } while (false)
+#else
+#define CQ_DCHECK(cond) CQ_CHECK(cond)
+#endif

@@ -1,0 +1,61 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace cq {
+
+namespace {
+std::string join(const std::vector<std::string>& fields) {
+  std::string line;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) line += ',';
+    line += fields[i];
+  }
+  line += '\n';
+  return line;
+}
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
+    : path_(path), arity_(header.size()) {
+  CQ_CHECK(arity_ > 0);
+  buffer_ = join(header);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& row) {
+  CQ_CHECK(!closed_);
+  CQ_CHECK_MSG(row.size() == arity_, "csv row arity mismatch");
+  buffer_ += join(row);
+}
+
+void CsvWriter::add_row(const std::vector<double>& row) {
+  std::vector<std::string> fields;
+  fields.reserve(row.size());
+  for (double v : row) {
+    std::ostringstream os;
+    os << v;
+    fields.push_back(os.str());
+  }
+  add_row(fields);
+}
+
+void CsvWriter::close() {
+  if (closed_) return;
+  std::ofstream out(path_);
+  CQ_CHECK_MSG(out.good(), "cannot open csv file " << path_);
+  out << buffer_;
+  closed_ = true;
+}
+
+CsvWriter::~CsvWriter() {
+  try {
+    close();
+  } catch (...) {
+    // Destructors must not throw (Core Guidelines C.36).
+  }
+}
+
+}  // namespace cq

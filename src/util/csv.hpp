@@ -1,0 +1,32 @@
+// CSV emission for figure data (t-SNE embeddings, training curves).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cq {
+
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path` and writes the header row.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  /// Append a data row; arity must match the header.
+  void add_row(const std::vector<std::string>& row);
+  void add_row(const std::vector<double>& row);
+
+  /// Flush and close; also invoked by the destructor.
+  void close();
+
+  ~CsvWriter();
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+ private:
+  std::string path_;
+  std::size_t arity_;
+  std::string buffer_;
+  bool closed_ = false;
+};
+
+}  // namespace cq

@@ -1,0 +1,125 @@
+#include "util/serialize.hpp"
+
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace cq {
+
+namespace {
+constexpr char kMagic[4] = {'C', 'Q', 'C', 'K'};
+}
+
+BinaryWriter::BinaryWriter(const std::string& path)
+    : out_(path, std::ios::binary), path_(path) {
+  CQ_CHECK_MSG(out_.good(), "cannot open " << path << " for writing");
+}
+
+void BinaryWriter::write_u32(std::uint32_t v) {
+  out_.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+void BinaryWriter::write_u64(std::uint64_t v) {
+  out_.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+void BinaryWriter::write_f32(float v) {
+  out_.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+void BinaryWriter::write_string(const std::string& s) {
+  write_u64(s.size());
+  out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+void BinaryWriter::write_f32_array(const std::vector<float>& v) {
+  write_u64(v.size());
+  out_.write(reinterpret_cast<const char*>(v.data()),
+             static_cast<std::streamsize>(v.size() * sizeof(float)));
+}
+
+void BinaryWriter::close() {
+  if (closed_) return;
+  out_.flush();
+  CQ_CHECK_MSG(out_.good(), "write failure on " << path_);
+  out_.close();
+  closed_ = true;
+}
+
+BinaryWriter::~BinaryWriter() {
+  try {
+    close();
+  } catch (...) {
+  }
+}
+
+BinaryReader::BinaryReader(const std::string& path)
+    : in_(path, std::ios::binary), path_(path) {
+  CQ_CHECK_MSG(in_.good(), "cannot open " << path << " for reading");
+}
+
+void BinaryReader::require(bool cond, const char* what) {
+  if (!cond) {
+    ok_ = false;
+    CQ_CHECK_MSG(false, "corrupt checkpoint " << path_ << ": " << what);
+  }
+}
+
+std::uint32_t BinaryReader::read_u32() {
+  std::uint32_t v = 0;
+  in_.read(reinterpret_cast<char*>(&v), sizeof v);
+  require(in_.good(), "truncated u32");
+  return v;
+}
+
+std::uint64_t BinaryReader::read_u64() {
+  std::uint64_t v = 0;
+  in_.read(reinterpret_cast<char*>(&v), sizeof v);
+  require(in_.good(), "truncated u64");
+  return v;
+}
+
+float BinaryReader::read_f32() {
+  float v = 0;
+  in_.read(reinterpret_cast<char*>(&v), sizeof v);
+  require(in_.good(), "truncated f32");
+  return v;
+}
+
+std::string BinaryReader::read_string() {
+  const auto n = read_u64();
+  require(n < (1ULL << 20), "implausible string length");
+  std::string s(n, '\0');
+  in_.read(s.data(), static_cast<std::streamsize>(n));
+  require(in_.good(), "truncated string");
+  return s;
+}
+
+std::vector<float> BinaryReader::read_f32_array() {
+  const auto n = read_u64();
+  require(n < (1ULL << 30), "implausible array length");
+  std::vector<float> v(n);
+  in_.read(reinterpret_cast<char*>(v.data()),
+           static_cast<std::streamsize>(n * sizeof(float)));
+  require(in_.good(), "truncated f32 array");
+  return v;
+}
+
+void write_checkpoint_header(BinaryWriter& w) {
+  std::uint32_t magic = 0;
+  std::memcpy(&magic, kMagic, 4);
+  w.write_u32(magic);
+  w.write_u32(kCheckpointVersion);
+}
+
+void read_checkpoint_header(BinaryReader& r) {
+  std::uint32_t magic_expect = 0;
+  std::memcpy(&magic_expect, kMagic, 4);
+  const auto magic = r.read_u32();
+  CQ_CHECK_MSG(magic == magic_expect, "bad checkpoint magic");
+  const auto version = r.read_u32();
+  CQ_CHECK_MSG(version == kCheckpointVersion,
+               "unsupported checkpoint version " << version);
+}
+
+}  // namespace cq

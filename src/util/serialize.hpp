@@ -1,0 +1,68 @@
+// Tiny binary (de)serialization for model checkpoints.
+//
+// Format: magic "CQCK", u32 version, then a sequence of records written by
+// the caller. Readers validate the magic/version and every length prefix, so
+// a truncated or foreign file fails loudly instead of yielding garbage
+// weights.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace cq {
+
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(const std::string& path);
+
+  void write_u32(std::uint32_t v);
+  void write_u64(std::uint64_t v);
+  void write_f32(float v);
+  void write_string(const std::string& s);
+  void write_f32_array(const std::vector<float>& v);
+
+  /// Flushes and closes; throws on I/O failure.
+  void close();
+
+  ~BinaryWriter();
+  BinaryWriter(const BinaryWriter&) = delete;
+  BinaryWriter& operator=(const BinaryWriter&) = delete;
+
+ private:
+  std::ofstream out_;
+  std::string path_;
+  bool closed_ = false;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& path);
+
+  std::uint32_t read_u32();
+  std::uint64_t read_u64();
+  float read_f32();
+  std::string read_string();
+  std::vector<float> read_f32_array();
+
+  /// True when the full header matched and no read has failed.
+  bool ok() const { return ok_; }
+
+ private:
+  void require(bool cond, const char* what);
+
+  std::ifstream in_;
+  std::string path_;
+  bool ok_ = true;
+};
+
+/// Checkpoint file version written by BinaryWriter's header helpers.
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// Writes the "CQCK" magic + version header.
+void write_checkpoint_header(BinaryWriter& w);
+/// Reads and validates the header; throws CheckError on mismatch.
+void read_checkpoint_header(BinaryReader& r);
+
+}  // namespace cq

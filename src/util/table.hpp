@@ -1,0 +1,33 @@
+// Aligned console tables for the experiment harness.
+//
+// Every bench binary regenerating a paper table prints through TableWriter so
+// the output lines up with the paper's rows (see EXPERIMENTS.md).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cq {
+
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> header);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format a double with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  /// Render with column alignment (markdown-style pipes).
+  std::string render() const;
+
+  /// Render and write to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cq

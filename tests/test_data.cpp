@@ -1,0 +1,245 @@
+// SynthVision generators, image ops, datasets, batching.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "data/augment.hpp"
+#include "data/image.hpp"
+#include "data/synth.hpp"
+#include "util/check.hpp"
+
+namespace cq {
+namespace {
+
+TEST(SynthClassDef, DeterministicGivenSeed) {
+  const auto a = data::make_class_def(3, 8, 42);
+  const auto b = data::make_class_def(3, 8, 42);
+  EXPECT_EQ(a.motif, b.motif);
+  EXPECT_FLOAT_EQ(a.fg[0], b.fg[0]);
+  EXPECT_FLOAT_EQ(a.freq, b.freq);
+}
+
+TEST(SynthClassDef, ClassesDiffer) {
+  const auto a = data::make_class_def(0, 8, 42);
+  const auto b = data::make_class_def(1, 8, 42);
+  const bool motif_differs = a.motif != b.motif;
+  const bool color_differs = std::abs(a.fg[0] - b.fg[0]) > 1e-3f ||
+                             std::abs(a.fg[1] - b.fg[1]) > 1e-3f;
+  EXPECT_TRUE(motif_differs || color_differs);
+}
+
+TEST(SynthClassDef, MotifCyclesThroughAllTwelve) {
+  std::set<data::Motif> motifs;
+  for (int c = 0; c < 12; ++c)
+    motifs.insert(data::make_class_def(c, 24, 1).motif);
+  EXPECT_EQ(motifs.size(), 12u);
+}
+
+TEST(SynthRender, PixelValuesInUnitRange) {
+  Rng rng(1);
+  const auto cls = data::make_class_def(2, 8, 7);
+  const auto inst = data::sample_instance(rng, 0.8f);
+  Tensor img = data::render_instance(cls, inst, 16, 16, rng);
+  EXPECT_EQ(img.shape(), Shape({3, 16, 16}));
+  for (std::int64_t i = 0; i < img.numel(); ++i) {
+    EXPECT_GE(img[i], 0.0f);
+    EXPECT_LE(img[i], 1.0f);
+  }
+}
+
+TEST(SynthRender, ForegroundActuallyAppears) {
+  Rng rng(2);
+  const auto cls = data::make_class_def(0, 8, 7);  // disk
+  data::InstanceParams inst;  // centered, default scale
+  Tensor img = data::render_instance(cls, inst, 16, 16, rng);
+  // Center pixel should be near the foreground color, corner near bg.
+  const float center = img.at(0, 8, 8);
+  const float corner = img.at(0, 0, 0);
+  EXPECT_NEAR(center, cls.fg[0], 0.15f);
+  EXPECT_NEAR(corner, cls.bg[0], 0.15f);
+}
+
+TEST(SynthRender, RenderOntoReturnsTightBox) {
+  const auto cls = data::make_class_def(0, 8, 7);  // disk motif
+  data::InstanceParams inst;
+  inst.cx = 0.5f;
+  inst.cy = 0.5f;
+  inst.scale = 1.0f;
+  Tensor canvas(Shape{3, 32, 32});
+  const auto box = data::render_onto(canvas, cls, inst);
+  ASSERT_TRUE(box.valid());
+  // Disk of half-extent base_scale*scale -> box roughly centered.
+  const float cx = 0.5f * static_cast<float>(box.x0 + box.x1) / 32.0f;
+  const float cy = 0.5f * static_cast<float>(box.y0 + box.y1) / 32.0f;
+  EXPECT_NEAR(cx, 0.5f, 0.1f);
+  EXPECT_NEAR(cy, 0.5f, 0.1f);
+}
+
+TEST(SynthDataset, DeterministicAndLabeled) {
+  const auto cfg = data::synth_cifar_config();
+  Rng rng1(5), rng2(5);
+  const auto a = data::make_synth_dataset(cfg, 32, rng1);
+  const auto b = data::make_synth_dataset(cfg, 32, rng2);
+  ASSERT_EQ(a.size(), 32);
+  EXPECT_EQ(a.labels, b.labels);
+  for (std::int64_t i = 0; i < a.images[0].numel(); ++i)
+    ASSERT_FLOAT_EQ(a.images[0][i], b.images[0][i]);
+  a.validate();
+}
+
+TEST(SynthDataset, CoversAllClasses) {
+  const auto cfg = data::synth_cifar_config();
+  Rng rng(6);
+  const auto ds = data::make_synth_dataset(cfg, 200, rng);
+  std::set<int> seen(ds.labels.begin(), ds.labels.end());
+  EXPECT_EQ(static_cast<int>(seen.size()), cfg.num_classes);
+}
+
+TEST(SynthDataset, PresetsDifferInScale) {
+  const auto cifar = data::synth_cifar_config();
+  const auto imnet = data::synth_imagenet_config();
+  EXPECT_LT(cifar.num_classes, imnet.num_classes);
+  EXPECT_LT(cifar.height, imnet.height);
+  EXPECT_LT(cifar.nuisance, imnet.nuisance);
+}
+
+TEST(ImageOps, ResizeBilinearShapeAndRange) {
+  Rng rng(7);
+  Tensor img = Tensor::uniform(Shape{3, 8, 8}, rng);
+  Tensor out = data::resize_bilinear(img, 16, 12);
+  EXPECT_EQ(out.shape(), Shape({3, 16, 12}));
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    EXPECT_GE(out[i], 0.0f);
+    EXPECT_LE(out[i], 1.0f);
+  }
+}
+
+TEST(ImageOps, ResizeIdentityWhenSameSize) {
+  Rng rng(8);
+  Tensor img = Tensor::uniform(Shape{3, 6, 6}, rng);
+  Tensor out = data::resize_bilinear(img, 6, 6);
+  for (std::int64_t i = 0; i < img.numel(); ++i)
+    EXPECT_NEAR(img[i], out[i], 1e-5);
+}
+
+TEST(ImageOps, CropExtractsRegion) {
+  Tensor img(Shape{3, 4, 4});
+  img.at(0, 2, 3) = 0.77f;
+  Tensor c = data::crop(img, 2, 3, 2, 1);
+  EXPECT_EQ(c.shape(), Shape({3, 2, 1}));
+  EXPECT_FLOAT_EQ(c.at(0, 0, 0), 0.77f);
+  EXPECT_THROW(data::crop(img, 3, 3, 3, 3), CheckError);
+}
+
+TEST(ImageOps, HflipIsInvolution) {
+  Rng rng(9);
+  Tensor img = Tensor::uniform(Shape{3, 5, 7}, rng);
+  Tensor back = data::hflip(data::hflip(img));
+  for (std::int64_t i = 0; i < img.numel(); ++i)
+    EXPECT_FLOAT_EQ(img[i], back[i]);
+}
+
+TEST(ImageOps, HflipMirrorsColumns) {
+  Tensor img(Shape{3, 1, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  Tensor f = data::hflip(img);
+  EXPECT_FLOAT_EQ(f.at(0, 0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(f.at(0, 0, 2), 1.0f);
+}
+
+TEST(ImageOps, GrayscaleChannelsEqual) {
+  Rng rng(10);
+  Tensor img = Tensor::uniform(Shape{3, 4, 4}, rng);
+  Tensor g = data::grayscale(img);
+  for (std::int64_t i = 0; i < 16; ++i) {
+    EXPECT_FLOAT_EQ(g[i], g[16 + i]);
+    EXPECT_FLOAT_EQ(g[i], g[32 + i]);
+  }
+}
+
+TEST(ImageOps, ChannelAffineClamps) {
+  Tensor img = Tensor::full(Shape{3, 2, 2}, 0.9f);
+  const float scale[3] = {5.0f, 1.0f, 1.0f};
+  const float shift[3] = {0.0f, 0.5f, -2.0f};
+  Tensor out = data::channel_affine(img, scale, shift);
+  EXPECT_FLOAT_EQ(out[0], 1.0f);   // clamped high
+  EXPECT_FLOAT_EQ(out[8], 0.0f);   // clamped low
+}
+
+TEST(ImageOps, StackImagesShape) {
+  Rng rng(11);
+  std::vector<Tensor> imgs = {Tensor::uniform(Shape{3, 4, 4}, rng),
+                              Tensor::uniform(Shape{3, 4, 4}, rng)};
+  Tensor batch = data::stack_images(imgs);
+  EXPECT_EQ(batch.shape(), Shape({2, 3, 4, 4}));
+  EXPECT_FLOAT_EQ(batch.at(1, 0, 0, 0), imgs[1].at(0, 0, 0));
+  imgs.push_back(Tensor(Shape{3, 5, 5}));
+  EXPECT_THROW(data::stack_images(imgs), CheckError);
+}
+
+TEST(Subset, StratifiedFractionKeepsAllClasses) {
+  const auto cfg = data::synth_cifar_config();
+  Rng rng(12);
+  const auto full = data::make_synth_dataset(cfg, 400, rng);
+  const auto sub = data::subset_fraction(full, 0.1, rng);
+  std::set<int> seen(sub.labels.begin(), sub.labels.end());
+  EXPECT_EQ(static_cast<int>(seen.size()), cfg.num_classes);
+  EXPECT_NEAR(static_cast<double>(sub.size()), 40.0, 12.0);
+}
+
+TEST(Subset, TinyFractionKeepsAtLeastOnePerClass) {
+  const auto cfg = data::synth_cifar_config();
+  Rng rng(13);
+  const auto full = data::make_synth_dataset(cfg, 300, rng);
+  const auto sub = data::subset_fraction(full, 0.001, rng);
+  std::set<int> seen(sub.labels.begin(), sub.labels.end());
+  EXPECT_EQ(static_cast<int>(seen.size()), cfg.num_classes);
+}
+
+TEST(Subset, FullFractionKeepsEverything) {
+  const auto cfg = data::synth_cifar_config();
+  Rng rng(14);
+  const auto full = data::make_synth_dataset(cfg, 64, rng);
+  const auto sub = data::subset_fraction(full, 1.0, rng);
+  EXPECT_EQ(sub.size(), full.size());
+}
+
+TEST(Batcher, CoversEveryIndexEachEpoch) {
+  Rng rng(15);
+  data::Batcher batcher(20, 6, rng);
+  std::multiset<std::int64_t> seen;
+  for (std::int64_t b = 0; b < batcher.batches_per_epoch(); ++b)
+    for (auto i : batcher.next()) seen.insert(i);
+  EXPECT_EQ(seen.size(), 20u);
+  for (std::int64_t i = 0; i < 20; ++i) EXPECT_EQ(seen.count(i), 1u);
+}
+
+TEST(Batcher, DropLastYieldsFullBatchesOnly) {
+  Rng rng(16);
+  data::Batcher batcher(20, 6, rng, /*drop_last=*/true);
+  EXPECT_EQ(batcher.batches_per_epoch(), 3);
+  for (int b = 0; b < 9; ++b)
+    EXPECT_EQ(batcher.next().size(), 6u);
+}
+
+TEST(Batcher, ReshufflesBetweenEpochs) {
+  Rng rng(17);
+  data::Batcher batcher(32, 32, rng);
+  const auto e1 = batcher.next();
+  const auto e2 = batcher.next();
+  EXPECT_NE(e1, e2);
+}
+
+TEST(GatherImages, BuildsBatch) {
+  const auto cfg = data::synth_cifar_config();
+  Rng rng(18);
+  const auto ds = data::make_synth_dataset(cfg, 10, rng);
+  const std::vector<std::int64_t> idx = {0, 5, 9};
+  Tensor batch = data::gather_images(ds, idx);
+  EXPECT_EQ(batch.dim(0), 3);
+  const auto labels = data::gather_labels(ds, idx);
+  EXPECT_EQ(labels[2], ds.labels[9]);
+}
+
+}  // namespace
+}  // namespace cq

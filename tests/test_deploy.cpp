@@ -1,0 +1,193 @@
+// Int8 deployment: symmetric quantization, BN folding, compiled networks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "deploy/int8.hpp"
+#include "models/encoder.hpp"
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+
+namespace cq {
+namespace {
+
+float max_rel_err(const Tensor& a, const Tensor& b) {
+  CQ_CHECK(a.same_shape(b));
+  float scale = 1e-6f;
+  for (std::int64_t i = 0; i < a.numel(); ++i)
+    scale = std::max(scale, std::fabs(a[i]));
+  float err = 0.0f;
+  for (std::int64_t i = 0; i < a.numel(); ++i)
+    err = std::max(err, std::fabs(a[i] - b[i]) / scale);
+  return err;
+}
+
+TEST(QuantizeSymmetric, RoundTripErrorBounded) {
+  Rng rng(1);
+  Tensor t = Tensor::randn(Shape{500}, rng);
+  const auto q = deploy::quantize_symmetric(t);
+  const Tensor back = deploy::dequantize(q);
+  for (std::int64_t i = 0; i < t.numel(); ++i)
+    EXPECT_LE(std::fabs(t[i] - back[i]), 0.5f * q.scale + 1e-6f);
+}
+
+TEST(QuantizeSymmetric, ZeroTensorStaysZero) {
+  Tensor t(Shape{10});
+  const auto q = deploy::quantize_symmetric(t);
+  const Tensor back = deploy::dequantize(q);
+  for (std::int64_t i = 0; i < 10; ++i) EXPECT_FLOAT_EQ(back[i], 0.0f);
+}
+
+TEST(QuantizeSymmetric, ExtremaMapToPlusMinus127) {
+  Tensor t = Tensor::from({-2.0f, 0.0f, 2.0f});
+  const auto q = deploy::quantize_symmetric(t);
+  EXPECT_EQ(q.data[0], -127);
+  EXPECT_EQ(q.data[2], 127);
+}
+
+TEST(CompileInt8, ConvMatchesFp32) {
+  Rng rng(2);
+  nn::Sequential net;
+  net.emplace<nn::Conv2d>(
+      nn::Conv2dSpec{.in_channels = 3, .out_channels = 8, .kernel = 3,
+                     .stride = 1, .pad = 1, .bias = true},
+      rng, "c");
+  net.set_mode(nn::Mode::kEval);
+  Tensor x = Tensor::uniform(Shape{2, 3, 8, 8}, rng, -1.0f, 1.0f);
+  const Tensor y_fp = net.forward(x);
+  const auto compiled = deploy::compile_int8(net);
+  const Tensor y_q = compiled.forward(x);
+  EXPECT_LT(max_rel_err(y_fp, y_q), 0.05f);
+  EXPECT_GT(compiled.weight_bytes(), 0);
+}
+
+TEST(CompileInt8, LinearMatchesFp32) {
+  Rng rng(3);
+  nn::Sequential net;
+  net.emplace<nn::Linear>(10, 6, rng, true, "fc");
+  net.set_mode(nn::Mode::kEval);
+  Tensor x = Tensor::uniform(Shape{4, 10}, rng, -1.0f, 1.0f);
+  const Tensor y_fp = net.forward(x);
+  const auto compiled = deploy::compile_int8(net);
+  EXPECT_LT(max_rel_err(y_fp, compiled.forward(x)), 0.05f);
+}
+
+TEST(CompileInt8, BnFoldingMatchesConvPlusBn) {
+  Rng rng(4);
+  nn::Sequential net;
+  net.emplace<nn::Conv2d>(
+      nn::Conv2dSpec{.in_channels = 2, .out_channels = 4, .kernel = 3,
+                     .stride = 1, .pad = 1},
+      rng, "c");
+  auto& bn = net.emplace<nn::BatchNorm2d>(4);
+  // Give the BN non-trivial folded parameters.
+  net.set_mode(nn::Mode::kTrain);
+  for (int i = 0; i < 20; ++i) {
+    net.forward(Tensor::randn(Shape{8, 2, 6, 6}, rng, 0.5f, 2.0f));
+    net.clear_cache();
+  }
+  bn.parameters()[0]->value = Tensor::randn(Shape{4}, rng, 1.0f, 0.2f);
+  bn.parameters()[1]->value = Tensor::randn(Shape{4}, rng, 0.0f, 0.2f);
+
+  net.set_mode(nn::Mode::kEval);
+  Tensor x = Tensor::uniform(Shape{2, 2, 6, 6}, rng, -1.0f, 1.0f);
+  const Tensor y_fp = net.forward(x);
+  const auto compiled = deploy::compile_int8(net);
+  EXPECT_EQ(compiled.op_count(), 1u);  // conv+bn folded into one op
+  EXPECT_LT(max_rel_err(y_fp, compiled.forward(x)), 0.08f);
+}
+
+TEST(CompileInt8, ReluAndPoolingPreserved) {
+  Rng rng(5);
+  nn::Sequential net;
+  net.emplace<nn::Conv2d>(
+      nn::Conv2dSpec{.in_channels = 1, .out_channels = 4, .kernel = 3,
+                     .stride = 1, .pad = 1},
+      rng, "c");
+  net.emplace<nn::ReLU>();
+  net.emplace<nn::MaxPool2d>(2, 2);
+  net.emplace<nn::GlobalAvgPool>();
+  net.set_mode(nn::Mode::kEval);
+  Tensor x = Tensor::uniform(Shape{2, 1, 8, 8}, rng, -1.0f, 1.0f);
+  const Tensor y_fp = net.forward(x);
+  const auto compiled = deploy::compile_int8(net);
+  EXPECT_EQ(compiled.op_count(), 4u);
+  EXPECT_LT(max_rel_err(y_fp, compiled.forward(x)), 0.05f);
+}
+
+TEST(CompileInt8, Relu6CapRecovered) {
+  Rng rng(6);
+  nn::Sequential net;
+  net.emplace<nn::ReLU>(6.0f);
+  net.set_mode(nn::Mode::kEval);
+  const auto compiled = deploy::compile_int8(net);
+  Tensor x = Tensor::from({-1.0f, 3.0f, 100.0f});
+  Tensor y = compiled.forward(x);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[1], 3.0f);
+  EXPECT_FLOAT_EQ(y[2], 6.0f);
+}
+
+TEST(CompileInt8, FullResNet18PredictionsMatch) {
+  Rng rng(7);
+  auto enc = models::make_encoder("resnet18", rng);
+  // Populate BN running stats so eval mode is meaningful.
+  enc.backbone->set_mode(nn::Mode::kTrain);
+  for (int i = 0; i < 15; ++i) {
+    enc.forward(Tensor::uniform(Shape{8, 3, 16, 16}, rng));
+    enc.backbone->clear_cache();
+  }
+  enc.backbone->set_mode(nn::Mode::kEval);
+
+  Tensor x = Tensor::uniform(Shape{8, 3, 16, 16}, rng);
+  const Tensor f_fp = enc.forward(x);
+  const auto compiled = deploy::compile_int8(*enc.backbone);
+  const Tensor f_q = compiled.forward(x);
+  ASSERT_TRUE(f_fp.same_shape(f_q));
+  // Feature agreement: cosine similarity per row > 0.98.
+  for (std::int64_t r = 0; r < f_fp.dim(0); ++r) {
+    double dot = 0.0, na = 0.0, nb = 0.0;
+    for (std::int64_t c = 0; c < f_fp.dim(1); ++c) {
+      dot += static_cast<double>(f_fp.at(r, c)) * f_q.at(r, c);
+      na += static_cast<double>(f_fp.at(r, c)) * f_fp.at(r, c);
+      nb += static_cast<double>(f_q.at(r, c)) * f_q.at(r, c);
+    }
+    EXPECT_GT(dot / (std::sqrt(na * nb) + 1e-12), 0.98) << "row " << r;
+  }
+  // Memory win: int8 weights are 1/4 the fp32 parameter bytes (heads
+  // aside, the backbone is conv-dominated).
+  EXPECT_LT(compiled.weight_bytes(),
+            enc.backbone->parameter_count() * 4 / 3);
+}
+
+TEST(CompileInt8, MobileNetV2Compiles) {
+  Rng rng(8);
+  auto enc = models::make_encoder("mobilenetv2", rng);
+  enc.backbone->set_mode(nn::Mode::kTrain);
+  for (int i = 0; i < 10; ++i) {
+    enc.forward(Tensor::uniform(Shape{4, 3, 16, 16}, rng));
+    enc.backbone->clear_cache();
+  }
+  enc.backbone->set_mode(nn::Mode::kEval);
+  Tensor x = Tensor::uniform(Shape{2, 3, 16, 16}, rng);
+  const Tensor f_fp = enc.forward(x);
+  const auto compiled = deploy::compile_int8(*enc.backbone);
+  const Tensor f_q = compiled.forward(x);
+  ASSERT_TRUE(f_fp.same_shape(f_q));
+  EXPECT_LT(max_rel_err(f_fp, f_q), 0.25f);  // deeper nets accumulate error
+}
+
+TEST(CompileInt8, RejectsUnsupportedModules) {
+  Rng rng(9);
+  nn::Sequential net;
+  net.emplace<nn::BatchNorm2d>(4);  // BN without preceding conv
+  EXPECT_THROW(deploy::compile_int8(net), CheckError);
+}
+
+}  // namespace
+}  // namespace cq

@@ -1,0 +1,173 @@
+// Detection substrate: boxes, AP, synthetic dataset, detector head.
+#include <gtest/gtest.h>
+
+#include "detect/ap.hpp"
+#include "detect/dataset.hpp"
+#include "detect/head.hpp"
+#include "models/resnet.hpp"
+#include "util/check.hpp"
+
+namespace cq {
+namespace {
+
+using detect::BBox;
+using detect::Detection;
+
+TEST(BBox, AreaAndValidity) {
+  BBox b{0.1f, 0.2f, 0.5f, 0.6f};
+  EXPECT_TRUE(b.valid());
+  EXPECT_NEAR(b.area(), 0.16f, 1e-6);
+  EXPECT_NEAR(b.cx(), 0.3f, 1e-6);
+  BBox degenerate{0.5f, 0.5f, 0.5f, 0.5f};
+  EXPECT_FALSE(degenerate.valid());
+  EXPECT_FLOAT_EQ(degenerate.area(), 0.0f);
+}
+
+TEST(BBox, IouIdenticalIsOne) {
+  BBox b{0.1f, 0.1f, 0.4f, 0.4f};
+  EXPECT_NEAR(detect::iou(b, b), 1.0f, 1e-6);
+}
+
+TEST(BBox, IouDisjointIsZero) {
+  BBox a{0.0f, 0.0f, 0.2f, 0.2f};
+  BBox b{0.5f, 0.5f, 0.7f, 0.7f};
+  EXPECT_FLOAT_EQ(detect::iou(a, b), 0.0f);
+}
+
+TEST(BBox, IouHalfOverlap) {
+  BBox a{0.0f, 0.0f, 0.2f, 0.2f};
+  BBox b{0.1f, 0.0f, 0.3f, 0.2f};
+  // intersection = 0.1*0.2 = 0.02; union = 0.04+0.04-0.02 = 0.06.
+  EXPECT_NEAR(detect::iou(a, b), 0.02f / 0.06f, 1e-5);
+}
+
+TEST(BBox, IouSymmetric) {
+  BBox a{0.0f, 0.1f, 0.5f, 0.9f};
+  BBox b{0.2f, 0.0f, 0.8f, 0.5f};
+  EXPECT_FLOAT_EQ(detect::iou(a, b), detect::iou(b, a));
+}
+
+TEST(BBox, FromCenterClamps) {
+  BBox b = detect::box_from_center(0.05f, 0.5f, 0.3f, 0.4f);
+  EXPECT_FLOAT_EQ(b.x0, 0.0f);  // clamped at the border
+  EXPECT_NEAR(b.x1, 0.2f, 1e-5);
+}
+
+TEST(Ap, PerfectDetectionsScoreOne) {
+  std::vector<BBox> gt = {{0.1f, 0.1f, 0.3f, 0.3f}, {0.5f, 0.5f, 0.8f, 0.8f}};
+  std::vector<Detection> dets = {{0.9f, gt[0], 0}, {0.8f, gt[1], 1}};
+  EXPECT_NEAR(detect::average_precision(dets, gt, 0.5f), 1.0f, 1e-5);
+  const auto r = detect::evaluate_ap(dets, gt);
+  EXPECT_NEAR(r.ap, 1.0f, 1e-5);
+  EXPECT_NEAR(r.ap50, 1.0f, 1e-5);
+  EXPECT_NEAR(r.ap75, 1.0f, 1e-5);
+}
+
+TEST(Ap, CompletelyWrongBoxesScoreZero) {
+  std::vector<BBox> gt = {{0.1f, 0.1f, 0.3f, 0.3f}};
+  std::vector<Detection> dets = {{0.9f, {0.6f, 0.6f, 0.9f, 0.9f}, 0}};
+  EXPECT_FLOAT_EQ(detect::average_precision(dets, gt, 0.5f), 0.0f);
+}
+
+TEST(Ap, LooseBoxPassesAp50NotAp75) {
+  // A detection whose IoU with GT is ~0.6.
+  std::vector<BBox> gt = {{0.0f, 0.0f, 0.5f, 0.5f}};
+  std::vector<Detection> dets = {{0.9f, {0.0f, 0.0f, 0.5f, 0.35f}, 0}};
+  const float i = detect::iou(dets[0].box, gt[0]);
+  ASSERT_GT(i, 0.5f);
+  ASSERT_LT(i, 0.75f);
+  const auto r = detect::evaluate_ap(dets, gt);
+  EXPECT_NEAR(r.ap50, 1.0f, 1e-5);
+  EXPECT_FLOAT_EQ(r.ap75, 0.0f);
+  EXPECT_LT(r.ap, r.ap50);
+}
+
+TEST(Ap, ConfidenceRankingMatters) {
+  // Image 0: good box at LOW confidence; image 1: bad box at HIGH
+  // confidence. Precision at rank 1 is 0 -> AP < 1 even though one match.
+  std::vector<BBox> gt = {{0.1f, 0.1f, 0.3f, 0.3f}, {0.5f, 0.5f, 0.8f, 0.8f}};
+  std::vector<Detection> dets = {{0.2f, gt[0], 0},
+                                 {0.9f, {0.0f, 0.6f, 0.1f, 0.9f}, 1}};
+  const float ap = detect::average_precision(dets, gt, 0.5f);
+  EXPECT_NEAR(ap, 0.25f, 1e-5);  // recall 0.5 at precision 0.5
+}
+
+TEST(Ap, RejectsBadImageIds) {
+  std::vector<BBox> gt = {{0.1f, 0.1f, 0.3f, 0.3f}};
+  std::vector<Detection> dets = {{0.9f, gt[0], 5}};
+  EXPECT_THROW(detect::average_precision(dets, gt, 0.5f), CheckError);
+}
+
+TEST(DetectionDataset, GeneratesValidBoxes) {
+  detect::DetectionConfig cfg;
+  Rng rng(1);
+  const auto ds = detect::make_detection_dataset(cfg, 20, rng);
+  ASSERT_EQ(ds.size(), 20);
+  for (std::int64_t i = 0; i < ds.size(); ++i) {
+    const auto& box = ds.boxes[static_cast<std::size_t>(i)];
+    EXPECT_TRUE(box.valid());
+    EXPECT_GE(box.x0, 0.0f);
+    EXPECT_LE(box.x1, 1.0f);
+    EXPECT_GE(box.y0, 0.0f);
+    EXPECT_LE(box.y1, 1.0f);
+    EXPECT_EQ(ds.images[static_cast<std::size_t>(i)].shape(),
+              Shape({3, cfg.synth.height, cfg.synth.width}));
+  }
+}
+
+TEST(DetectionDataset, DeterministicGivenSeed) {
+  detect::DetectionConfig cfg;
+  Rng a(2), b(2);
+  const auto d1 = detect::make_detection_dataset(cfg, 5, a);
+  const auto d2 = detect::make_detection_dataset(cfg, 5, b);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_FLOAT_EQ(d1.boxes[i].x0, d2.boxes[i].x0);
+    EXPECT_FLOAT_EQ(d1.boxes[i].y1, d2.boxes[i].y1);
+  }
+}
+
+TEST(Detector, TrainingImprovesApOverUntrained) {
+  detect::DetectionConfig cfg;
+  Rng rng(3);
+  const auto train = detect::make_detection_dataset(cfg, 48, rng);
+  const auto test = detect::make_detection_dataset(cfg, 24, rng);
+
+  Rng model_rng(4);
+  auto policy = std::make_shared<quant::QuantPolicy>();
+  std::int64_t trunk_dim = 0;
+  auto trunk = models::build_resnet(models::resnet18_config(), policy,
+                                    model_rng, &trunk_dim,
+                                    /*include_gap=*/false);
+
+  detect::DetectorConfig dcfg;
+  dcfg.epochs = 10;
+  detect::Detector detector(*trunk, trunk_dim, dcfg);
+  const auto before = detect::evaluate_ap(detector.detect(test), test.boxes);
+  detector.train(train);
+  const auto after = detect::evaluate_ap(detector.detect(test), test.boxes);
+  EXPECT_GE(after.ap50, before.ap50);
+  EXPECT_GT(after.ap50, 0.0f);
+}
+
+TEST(Detector, EmitsOneDetectionPerImage) {
+  detect::DetectionConfig cfg;
+  Rng rng(5);
+  const auto test = detect::make_detection_dataset(cfg, 7, rng);
+  Rng model_rng(6);
+  auto policy = std::make_shared<quant::QuantPolicy>();
+  std::int64_t trunk_dim = 0;
+  auto trunk = models::build_resnet(models::resnet18_config(), policy,
+                                    model_rng, &trunk_dim, false);
+  detect::Detector detector(*trunk, trunk_dim, {});
+  const auto dets = detector.detect(test);
+  ASSERT_EQ(dets.size(), 7u);
+  for (std::size_t i = 0; i < dets.size(); ++i) {
+    EXPECT_EQ(dets[i].image_id, static_cast<std::int64_t>(i));
+    EXPECT_GE(dets[i].confidence, 0.0f);
+    EXPECT_LE(dets[i].confidence, 1.0f);
+    EXPECT_TRUE(dets[i].box.valid());
+  }
+}
+
+}  // namespace
+}  // namespace cq

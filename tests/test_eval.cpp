@@ -1,0 +1,135 @@
+// Evaluation protocols: fine-tuning, linear eval, metrics.
+#include <gtest/gtest.h>
+
+#include "data/synth.hpp"
+#include "eval/classifier.hpp"
+#include "eval/metrics.hpp"
+#include "util/check.hpp"
+
+namespace cq {
+namespace {
+
+struct Splits {
+  data::Dataset train;
+  data::Dataset test;
+};
+
+Splits tiny_splits() {
+  auto cfg = data::synth_cifar_config();
+  Rng rng(cfg.seed + 9);
+  Splits s;
+  s.train = data::make_synth_dataset(cfg, 64, rng);
+  s.test = data::make_synth_dataset(cfg, 48, rng);
+  return s;
+}
+
+eval::EvalConfig quick_eval() {
+  eval::EvalConfig cfg;
+  cfg.epochs = 8;
+  cfg.batch_size = 16;
+  cfg.lr = 0.05f;
+  return cfg;
+}
+
+TEST(ExtractFeatures, ShapeAndPolicyRestored) {
+  Rng rng(1);
+  auto enc = models::make_encoder("resnet18", rng);
+  const auto s = tiny_splits();
+  enc.policy->set_bits(9);
+  Tensor f = eval::extract_features(enc, s.test, 4);
+  EXPECT_EQ(f.shape(), Shape({s.test.size(), enc.feature_dim}));
+  EXPECT_FALSE(enc.policy->active());  // restored to FP
+}
+
+TEST(FinetuneEval, BeatsChanceOnEasyData) {
+  Rng rng(2);
+  auto enc = models::make_encoder("resnet18", rng);
+  const auto s = tiny_splits();
+  const auto result = eval::finetune_eval(enc, s.train, s.test, quick_eval());
+  const float chance = 100.0f / static_cast<float>(s.train.num_classes);
+  EXPECT_GT(result.test_accuracy, chance);
+}
+
+TEST(FinetuneEval, RestoresPretrainedEncoderState) {
+  Rng rng(3);
+  auto enc = models::make_encoder("resnet18", rng);
+  const auto before = nn::snapshot_state(*enc.backbone);
+  const auto s = tiny_splits();
+  eval::finetune_eval(enc, s.train, s.test, quick_eval());
+  const auto after = nn::snapshot_state(*enc.backbone);
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i)
+    for (std::int64_t j = 0; j < before[i].numel(); ++j)
+      ASSERT_FLOAT_EQ(before[i][j], after[i][j]);
+}
+
+TEST(FinetuneEval, FourBitPathRuns) {
+  Rng rng(4);
+  auto enc = models::make_encoder("resnet18", rng);
+  const auto s = tiny_splits();
+  auto cfg = quick_eval();
+  cfg.eval_bits = 4;
+  cfg.epochs = 4;
+  const auto result = eval::finetune_eval(enc, s.train, s.test, cfg);
+  EXPECT_GE(result.test_accuracy, 0.0f);
+  EXPECT_LE(result.test_accuracy, 100.0f);
+  EXPECT_FALSE(enc.policy->active());
+}
+
+TEST(FinetuneEval, RejectsClassCountMismatch) {
+  Rng rng(5);
+  auto enc = models::make_encoder("resnet18", rng);
+  auto s = tiny_splits();
+  s.test.num_classes = s.train.num_classes + 1;
+  EXPECT_THROW(eval::finetune_eval(enc, s.train, s.test, quick_eval()),
+               CheckError);
+}
+
+TEST(LinearEval, RunsAndLeavesEncoderUntouched) {
+  Rng rng(6);
+  auto enc = models::make_encoder("resnet18", rng);
+  const auto before = nn::snapshot_state(*enc.backbone);
+  const auto s = tiny_splits();
+  auto cfg = quick_eval();
+  cfg.epochs = 20;
+  const auto result = eval::linear_eval(enc, s.train, s.test, cfg);
+  EXPECT_GE(result.test_accuracy, 0.0f);
+  const auto after = nn::snapshot_state(*enc.backbone);
+  for (std::size_t i = 0; i < before.size(); ++i)
+    for (std::int64_t j = 0; j < before[i].numel(); ++j)
+      ASSERT_FLOAT_EQ(before[i][j], after[i][j]);
+}
+
+TEST(Metrics, Top1Accuracy) {
+  Tensor logits(Shape{3, 2}, {2.0f, 0.0f, 0.0f, 2.0f, 0.0f, 2.0f});
+  EXPECT_FLOAT_EQ(eval::top1_accuracy(logits, {0, 1, 0}), 100.0f * 2 / 3);
+}
+
+TEST(Metrics, ConfusionMatrixBasics) {
+  eval::ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  cm.add(0, 1);
+  cm.add(1, 1);
+  cm.add(2, 2);
+  EXPECT_EQ(cm.total(), 4);
+  EXPECT_EQ(cm.count(0, 1), 1);
+  EXPECT_FLOAT_EQ(cm.accuracy(), 75.0f);
+  const auto recall = cm.per_class_recall();
+  EXPECT_FLOAT_EQ(recall[0], 50.0f);
+  EXPECT_FLOAT_EQ(recall[1], 100.0f);
+}
+
+TEST(Metrics, ConfusionRejectsOutOfRange) {
+  eval::ConfusionMatrix cm(2);
+  EXPECT_THROW(cm.add(2, 0), CheckError);
+  EXPECT_THROW(cm.add(0, -1), CheckError);
+}
+
+TEST(Metrics, EmptyClassRecallIsZero) {
+  eval::ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  EXPECT_FLOAT_EQ(cm.per_class_recall()[1], 0.0f);
+}
+
+}  // namespace
+}  // namespace cq

@@ -1,0 +1,119 @@
+// End-to-end integration: SSL pretraining -> downstream evaluation, the full
+// Contrastive Quant pipeline at miniature scale.
+#include <gtest/gtest.h>
+
+#include "core/simclr.hpp"
+#include "data/synth.hpp"
+#include "eval/classifier.hpp"
+#include "eval/separability.hpp"
+
+namespace cq {
+namespace {
+
+struct World {
+  data::Dataset ssl;
+  data::Dataset labeled;
+  data::Dataset test;
+};
+
+World make_world() {
+  auto cfg = data::synth_cifar_config();
+  Rng r1(1001), r2(1002), r3(1003);
+  World w;
+  w.ssl = data::make_synth_dataset(cfg, 128, r1);
+  w.labeled = data::make_synth_dataset(cfg, 96, r2);
+  w.test = data::make_synth_dataset(cfg, 64, r3);
+  return w;
+}
+
+core::PretrainConfig pretrain_cfg(core::CqVariant variant) {
+  core::PretrainConfig cfg;
+  cfg.variant = variant;
+  cfg.precisions = quant::PrecisionSet::range(6, 16);
+  cfg.epochs = 8;
+  cfg.batch_size = 16;
+  cfg.lr = 0.1f;
+  cfg.warmup_epochs = 1;
+  cfg.proj_hidden = 32;
+  cfg.proj_dim = 16;
+  return cfg;
+}
+
+TEST(Integration, CqCPretrainingImprovesLinearProbeOverRandomInit) {
+  const auto w = make_world();
+  eval::EvalConfig ecfg;
+  ecfg.epochs = 25;
+  ecfg.batch_size = 16;
+
+  Rng rng_a(7);
+  auto random_enc = models::make_encoder("resnet18", rng_a);
+  const float random_acc =
+      eval::linear_eval(random_enc, w.labeled, w.test, ecfg).test_accuracy;
+
+  Rng rng_b(7);
+  auto trained_enc = models::make_encoder("resnet18", rng_b);
+  core::SimClrCqTrainer trainer(trained_enc,
+                                pretrain_cfg(core::CqVariant::kCqC));
+  const auto stats = trainer.train(w.ssl);
+  ASSERT_FALSE(stats.diverged);
+  const float trained_acc =
+      eval::linear_eval(trained_enc, w.labeled, w.test, ecfg).test_accuracy;
+
+  EXPECT_GT(trained_acc, random_acc - 1.0f)
+      << "SSL-pretrained features should not be worse than random init";
+}
+
+TEST(Integration, FinetuneWithSubsetLabelsBeatsChance) {
+  const auto w = make_world();
+  Rng rng(8);
+  auto enc = models::make_encoder("resnet18", rng);
+  core::SimClrCqTrainer trainer(enc, pretrain_cfg(core::CqVariant::kCqA));
+  trainer.train(w.ssl);
+
+  Rng split_rng(9);
+  const auto small = data::subset_fraction(w.labeled, 0.25, split_rng);
+  eval::EvalConfig ecfg;
+  ecfg.epochs = 15;
+  ecfg.batch_size = 8;
+  const auto result = eval::finetune_eval(enc, small, w.test, ecfg);
+  const float chance = 100.0f / static_cast<float>(w.test.num_classes);
+  EXPECT_GT(result.test_accuracy, chance);
+}
+
+TEST(Integration, PretrainedFeaturesClusterByClass) {
+  const auto w = make_world();
+  Rng rng(10);
+  auto enc = models::make_encoder("resnet18", rng);
+  core::SimClrCqTrainer trainer(enc, pretrain_cfg(core::CqVariant::kCqC));
+  trainer.train(w.ssl);
+  const Tensor features = eval::extract_features(enc, w.test, 32);
+  const float knn = eval::knn_accuracy(features, w.test.labels, 5);
+  const float chance = 100.0f / static_cast<float>(w.test.num_classes);
+  EXPECT_GT(knn, chance);
+}
+
+TEST(Integration, FourBitEvalTracksFullPrecision) {
+  // 4-bit fine-tuning should work and land within a sane band of FP
+  // (the paper's Tables 1/4 show a few points of degradation).
+  const auto w = make_world();
+  Rng rng(11);
+  auto enc = models::make_encoder("resnet18", rng);
+  core::SimClrCqTrainer trainer(enc, pretrain_cfg(core::CqVariant::kCqC));
+  trainer.train(w.ssl);
+
+  eval::EvalConfig fp;
+  fp.epochs = 12;
+  fp.batch_size = 16;
+  auto q4 = fp;
+  q4.eval_bits = 4;
+  const float acc_fp = eval::finetune_eval(enc, w.labeled, w.test, fp)
+                           .test_accuracy;
+  const float acc_q4 = eval::finetune_eval(enc, w.labeled, w.test, q4)
+                           .test_accuracy;
+  const float chance = 100.0f / static_cast<float>(w.test.num_classes);
+  EXPECT_GT(acc_fp, chance);
+  EXPECT_GT(acc_q4, chance * 0.8f);
+}
+
+}  // namespace
+}  // namespace cq

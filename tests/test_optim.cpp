@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/linear.hpp"
+#include "optim/adam.hpp"
+#include "optim/schedule.hpp"
+#include "optim/sgd.hpp"
+#include "util/check.hpp"
+
+namespace cq {
+namespace {
+
+// Minimize f(w) = 0.5 * |w - target|^2 by feeding grad = w - target.
+void quadratic_steps(nn::Parameter& p, const Tensor& target, auto& opt,
+                     int steps) {
+  for (int s = 0; s < steps; ++s) {
+    for (std::int64_t i = 0; i < p.value.numel(); ++i)
+      p.grad[i] = p.value[i] - target[i];
+    opt.step();
+  }
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  nn::Parameter p(Tensor::from({5.0f, -3.0f}), "w");
+  Tensor target = Tensor::from({1.0f, 2.0f});
+  optim::Sgd sgd({&p}, {.lr = 0.1f, .momentum = 0.0f});
+  quadratic_steps(p, target, sgd, 200);
+  EXPECT_NEAR(p.value[0], 1.0f, 1e-3);
+  EXPECT_NEAR(p.value[1], 2.0f, 1e-3);
+}
+
+TEST(Sgd, MomentumConvergesFasterThanPlain) {
+  nn::Parameter a(Tensor::from({10.0f}), "a");
+  nn::Parameter b(Tensor::from({10.0f}), "b");
+  Tensor target = Tensor::from({0.0f});
+  optim::Sgd plain({&a}, {.lr = 0.02f, .momentum = 0.0f});
+  optim::Sgd heavy({&b}, {.lr = 0.02f, .momentum = 0.9f});
+  quadratic_steps(a, target, plain, 30);
+  quadratic_steps(b, target, heavy, 30);
+  EXPECT_LT(std::abs(b.value[0]), std::abs(a.value[0]));
+}
+
+TEST(Sgd, ZeroesGradsAfterStep) {
+  nn::Parameter p(Tensor::from({1.0f}), "w");
+  optim::Sgd sgd({&p}, {.lr = 0.1f});
+  p.grad[0] = 2.0f;
+  sgd.step();
+  EXPECT_FLOAT_EQ(p.grad[0], 0.0f);
+}
+
+TEST(Sgd, WeightDecayShrinksDecayedParamsOnly) {
+  nn::Parameter w(Tensor::from({1.0f}), "w", /*decay=*/true);
+  nn::Parameter b(Tensor::from({1.0f}), "b", /*decay=*/false);
+  optim::Sgd sgd({&w, &b}, {.lr = 0.1f, .momentum = 0.0f,
+                            .weight_decay = 0.5f});
+  sgd.step();  // zero gradients: only decay acts
+  EXPECT_LT(w.value[0], 1.0f);
+  EXPECT_FLOAT_EQ(b.value[0], 1.0f);
+}
+
+TEST(Sgd, ReportsGradNorm) {
+  nn::Parameter p(Tensor::from({3.0f, 4.0f}), "w");
+  optim::Sgd sgd({&p}, {.lr = 0.0f, .momentum = 0.0f});
+  p.grad[0] = 3.0f;
+  p.grad[1] = 4.0f;
+  sgd.step();
+  EXPECT_NEAR(sgd.last_grad_norm(), 5.0f, 1e-5);
+}
+
+TEST(Sgd, ClipNormLimitsUpdate) {
+  nn::Parameter a(Tensor::from({0.0f}), "a");
+  nn::Parameter b(Tensor::from({0.0f}), "b");
+  optim::Sgd clipped({&a}, {.lr = 1.0f, .momentum = 0.0f, .clip_norm = 1.0f});
+  optim::Sgd unclipped({&b}, {.lr = 1.0f, .momentum = 0.0f});
+  a.grad[0] = 100.0f;
+  b.grad[0] = 100.0f;
+  clipped.step();
+  unclipped.step();
+  EXPECT_NEAR(a.value[0], -1.0f, 1e-5);
+  EXPECT_NEAR(b.value[0], -100.0f, 1e-4);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  nn::Parameter p(Tensor::from({5.0f, -5.0f}), "w");
+  Tensor target = Tensor::from({1.0f, 1.0f});
+  optim::Adam adam({&p}, {.lr = 0.1f});
+  quadratic_steps(p, target, adam, 300);
+  EXPECT_NEAR(p.value[0], 1.0f, 1e-2);
+  EXPECT_NEAR(p.value[1], 1.0f, 1e-2);
+}
+
+TEST(Adam, FirstStepSizeApproxLr) {
+  // Bias correction makes the first Adam step ~lr in magnitude.
+  nn::Parameter p(Tensor::from({0.0f}), "w");
+  optim::Adam adam({&p}, {.lr = 0.01f});
+  p.grad[0] = 123.0f;
+  adam.step();
+  EXPECT_NEAR(p.value[0], -0.01f, 1e-4);
+}
+
+TEST(Cosine, StartsAtBaseEndsNearFinal) {
+  optim::CosineSchedule sched(1.0f, 100);
+  EXPECT_NEAR(sched.lr_at(0), 1.0f, 1e-3);
+  EXPECT_NEAR(sched.lr_at(99), 0.0f, 2e-3);
+}
+
+TEST(Cosine, MonotoneDecreasingWithoutWarmup) {
+  optim::CosineSchedule sched(0.5f, 50);
+  for (int s = 1; s < 50; ++s)
+    EXPECT_LE(sched.lr_at(s), sched.lr_at(s - 1) + 1e-7f);
+}
+
+TEST(Cosine, WarmupRampsLinearly) {
+  optim::CosineSchedule sched(1.0f, 100, 10);
+  EXPECT_NEAR(sched.lr_at(0), 0.1f, 1e-5);
+  EXPECT_NEAR(sched.lr_at(4), 0.5f, 1e-5);
+  EXPECT_NEAR(sched.lr_at(9), 1.0f, 1e-5);
+  // After warmup, decays.
+  EXPECT_GT(sched.lr_at(10), sched.lr_at(50));
+}
+
+TEST(Cosine, RespectsFinalLr) {
+  optim::CosineSchedule sched(1.0f, 100, 0, 0.2f);
+  EXPECT_GE(sched.lr_at(99), 0.2f - 1e-4f);
+  EXPECT_NEAR(sched.lr_at(50), 0.6f, 0.02f);
+}
+
+TEST(Cosine, ClampsOutOfRangeSteps) {
+  optim::CosineSchedule sched(1.0f, 10);
+  EXPECT_FLOAT_EQ(sched.lr_at(-5), sched.lr_at(0));
+  EXPECT_FLOAT_EQ(sched.lr_at(500), sched.lr_at(9));
+}
+
+TEST(Cosine, RejectsBadConfig) {
+  EXPECT_THROW(optim::CosineSchedule(0.0f, 10), CheckError);
+  EXPECT_THROW(optim::CosineSchedule(1.0f, 10, 10), CheckError);
+}
+
+TEST(Sgd, TrainsLinearRegression) {
+  // End-to-end sanity: fit y = 2x with a Linear layer and SGD.
+  Rng rng(1);
+  nn::Linear layer(1, 1, rng);
+  optim::Sgd sgd(layer.parameters(), {.lr = 0.05f, .momentum = 0.9f});
+  for (int step = 0; step < 200; ++step) {
+    Tensor x = Tensor::uniform(Shape{8, 1}, rng, -1.0f, 1.0f);
+    Tensor y = layer.forward(x);
+    Tensor grad(y.shape());
+    for (std::int64_t i = 0; i < 8; ++i)
+      grad.at(i, 0) = (y.at(i, 0) - 2.0f * x.at(i, 0)) / 8.0f;
+    layer.backward(grad);
+    sgd.step();
+  }
+  EXPECT_NEAR(layer.weight().value[0], 2.0f, 0.05f);
+  EXPECT_NEAR(layer.bias()->value[0], 0.0f, 0.05f);
+}
+
+}  // namespace
+}  // namespace cq

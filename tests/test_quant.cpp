@@ -1,0 +1,385 @@
+// Quantizer (paper Eq. 10), policy, precision sets, and STE plumbing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "quant/actquant.hpp"
+#include "quant/policy.hpp"
+#include "quant/quantizer.hpp"
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+
+namespace cq {
+namespace {
+
+using quant::LinearQuantizer;
+using quant::PrecisionSet;
+using quant::QuantizerConfig;
+using quant::QuantPolicy;
+using quant::RangeMode;
+using quant::RoundingMode;
+
+TEST(Quantizer, FullPrecisionIsIdentity) {
+  Rng rng(1);
+  LinearQuantizer q;
+  Tensor a = Tensor::randn(Shape{50}, rng);
+  Tensor b = q.quantize(a, 32);
+  for (std::int64_t i = 0; i < a.numel(); ++i) EXPECT_FLOAT_EQ(a[i], b[i]);
+}
+
+TEST(Quantizer, ConstantTensorUnchanged) {
+  LinearQuantizer q;
+  Tensor a = Tensor::full(Shape{10}, 3.3f);
+  Tensor b = q.quantize(a, 4);
+  for (std::int64_t i = 0; i < 10; ++i) EXPECT_FLOAT_EQ(b[i], 3.3f);
+}
+
+TEST(Quantizer, StepSizeMatchesEq10) {
+  // S_a = A_range / (2^q - 1).
+  Tensor a = Tensor::from({-1.0f, 0.0f, 3.0f});
+  LinearQuantizer q;
+  EXPECT_NEAR(q.step_size(a, 4), 4.0f / 15.0f, 1e-6);
+  EXPECT_NEAR(q.step_size(a, 8), 4.0f / 255.0f, 1e-7);
+  EXPECT_FLOAT_EQ(q.step_size(a, 32), 0.0f);
+}
+
+TEST(Quantizer, OutputsAreMultiplesOfStep) {
+  Rng rng(2);
+  LinearQuantizer q;
+  Tensor a = Tensor::randn(Shape{100}, rng);
+  const float s = q.step_size(a, 5);
+  Tensor b = q.quantize(a, 5);
+  for (std::int64_t i = 0; i < b.numel(); ++i) {
+    const float k = b[i] / s;
+    EXPECT_NEAR(k, std::nearbyint(k), 1e-3) << "value " << b[i];
+  }
+}
+
+TEST(Quantizer, LevelCountBounded) {
+  Rng rng(3);
+  LinearQuantizer q;
+  Tensor a = Tensor::uniform(Shape{4000}, rng, -1.0f, 1.0f);
+  for (int bits : {2, 3, 4}) {
+    std::set<float> levels;
+    Tensor b = q.quantize(a, bits);
+    for (std::int64_t i = 0; i < b.numel(); ++i) levels.insert(b[i]);
+    // Grid has at most 2^bits + 1 representable points over the range
+    // (round-to-nearest of range/(2^q - 1)-spaced grid).
+    EXPECT_LE(levels.size(),
+              static_cast<std::size_t>((1 << bits) + 1))
+        << "bits=" << bits;
+    EXPECT_GE(levels.size(), 2u);
+  }
+}
+
+TEST(Quantizer, ErrorBoundedByHalfStep) {
+  Rng rng(4);
+  LinearQuantizer q;
+  Tensor a = Tensor::randn(Shape{200}, rng);
+  for (int bits : {4, 8}) {
+    const float s = q.step_size(a, bits);
+    Tensor b = q.quantize(a, bits);
+    for (std::int64_t i = 0; i < a.numel(); ++i)
+      EXPECT_LE(std::abs(a[i] - b[i]), 0.5f * s + 1e-6f);
+  }
+}
+
+TEST(Quantizer, IdempotentAtSameBits) {
+  Rng rng(5);
+  LinearQuantizer q;
+  Tensor a = Tensor::randn(Shape{100}, rng);
+  Tensor b = q.quantize(a, 6);
+  Tensor c = q.quantize(b, 6);
+  // Quantizing twice may shift the grid slightly (range shrinks), but values
+  // that are already on the new grid stay. Check the error stays within one
+  // step of the second quantizer.
+  const float s = q.step_size(b, 6);
+  for (std::int64_t i = 0; i < b.numel(); ++i)
+    EXPECT_LE(std::abs(b[i] - c[i]), s + 1e-6f);
+}
+
+TEST(Quantizer, MoreBitsLessError) {
+  Rng rng(6);
+  LinearQuantizer q;
+  Tensor a = Tensor::randn(Shape{500}, rng);
+  double prev_err = 1e9;
+  for (int bits : {2, 4, 8, 12}) {
+    Tensor b = q.quantize(a, bits);
+    double err = 0.0;
+    for (std::int64_t i = 0; i < a.numel(); ++i)
+      err += std::abs(a[i] - b[i]);
+    EXPECT_LT(err, prev_err) << "bits=" << bits;
+    prev_err = err;
+  }
+}
+
+TEST(Quantizer, FloorModeRoundsDown) {
+  QuantizerConfig cfg;
+  cfg.rounding = RoundingMode::kFloor;
+  LinearQuantizer q(cfg);
+  Tensor a = Tensor::from({0.0f, 0.9f, 1.0f});  // range 1, 1-bit -> step 1
+  Tensor b = q.quantize(a, 1);
+  EXPECT_FLOAT_EQ(b[0], 0.0f);
+  EXPECT_FLOAT_EQ(b[1], 0.0f);  // floor(0.9) = 0; nearest would give 1
+  EXPECT_FLOAT_EQ(b[2], 1.0f);
+}
+
+TEST(Quantizer, NearestModeRoundsToNearest) {
+  LinearQuantizer q;
+  Tensor a = Tensor::from({0.0f, 0.9f, 1.0f});
+  Tensor b = q.quantize(a, 1);
+  EXPECT_FLOAT_EQ(b[1], 1.0f);
+}
+
+TEST(Quantizer, PercentileClipsOutliersAndMasks) {
+  QuantizerConfig cfg;
+  cfg.range = RangeMode::kPercentile;
+  cfg.percentile = 0.9;
+  LinearQuantizer q(cfg);
+  Rng rng(7);
+  Tensor a = Tensor::uniform(Shape{1000}, rng, -1.0f, 1.0f);
+  a[0] = 100.0f;  // extreme outlier
+  std::vector<std::uint8_t> mask;
+  Tensor b = q.quantize(a, 8, &mask);
+  EXPECT_LT(b[0], 2.0f);  // clamped
+  EXPECT_EQ(mask[0], 0);  // masked for STE
+  // Most values pass through unclipped.
+  std::int64_t kept = 0;
+  for (auto m : mask) kept += m;
+  EXPECT_GT(kept, 800);
+}
+
+TEST(Quantizer, MinMaxRangeMatchesExtrema) {
+  Tensor a = Tensor::from({-2.0f, 0.5f, 7.0f});
+  LinearQuantizer q;
+  const auto r = q.dynamic_range(a);
+  EXPECT_FLOAT_EQ(r.lo, -2.0f);
+  EXPECT_FLOAT_EQ(r.hi, 7.0f);
+  EXPECT_FLOAT_EQ(r.width(), 9.0f);
+}
+
+TEST(Quantizer, RejectsInvalidBits) {
+  LinearQuantizer q;
+  Tensor a = Tensor::from({1.0f, 2.0f});
+  EXPECT_THROW(q.quantize(a, 0), CheckError);
+}
+
+TEST(Policy, ActiveOnlyWhenQuantized) {
+  QuantPolicy policy;
+  EXPECT_FALSE(policy.active());  // starts at full precision
+  policy.set_bits(8);
+  EXPECT_TRUE(policy.active());
+  policy.set_enabled(false);
+  EXPECT_FALSE(policy.active());
+  policy.set_enabled(true);
+  policy.set_full_precision();
+  EXPECT_FALSE(policy.active());
+}
+
+TEST(PrecisionSet, RangeConstructionAndStr) {
+  const auto ps = PrecisionSet::range(6, 16);
+  EXPECT_EQ(ps.size(), 11u);
+  EXPECT_EQ(ps.str(), "6-16");
+  EXPECT_EQ(PrecisionSet({4, 8, 16}).str(), "{4,8,16}");
+  EXPECT_TRUE(PrecisionSet().empty());
+}
+
+TEST(PrecisionSet, SampleWithinSet) {
+  Rng rng(8);
+  const auto ps = PrecisionSet::range(4, 16);
+  for (int i = 0; i < 200; ++i) {
+    const int b = ps.sample(rng);
+    EXPECT_GE(b, 4);
+    EXPECT_LE(b, 16);
+  }
+}
+
+TEST(PrecisionSet, SamplePairDistinct) {
+  Rng rng(9);
+  const auto ps = PrecisionSet::range(6, 16);
+  for (int i = 0; i < 200; ++i) {
+    const auto [q1, q2] = ps.sample_pair(rng);
+    EXPECT_NE(q1, q2);
+  }
+}
+
+TEST(PrecisionSet, SamplePairSingletonRepeats) {
+  Rng rng(10);
+  const PrecisionSet ps({8});
+  const auto [q1, q2] = ps.sample_pair(rng);
+  EXPECT_EQ(q1, 8);
+  EXPECT_EQ(q2, 8);
+}
+
+TEST(PrecisionSet, CoversAllMembers) {
+  Rng rng(11);
+  const auto ps = PrecisionSet::range(4, 8);
+  std::set<int> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(ps.sample(rng));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(ActQuant, ForwardQuantizesWhenActive) {
+  auto policy = std::make_shared<QuantPolicy>();
+  quant::ActQuant aq(policy);
+  Rng rng(12);
+  Tensor x = Tensor::randn(Shape{2, 3}, rng);
+  policy->set_bits(2);
+  Tensor y = aq.forward(x);
+  std::set<float> levels(y.data(), y.data() + y.numel());
+  EXPECT_LE(levels.size(), 5u);
+  policy->set_full_precision();
+  Tensor z = aq.forward(x);
+  for (std::int64_t i = 0; i < x.numel(); ++i) EXPECT_FLOAT_EQ(z[i], x[i]);
+}
+
+TEST(ActQuant, BackwardIsStraightThrough) {
+  auto policy = std::make_shared<QuantPolicy>();
+  policy->set_bits(3);
+  quant::ActQuant aq(policy);
+  Rng rng(13);
+  Tensor x = Tensor::randn(Shape{2, 4}, rng);
+  aq.forward(x);
+  Tensor g = Tensor::randn(Shape{2, 4}, rng);
+  Tensor gx = aq.backward(g);
+  for (std::int64_t i = 0; i < g.numel(); ++i) EXPECT_FLOAT_EQ(gx[i], g[i]);
+}
+
+TEST(ActQuant, LifoAcrossPrecisions) {
+  auto policy = std::make_shared<QuantPolicy>();
+  quant::ActQuant aq(policy);
+  Rng rng(14);
+  Tensor x = Tensor::randn(Shape{1, 4}, rng);
+  policy->set_bits(2);
+  aq.forward(x);
+  policy->set_bits(8);
+  aq.forward(x);
+  EXPECT_EQ(aq.pending_caches(), 2u);
+  aq.backward(Tensor::ones(Shape{1, 4}));
+  aq.backward(Tensor::ones(Shape{1, 4}));
+  EXPECT_EQ(aq.pending_caches(), 0u);
+}
+
+TEST(FakeQuantWeight, QuantizesThroughLinearForward) {
+  Rng rng(15);
+  auto policy = std::make_shared<QuantPolicy>();
+  nn::Linear layer(4, 4, rng, /*bias=*/false);
+  layer.set_weight_transform(
+      std::make_shared<quant::FakeQuantWeight>(policy));
+  Tensor x = Tensor::randn(Shape{2, 4}, rng);
+  policy->set_full_precision();
+  Tensor y_fp = layer.forward(x);
+  policy->set_bits(2);
+  Tensor y_q2 = layer.forward(x);
+  policy->set_bits(12);
+  Tensor y_q12 = layer.forward(x);
+  layer.clear_cache();
+  // 2-bit output differs clearly from FP; 12-bit is near-identical.
+  float diff2 = 0.0f, diff12 = 0.0f;
+  for (std::int64_t i = 0; i < y_fp.numel(); ++i) {
+    diff2 += std::abs(y_fp[i] - y_q2[i]);
+    diff12 += std::abs(y_fp[i] - y_q12[i]);
+  }
+  EXPECT_GT(diff2, 1e-2f);
+  EXPECT_LT(diff12, diff2 * 0.1f);
+}
+
+TEST(FakeQuantWeight, SteAppliesGradToMasterWeight) {
+  // Gradient computed with quantized weights must land on the fp32 master
+  // weight unchanged (straight-through estimator).
+  Rng rng(16);
+  auto policy = std::make_shared<QuantPolicy>();
+  nn::Linear layer(3, 2, rng, /*bias=*/false);
+  layer.set_weight_transform(
+      std::make_shared<quant::FakeQuantWeight>(policy));
+  policy->set_bits(4);
+  Tensor x = Tensor::randn(Shape{2, 3}, rng);
+  layer.forward(x);
+  Tensor g = Tensor::ones(Shape{2, 2});
+  layer.backward(g);
+  // dL/dW = g^T x regardless of quantization (STE) — compare to manual.
+  Tensor expected = ops::matmul_tn(g, x);
+  for (std::int64_t i = 0; i < expected.numel(); ++i)
+    EXPECT_NEAR(layer.weight().grad[i], expected[i], 1e-5);
+}
+
+TEST(FakeQuantWeight, InputGradUsesQuantizedWeight) {
+  Rng rng(17);
+  auto policy = std::make_shared<QuantPolicy>();
+  nn::Linear layer(3, 2, rng, /*bias=*/false);
+  layer.set_weight_transform(
+      std::make_shared<quant::FakeQuantWeight>(policy));
+  policy->set_bits(2);
+  const Tensor w_q =
+      policy->quantizer().quantize(layer.weight().value, 2);
+  Tensor x = Tensor::randn(Shape{1, 3}, rng);
+  layer.forward(x);
+  Tensor g = Tensor::ones(Shape{1, 2});
+  Tensor gx = layer.backward(g);
+  Tensor expected = ops::matmul(g, w_q);
+  for (std::int64_t i = 0; i < gx.numel(); ++i)
+    EXPECT_NEAR(gx[i], expected[i], 1e-5);
+}
+
+
+TEST(PerturbGaussian, MatchesStepMagnitude) {
+  Rng rng(20);
+  quant::LinearQuantizer q;
+  Tensor a = Tensor::randn(Shape{5000}, rng);
+  Rng noise_rng(21);
+  Tensor b = q.perturb_gaussian(a, 6, noise_rng);
+  const float sigma_expected = 0.5f * q.step_size(a, 6);
+  double sq = 0.0;
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    const double d = static_cast<double>(b[i]) - a[i];
+    sq += d * d;
+  }
+  const double sigma_measured = std::sqrt(sq / a.numel());
+  EXPECT_NEAR(sigma_measured, sigma_expected, 0.1 * sigma_expected);
+}
+
+TEST(PerturbGaussian, IdentityAtFullPrecision) {
+  Rng rng(22);
+  quant::LinearQuantizer q;
+  Tensor a = Tensor::randn(Shape{50}, rng);
+  Rng noise_rng(23);
+  Tensor b = q.perturb_gaussian(a, 32, noise_rng);
+  for (std::int64_t i = 0; i < a.numel(); ++i) EXPECT_FLOAT_EQ(a[i], b[i]);
+}
+
+TEST(PolicyTransform, DispatchesOnPerturbMode) {
+  using quant::PerturbMode;
+  quant::QuantizerConfig cfg;
+  cfg.perturb = PerturbMode::kGaussian;
+  quant::QuantPolicy noisy(cfg);
+  quant::QuantPolicy quantizing;
+  noisy.set_bits(4);
+  quantizing.set_bits(4);
+  Rng rng(24);
+  Tensor a = Tensor::randn(Shape{100}, rng);
+  // Quantize mode: deterministic, values on a grid.
+  Tensor q1 = quantizing.transform(a);
+  Tensor q2 = quantizing.transform(a);
+  for (std::int64_t i = 0; i < a.numel(); ++i) EXPECT_FLOAT_EQ(q1[i], q2[i]);
+  // Gaussian mode: stochastic, two applications differ.
+  Tensor n1 = noisy.transform(a);
+  Tensor n2 = noisy.transform(a);
+  float diff = 0.0f;
+  for (std::int64_t i = 0; i < a.numel(); ++i)
+    diff += std::abs(n1[i] - n2[i]);
+  EXPECT_GT(diff, 1e-4f);
+}
+
+TEST(PolicyTransform, IdentityWhenInactive) {
+  quant::QuantPolicy policy;
+  Rng rng(25);
+  Tensor a = Tensor::randn(Shape{20}, rng);
+  Tensor b = policy.transform(a);
+  for (std::int64_t i = 0; i < a.numel(); ++i) EXPECT_FLOAT_EQ(a[i], b[i]);
+}
+
+}  // namespace
+}  // namespace cq

@@ -1,0 +1,181 @@
+// Experiment runner: bundles, env knobs, checkpoint caching.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "core/runner.hpp"
+#include "util/check.hpp"
+
+namespace cq {
+namespace {
+
+class RunnerEnv : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    setenv("CQ_CACHE_DIR", "test_runner_cache", 1);
+    setenv("CQ_SCALE", "1.0", 1);
+  }
+  void TearDown() override {
+    std::filesystem::remove_all("test_runner_cache");
+    unsetenv("CQ_CACHE_DIR");
+    unsetenv("CQ_SCALE");
+  }
+};
+
+TEST_F(RunnerEnv, EnvHelpers) {
+  setenv("CQ_TEST_INT", "42", 1);
+  EXPECT_EQ(core::env_int("CQ_TEST_INT", 7), 42);
+  EXPECT_EQ(core::env_int("CQ_TEST_MISSING", 7), 7);
+  setenv("CQ_TEST_INT", "garbage", 1);
+  EXPECT_EQ(core::env_int("CQ_TEST_INT", 7), 7);
+  setenv("CQ_TEST_DBL", "2.5", 1);
+  EXPECT_DOUBLE_EQ(core::env_double("CQ_TEST_DBL", 1.0), 2.5);
+  unsetenv("CQ_TEST_INT");
+  unsetenv("CQ_TEST_DBL");
+}
+
+TEST_F(RunnerEnv, BundlesAreDeterministicAndDisjointSeeds) {
+  const auto a = core::make_bundle("synth-cifar");
+  const auto b = core::make_bundle("synth-cifar");
+  EXPECT_EQ(a.ssl_train.size(), b.ssl_train.size());
+  EXPECT_EQ(a.ssl_train.labels, b.ssl_train.labels);
+  // ssl/labeled/test use independent streams.
+  EXPECT_NE(a.ssl_train.labels, a.labeled.labels);
+  a.ssl_train.validate();
+  a.labeled.validate();
+  a.test.validate();
+}
+
+TEST_F(RunnerEnv, ImagenetBundleIsBigger) {
+  const auto cifar = core::make_bundle("synth-cifar");
+  const auto imnet = core::make_bundle("synth-imagenet");
+  EXPECT_GT(imnet.config.num_classes, cifar.config.num_classes);
+  EXPECT_GT(imnet.config.height, cifar.config.height);
+}
+
+TEST_F(RunnerEnv, UnknownBundleThrows) {
+  EXPECT_THROW(core::make_bundle("imagenet-1k"), CheckError);
+}
+
+TEST_F(RunnerEnv, ScaleShrinksDatasets) {
+  const auto full = core::make_bundle("synth-cifar");
+  setenv("CQ_SCALE", "0.25", 1);
+  const auto quarter = core::make_bundle("synth-cifar");
+  EXPECT_LT(quarter.ssl_train.size(), full.ssl_train.size());
+  EXPECT_GE(quarter.ssl_train.size(), 32);  // floor
+}
+
+TEST_F(RunnerEnv, PretrainCachedRoundTrip) {
+  setenv("CQ_SCALE", "0.1", 1);  // tiny for speed (floors at 32)
+  auto bundle = core::make_bundle("synth-cifar");
+
+  core::PretrainConfig cfg;
+  cfg.variant = core::CqVariant::kCqA;
+  cfg.precisions = quant::PrecisionSet::range(6, 16);
+  cfg.epochs = 1;
+  cfg.batch_size = 8;
+  cfg.proj_hidden = 16;
+  cfg.proj_dim = 8;
+
+  Rng rng(1);
+  auto enc1 = models::make_encoder("resnet18", rng);
+  const auto r1 = core::pretrain_cached(enc1, cfg, bundle, "simclr");
+  EXPECT_FALSE(r1.from_cache);
+  EXPECT_TRUE(std::filesystem::exists(r1.checkpoint_path));
+
+  Rng rng2(999);
+  auto enc2 = models::make_encoder("resnet18", rng2);
+  const auto r2 = core::pretrain_cached(enc2, cfg, bundle, "simclr");
+  EXPECT_TRUE(r2.from_cache);
+  EXPECT_EQ(r1.checkpoint_path, r2.checkpoint_path);
+
+  // Loaded weights match the trained ones.
+  const auto p1 = enc1.backbone->parameters();
+  const auto p2 = enc2.backbone->parameters();
+  for (std::size_t i = 0; i < p1.size(); ++i)
+    for (std::int64_t j = 0; j < p1[i]->value.numel(); ++j)
+      ASSERT_FLOAT_EQ(p1[i]->value[j], p2[i]->value[j]);
+}
+
+TEST_F(RunnerEnv, DifferentConfigsGetDifferentCheckpoints) {
+  setenv("CQ_SCALE", "0.1", 1);
+  auto bundle = core::make_bundle("synth-cifar");
+  core::PretrainConfig a;
+  a.variant = core::CqVariant::kVanilla;
+  a.epochs = 1;
+  a.batch_size = 8;
+  a.proj_hidden = 16;
+  a.proj_dim = 8;
+  auto b = a;
+  b.tau = 0.7f;
+  Rng rng(2);
+  auto enc = models::make_encoder("resnet18", rng);
+  const auto ra = core::pretrain_cached(enc, a, bundle, "simclr");
+  const auto rb = core::pretrain_cached(enc, b, bundle, "simclr");
+  EXPECT_NE(ra.checkpoint_path, rb.checkpoint_path);
+}
+
+TEST_F(RunnerEnv, CacheDisabledForcesRetrain) {
+  setenv("CQ_SCALE", "0.1", 1);
+  auto bundle = core::make_bundle("synth-cifar");
+  core::PretrainConfig cfg;
+  cfg.variant = core::CqVariant::kVanilla;
+  cfg.epochs = 1;
+  cfg.batch_size = 8;
+  cfg.proj_hidden = 16;
+  cfg.proj_dim = 8;
+  Rng rng(3);
+  auto enc = models::make_encoder("resnet18", rng);
+  core::pretrain_cached(enc, cfg, bundle, "simclr");
+  const auto again =
+      core::pretrain_cached(enc, cfg, bundle, "simclr", /*cache=*/false);
+  EXPECT_FALSE(again.from_cache);
+  EXPECT_GT(again.stats.iterations, 0);
+}
+
+TEST_F(RunnerEnv, CorruptCheckpointFailsLoudly) {
+  // Failure injection: a truncated/garbage cache file must raise, not load
+  // garbage weights silently.
+  setenv("CQ_SCALE", "0.1", 1);
+  auto bundle = core::make_bundle("synth-cifar");
+  core::PretrainConfig cfg;
+  cfg.variant = core::CqVariant::kVanilla;
+  cfg.epochs = 1;
+  cfg.batch_size = 8;
+  cfg.proj_hidden = 16;
+  cfg.proj_dim = 8;
+  Rng rng(4);
+  auto enc = models::make_encoder("resnet18", rng);
+  const auto first = core::pretrain_cached(enc, cfg, bundle, "simclr");
+  {
+    std::ofstream out(first.checkpoint_path,
+                      std::ios::binary | std::ios::trunc);
+    out << "garbage";
+  }
+  EXPECT_THROW(core::pretrain_cached(enc, cfg, bundle, "simclr"),
+               CheckError);
+}
+
+TEST_F(RunnerEnv, MocoFamilyPretrainsAndCaches) {
+  setenv("CQ_SCALE", "0.1", 1);
+  auto bundle = core::make_bundle("synth-cifar");
+  core::PretrainConfig cfg;
+  cfg.variant = core::CqVariant::kCqA;
+  cfg.precisions = quant::PrecisionSet::range(6, 16);
+  cfg.epochs = 1;
+  cfg.batch_size = 8;
+  cfg.proj_hidden = 16;
+  cfg.proj_dim = 8;
+  cfg.moco_queue = 16;
+  Rng rng(5);
+  auto enc = models::make_encoder("resnet18", rng);
+  const auto r1 = core::pretrain_cached(enc, cfg, bundle, "moco");
+  EXPECT_FALSE(r1.from_cache);
+  const auto r2 = core::pretrain_cached(enc, cfg, bundle, "moco");
+  EXPECT_TRUE(r2.from_cache);
+}
+
+}  // namespace
+}  // namespace cq

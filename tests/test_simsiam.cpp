@@ -1,0 +1,120 @@
+// SimSiam trainer (stop-gradient siamese, paper ref [12]).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/simsiam.hpp"
+#include "data/synth.hpp"
+#include "eval/classifier.hpp"
+#include "eval/separability.hpp"
+#include "util/check.hpp"
+
+namespace cq {
+namespace {
+
+data::Dataset tiny_dataset(std::int64_t n = 24) {
+  auto cfg = data::synth_cifar_config();
+  Rng rng(cfg.seed + 5);
+  return data::make_synth_dataset(cfg, n, rng);
+}
+
+core::PretrainConfig tiny_config(core::CqVariant variant) {
+  core::PretrainConfig cfg;
+  cfg.variant = variant;
+  cfg.precisions = quant::PrecisionSet::range(6, 16);
+  cfg.epochs = 2;
+  cfg.batch_size = 8;
+  cfg.lr = 0.05f;
+  cfg.warmup_epochs = 0;
+  cfg.proj_hidden = 16;
+  cfg.proj_dim = 8;
+  cfg.pred_hidden = 8;
+  return cfg;
+}
+
+TEST(SimSiamTrainer, VanillaRunsAndStaysFinite) {
+  const auto ds = tiny_dataset();
+  Rng rng(1);
+  auto enc = models::make_encoder("resnet18", rng);
+  core::SimSiamCqTrainer trainer(enc, tiny_config(core::CqVariant::kVanilla));
+  const auto stats = trainer.train(ds);
+  EXPECT_TRUE(std::isfinite(stats.final_loss));
+  EXPECT_FALSE(stats.diverged);
+  // Normalized-MSE range: one symmetrized term in [0, 4].
+  EXPECT_GE(stats.final_loss, 0.0f);
+  EXPECT_LE(stats.final_loss, 4.0f);
+}
+
+TEST(SimSiamTrainer, CqCRunsWithQuantBranches) {
+  const auto ds = tiny_dataset();
+  Rng rng(2);
+  auto enc = models::make_encoder("resnet18", rng);
+  core::SimSiamCqTrainer trainer(enc, tiny_config(core::CqVariant::kCqC));
+  const auto stats = trainer.train(ds);
+  EXPECT_FALSE(stats.diverged);
+}
+
+TEST(SimSiamTrainer, RejectsUnsupportedVariants) {
+  Rng rng(3);
+  auto enc = models::make_encoder("resnet18", rng);
+  EXPECT_THROW(
+      core::SimSiamCqTrainer(enc, tiny_config(core::CqVariant::kCqA)),
+      CheckError);
+}
+
+TEST(SimSiamTrainer, NoPendingCachesAfterTraining) {
+  const auto ds = tiny_dataset();
+  Rng rng(4);
+  auto enc = models::make_encoder("resnet18", rng);
+  core::SimSiamCqTrainer trainer(enc, tiny_config(core::CqVariant::kCqC));
+  trainer.train(ds);
+  std::size_t pending = 0;
+  std::function<void(nn::Module&)> count = [&](nn::Module& m) {
+    pending += m.pending_caches();
+    m.visit_children(count);
+  };
+  count(*enc.backbone);
+  EXPECT_EQ(pending, 0u);
+}
+
+TEST(SimSiamTrainer, DoesNotCollapseImmediately) {
+  // The stop-gradient should prevent instant representation collapse:
+  // feature variance across the test set stays clearly non-zero.
+  const auto ds = tiny_dataset(48);
+  Rng rng(5);
+  auto enc = models::make_encoder("resnet18", rng);
+  auto cfg = tiny_config(core::CqVariant::kVanilla);
+  cfg.epochs = 6;
+  core::SimSiamCqTrainer trainer(enc, cfg);
+  trainer.train(ds);
+  const Tensor f = eval::extract_features(enc, ds, 32);
+  double var = 0.0;
+  for (std::int64_t c = 0; c < f.dim(1); ++c) {
+    double mean = 0.0, sq = 0.0;
+    for (std::int64_t r = 0; r < f.dim(0); ++r) {
+      mean += f.at(r, c);
+      sq += static_cast<double>(f.at(r, c)) * f.at(r, c);
+    }
+    mean /= static_cast<double>(f.dim(0));
+    var += sq / static_cast<double>(f.dim(0)) - mean * mean;
+  }
+  EXPECT_GT(var, 1e-6);
+}
+
+TEST(SimSiamTrainer, TrainingChangesWeights) {
+  const auto ds = tiny_dataset();
+  Rng rng(6);
+  auto enc = models::make_encoder("resnet18", rng);
+  const auto before = nn::snapshot_state(*enc.backbone);
+  core::SimSiamCqTrainer trainer(enc, tiny_config(core::CqVariant::kVanilla));
+  trainer.train(ds);
+  const auto after = nn::snapshot_state(*enc.backbone);
+  float diff = 0.0f;
+  for (std::size_t i = 0; i < before.size(); ++i)
+    for (std::int64_t j = 0; j < before[i].numel(); ++j)
+      diff += std::abs(before[i][j] - after[i][j]);
+  EXPECT_GT(diff, 1e-4f);
+}
+
+}  // namespace
+}  // namespace cq

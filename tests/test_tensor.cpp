@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.hpp"
+#include "util/check.hpp"
+
+namespace cq {
+namespace {
+
+TEST(Shape, BasicProperties) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3u);
+  EXPECT_EQ(s.numel(), 24);
+  EXPECT_EQ(s[0], 2);
+  EXPECT_EQ(s.dim(-1), 4);
+  EXPECT_EQ(s.dim(-3), 2);
+  EXPECT_EQ(s.str(), "[2, 3, 4]");
+}
+
+TEST(Shape, ScalarShape) {
+  Shape s;
+  EXPECT_EQ(s.rank(), 0u);
+  EXPECT_EQ(s.numel(), 1);
+}
+
+TEST(Shape, EqualityAndInequality) {
+  EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+  EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+  EXPECT_NE(Shape({2, 3}), Shape({2, 3, 1}));
+}
+
+TEST(Shape, RejectsNonPositiveDims) {
+  EXPECT_THROW(Shape({2, 0}), CheckError);
+  EXPECT_THROW(Shape({-1}), CheckError);
+}
+
+TEST(Shape, RejectsOutOfRangeDimIndex) {
+  Shape s{2, 3};
+  EXPECT_THROW(s.dim(2), CheckError);
+  EXPECT_THROW(s.dim(-3), CheckError);
+}
+
+TEST(Tensor, DefaultIsScalarZero) {
+  Tensor t;
+  EXPECT_EQ(t.numel(), 1);
+  EXPECT_FLOAT_EQ(t[0], 0.0f);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t(Shape{3, 4});
+  for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_FLOAT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, ExplicitDataValidated) {
+  EXPECT_NO_THROW(Tensor(Shape{2, 2}, {1, 2, 3, 4}));
+  EXPECT_THROW(Tensor(Shape{2, 2}, {1, 2, 3}), CheckError);
+}
+
+TEST(Tensor, FullAndOnes) {
+  Tensor t = Tensor::full(Shape{5}, 2.5f);
+  for (std::int64_t i = 0; i < 5; ++i) EXPECT_FLOAT_EQ(t[i], 2.5f);
+  Tensor o = Tensor::ones(Shape{2, 2});
+  EXPECT_FLOAT_EQ(o[3], 1.0f);
+}
+
+TEST(Tensor, FromInitializerList) {
+  Tensor t = Tensor::from({1.0f, 2.0f, 3.0f});
+  EXPECT_EQ(t.shape(), Shape({3}));
+  EXPECT_FLOAT_EQ(t[2], 3.0f);
+}
+
+TEST(Tensor, UniformWithinBounds) {
+  Rng rng(5);
+  Tensor t = Tensor::uniform(Shape{1000}, rng, -2.0f, 3.0f);
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_GE(t[i], -2.0f);
+    EXPECT_LT(t[i], 3.0f);
+  }
+}
+
+TEST(Tensor, RandnMoments) {
+  Rng rng(6);
+  Tensor t = Tensor::randn(Shape{20000}, rng, 1.0f, 2.0f);
+  double sum = 0.0;
+  for (std::int64_t i = 0; i < t.numel(); ++i) sum += t[i];
+  EXPECT_NEAR(sum / t.numel(), 1.0, 0.1);
+}
+
+TEST(Tensor, At2dAnd4dRowMajor) {
+  Tensor t(Shape{2, 3}, {0, 1, 2, 3, 4, 5});
+  EXPECT_FLOAT_EQ(t.at(1, 2), 5.0f);
+  t.at(0, 1) = 10.0f;
+  EXPECT_FLOAT_EQ(t[1], 10.0f);
+
+  Tensor u(Shape{1, 2, 2, 2}, {0, 1, 2, 3, 4, 5, 6, 7});
+  EXPECT_FLOAT_EQ(u.at(0, 1, 0, 1), 5.0f);
+  EXPECT_FLOAT_EQ(u.at(0, 1, 1, 0), 6.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t(Shape{2, 3}, {0, 1, 2, 3, 4, 5});
+  Tensor r = t.reshape(Shape{3, 2});
+  EXPECT_FLOAT_EQ(r.at(2, 1), 5.0f);
+  EXPECT_THROW(t.reshape(Shape{4, 2}), CheckError);
+}
+
+TEST(Tensor, AddInPlaceWithScale) {
+  Tensor a = Tensor::from({1, 2, 3});
+  Tensor b = Tensor::from({10, 20, 30});
+  a.add_(b, 0.5f);
+  EXPECT_FLOAT_EQ(a[0], 6.0f);
+  EXPECT_FLOAT_EQ(a[2], 18.0f);
+}
+
+TEST(Tensor, AddInPlaceShapeMismatchThrows) {
+  Tensor a(Shape{2});
+  Tensor b(Shape{3});
+  EXPECT_THROW(a.add_(b), CheckError);
+}
+
+TEST(Tensor, MulInPlace) {
+  Tensor a = Tensor::from({1, -2, 3});
+  a.mul_(-2.0f);
+  EXPECT_FLOAT_EQ(a[0], -2.0f);
+  EXPECT_FLOAT_EQ(a[1], 4.0f);
+}
+
+TEST(Tensor, ValueSemantics) {
+  Tensor a = Tensor::from({1, 2});
+  Tensor b = a;  // deep copy
+  b[0] = 99.0f;
+  EXPECT_FLOAT_EQ(a[0], 1.0f);
+}
+
+TEST(Tensor, FillOverwritesAll) {
+  Tensor a(Shape{4});
+  a.fill(3.0f);
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(a[i], 3.0f);
+}
+
+TEST(Tensor, SpanExposesContiguousData) {
+  Tensor a = Tensor::from({1, 2, 3});
+  auto s = a.span();
+  EXPECT_EQ(s.size(), 3u);
+  s[1] = 20.0f;
+  EXPECT_FLOAT_EQ(a[1], 20.0f);
+}
+
+}  // namespace
+}  // namespace cq

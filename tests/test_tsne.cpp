@@ -1,0 +1,122 @@
+// t-SNE embedding quality and separability metrics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/separability.hpp"
+#include "eval/tsne.hpp"
+#include "util/check.hpp"
+
+namespace cq {
+namespace {
+
+// Two well-separated Gaussian blobs in 10-D.
+struct Blobs {
+  Tensor points;
+  std::vector<int> labels;
+};
+
+Blobs two_blobs(std::int64_t per_class, float separation, Rng& rng) {
+  Blobs b;
+  b.points = Tensor(Shape{2 * per_class, 10});
+  for (std::int64_t i = 0; i < 2 * per_class; ++i) {
+    const int label = i < per_class ? 0 : 1;
+    b.labels.push_back(label);
+    for (std::int64_t d = 0; d < 10; ++d)
+      b.points.at(i, d) = static_cast<float>(
+          rng.normal(label == 0 ? 0.0 : separation, 1.0));
+  }
+  return b;
+}
+
+TEST(Tsne, OutputShapeAndCentering) {
+  Rng rng(1);
+  const auto b = two_blobs(30, 5.0f, rng);
+  eval::TsneConfig cfg;
+  cfg.iterations = 120;
+  Tensor y = eval::tsne(b.points, cfg);
+  EXPECT_EQ(y.shape(), Shape({60, 2}));
+  double mx = 0.0, my = 0.0;
+  for (std::int64_t i = 0; i < 60; ++i) {
+    mx += y.at(i, 0);
+    my += y.at(i, 1);
+  }
+  EXPECT_NEAR(mx / 60.0, 0.0, 1e-3);
+  EXPECT_NEAR(my / 60.0, 0.0, 1e-3);
+  for (std::int64_t i = 0; i < y.numel(); ++i)
+    ASSERT_TRUE(std::isfinite(y[i]));
+}
+
+TEST(Tsne, SeparatesWellSeparatedClusters) {
+  Rng rng(2);
+  const auto b = two_blobs(25, 10.0f, rng);
+  Tensor y = eval::tsne(b.points);
+  // The 2-D embedding should keep the clusters apart.
+  EXPECT_GT(eval::silhouette_score(y, b.labels), 0.4f);
+  EXPECT_GT(eval::knn_accuracy(y, b.labels, 5), 95.0f);
+}
+
+TEST(Tsne, DeterministicGivenSeed) {
+  Rng rng(3);
+  const auto b = two_blobs(15, 5.0f, rng);
+  eval::TsneConfig cfg;
+  cfg.perplexity = 8.0;  // 30 points need perplexity < 10
+  cfg.iterations = 60;
+  Tensor y1 = eval::tsne(b.points, cfg);
+  Tensor y2 = eval::tsne(b.points, cfg);
+  for (std::int64_t i = 0; i < y1.numel(); ++i)
+    ASSERT_FLOAT_EQ(y1[i], y2[i]);
+}
+
+TEST(Tsne, RejectsTooFewPoints) {
+  Rng rng(4);
+  Tensor x = Tensor::randn(Shape{10, 4}, rng);
+  eval::TsneConfig cfg;
+  cfg.perplexity = 15.0;  // needs N > 45
+  EXPECT_THROW(eval::tsne(x, cfg), CheckError);
+}
+
+TEST(Silhouette, PerfectClustersNearOne) {
+  Tensor points(Shape{4, 2}, {0.0f, 0.0f, 0.1f, 0.0f,
+                              10.0f, 10.0f, 10.1f, 10.0f});
+  EXPECT_GT(eval::silhouette_score(points, {0, 0, 1, 1}), 0.95f);
+}
+
+TEST(Silhouette, RandomLabelsNearZero) {
+  Rng rng(5);
+  Tensor points = Tensor::randn(Shape{60, 3}, rng);
+  std::vector<int> labels;
+  for (int i = 0; i < 60; ++i) labels.push_back(i % 2);
+  const float s = eval::silhouette_score(points, labels);
+  EXPECT_LT(std::abs(s), 0.15f);
+}
+
+TEST(Silhouette, RequiresTwoClasses) {
+  Tensor points(Shape{3, 2});
+  EXPECT_THROW(eval::silhouette_score(points, {0, 0, 0}), CheckError);
+}
+
+TEST(KnnAccuracy, PerfectOnSeparatedBlobs) {
+  Rng rng(6);
+  const auto b = two_blobs(20, 12.0f, rng);
+  EXPECT_GT(eval::knn_accuracy(b.points, b.labels, 5), 97.0f);
+}
+
+TEST(KnnAccuracy, ChanceOnRandomLabels) {
+  Rng rng(7);
+  Tensor points = Tensor::randn(Shape{80, 4}, rng);
+  std::vector<int> labels;
+  for (int i = 0; i < 80; ++i)
+    labels.push_back(static_cast<int>(rng.uniform_index(2)));
+  const float acc = eval::knn_accuracy(points, labels, 5);
+  EXPECT_GT(acc, 20.0f);
+  EXPECT_LT(acc, 80.0f);
+}
+
+TEST(KnnAccuracy, KOneUsesNearestNeighbour) {
+  Tensor points(Shape{4, 1}, {0.0f, 0.1f, 10.0f, 10.1f});
+  EXPECT_FLOAT_EQ(eval::knn_accuracy(points, {0, 0, 1, 1}, 1), 100.0f);
+}
+
+}  // namespace
+}  // namespace cq

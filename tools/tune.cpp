@@ -1,0 +1,52 @@
+// Scratch tuning harness (not part of the shipped library).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include "core/simclr.hpp"
+#include "data/synth.hpp"
+#include "eval/classifier.hpp"
+#include "eval/separability.hpp"
+
+using namespace cq;
+
+int main(int argc, char** argv) {
+  std::string which = argc > 1 ? argv[1] : "synth-cifar";
+  int ssl_n = argc > 2 ? atoi(argv[2]) : 256;
+  int epochs = argc > 3 ? atoi(argv[3]) : 12;
+  float lr = argc > 4 ? atof(argv[4]) : 0.1f;
+  std::string arch = argc > 5 ? argv[5] : "resnet18";
+
+  auto cfg = which == "synth-cifar" ? data::synth_cifar_config()
+                                    : data::synth_imagenet_config();
+  Rng r1(1001), r2(1002), r3(1003);
+  auto ssl = data::make_synth_dataset(cfg, ssl_n, r1);
+  auto labeled = data::make_synth_dataset(cfg, 400, r2);
+  auto test = data::make_synth_dataset(cfg, 160, r3);
+
+  Rng sub_rng(77);
+  auto lab10 = data::subset_fraction(labeled, 0.10, sub_rng);
+  auto lab1 = data::subset_fraction(labeled, 0.01, sub_rng);
+
+  eval::EvalConfig lecfg; lecfg.epochs = 30; lecfg.batch_size = 32;
+  eval::EvalConfig fcfg; fcfg.epochs = 25; fcfg.batch_size = 16; fcfg.lr = 0.02f;
+
+  for (std::string v : {"vanilla", "cq-a", "cq-c"}) {
+    Rng rb(7);
+    auto enc = models::make_encoder(arch, rb);
+    core::PretrainConfig pc;
+    pc.variant = core::parse_variant(v);
+    pc.precisions = quant::PrecisionSet::range(6, 16);
+    pc.epochs = epochs; pc.batch_size = 32; pc.lr = lr;
+    pc.warmup_epochs = 1; pc.proj_hidden = 32; pc.proj_dim = 16;
+    core::SimClrCqTrainer trainer(enc, pc);
+    auto stats = trainer.train(ssl);
+    float lin = eval::linear_eval(enc, labeled, test, lecfg).test_accuracy;
+    float ft10 = eval::finetune_eval(enc, lab10, test, fcfg).test_accuracy;
+    float ft1 = eval::finetune_eval(enc, lab1, test, fcfg).test_accuracy;
+    printf("%-8s %-10s loss %.3f->%.3f div=%d | linear %.1f  ft10%% %.1f  ft1%% %.1f  (%.0fs)\n",
+           v.c_str(), arch.c_str(), stats.epoch_loss.front(), stats.epoch_loss.back(),
+           (int)stats.diverged, lin, ft10, ft1, stats.seconds);
+    fflush(stdout);
+  }
+  return 0;
+}
