@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_quant_design.dir/ablation_quant_design.cpp.o"
+  "CMakeFiles/ablation_quant_design.dir/ablation_quant_design.cpp.o.d"
+  "ablation_quant_design"
+  "ablation_quant_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_quant_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_extensions.dir/ext_extensions.cpp.o"
+  "CMakeFiles/ext_extensions.dir/ext_extensions.cpp.o.d"
+  "ext_extensions"
+  "ext_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

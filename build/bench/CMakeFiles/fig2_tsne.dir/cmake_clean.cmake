@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_tsne.dir/fig2_tsne.cpp.o"
+  "CMakeFiles/fig2_tsne.dir/fig2_tsne.cpp.o.d"
+  "fig2_tsne"
+  "fig2_tsne.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_tsne.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_imagenet_finetune.dir/table1_imagenet_finetune.cpp.o"
+  "CMakeFiles/table1_imagenet_finetune.dir/table1_imagenet_finetune.cpp.o.d"
+  "table1_imagenet_finetune"
+  "table1_imagenet_finetune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_imagenet_finetune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_imagenet_linear.dir/table2_imagenet_linear.cpp.o"
+  "CMakeFiles/table2_imagenet_linear.dir/table2_imagenet_linear.cpp.o.d"
+  "table2_imagenet_linear"
+  "table2_imagenet_linear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_imagenet_linear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

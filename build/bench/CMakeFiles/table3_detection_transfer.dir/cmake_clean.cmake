@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_detection_transfer.dir/table3_detection_transfer.cpp.o"
+  "CMakeFiles/table3_detection_transfer.dir/table3_detection_transfer.cpp.o.d"
+  "table3_detection_transfer"
+  "table3_detection_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_detection_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

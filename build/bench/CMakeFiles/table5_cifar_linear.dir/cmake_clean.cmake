@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_cifar_linear.dir/table5_cifar_linear.cpp.o"
+  "CMakeFiles/table5_cifar_linear.dir/table5_cifar_linear.cpp.o.d"
+  "table5_cifar_linear"
+  "table5_cifar_linear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_cifar_linear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_byol_finetune.dir/table6_byol_finetune.cpp.o"
+  "CMakeFiles/table6_byol_finetune.dir/table6_byol_finetune.cpp.o.d"
+  "table6_byol_finetune"
+  "table6_byol_finetune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_byol_finetune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_cq_variants.dir/table7_cq_variants.cpp.o"
+  "CMakeFiles/table7_cq_variants.dir/table7_cq_variants.cpp.o.d"
+  "table7_cq_variants"
+  "table7_cq_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_cq_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_cq_quant.dir/table8_cq_quant.cpp.o"
+  "CMakeFiles/table8_cq_quant.dir/table8_cq_quant.cpp.o.d"
+  "table8_cq_quant"
+  "table8_cq_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_cq_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

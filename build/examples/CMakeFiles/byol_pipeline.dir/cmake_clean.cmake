@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/byol_pipeline.dir/byol_pipeline.cpp.o"
+  "CMakeFiles/byol_pipeline.dir/byol_pipeline.cpp.o.d"
+  "byol_pipeline"
+  "byol_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/byol_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cifar_pretrain_finetune.dir/cifar_pretrain_finetune.cpp.o"
+  "CMakeFiles/cifar_pretrain_finetune.dir/cifar_pretrain_finetune.cpp.o.d"
+  "cifar_pretrain_finetune"
+  "cifar_pretrain_finetune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cifar_pretrain_finetune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

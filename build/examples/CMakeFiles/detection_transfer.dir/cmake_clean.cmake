@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detection_transfer.dir/detection_transfer.cpp.o"
+  "CMakeFiles/detection_transfer.dir/detection_transfer.cpp.o.d"
+  "detection_transfer"
+  "detection_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detection_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

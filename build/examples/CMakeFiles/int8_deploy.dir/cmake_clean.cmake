@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/int8_deploy.dir/int8_deploy.cpp.o"
+  "CMakeFiles/int8_deploy.dir/int8_deploy.cpp.o.d"
+  "int8_deploy"
+  "int8_deploy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/int8_deploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

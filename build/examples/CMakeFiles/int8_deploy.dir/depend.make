@@ -1,0 +1,2 @@
+# Empty dependencies file for int8_deploy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/byol.cpp" "src/CMakeFiles/cq_core.dir/core/byol.cpp.o" "gcc" "src/CMakeFiles/cq_core.dir/core/byol.cpp.o.d"
+  "/root/repo/src/core/cq.cpp" "src/CMakeFiles/cq_core.dir/core/cq.cpp.o" "gcc" "src/CMakeFiles/cq_core.dir/core/cq.cpp.o.d"
+  "/root/repo/src/core/losses.cpp" "src/CMakeFiles/cq_core.dir/core/losses.cpp.o" "gcc" "src/CMakeFiles/cq_core.dir/core/losses.cpp.o.d"
+  "/root/repo/src/core/moco.cpp" "src/CMakeFiles/cq_core.dir/core/moco.cpp.o" "gcc" "src/CMakeFiles/cq_core.dir/core/moco.cpp.o.d"
+  "/root/repo/src/core/runner.cpp" "src/CMakeFiles/cq_core.dir/core/runner.cpp.o" "gcc" "src/CMakeFiles/cq_core.dir/core/runner.cpp.o.d"
+  "/root/repo/src/core/simclr.cpp" "src/CMakeFiles/cq_core.dir/core/simclr.cpp.o" "gcc" "src/CMakeFiles/cq_core.dir/core/simclr.cpp.o.d"
+  "/root/repo/src/core/simsiam.cpp" "src/CMakeFiles/cq_core.dir/core/simsiam.cpp.o" "gcc" "src/CMakeFiles/cq_core.dir/core/simsiam.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cq_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cq_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cq_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cq_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cq_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cq_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

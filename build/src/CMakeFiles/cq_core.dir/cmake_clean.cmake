@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cq_core.dir/core/byol.cpp.o"
+  "CMakeFiles/cq_core.dir/core/byol.cpp.o.d"
+  "CMakeFiles/cq_core.dir/core/cq.cpp.o"
+  "CMakeFiles/cq_core.dir/core/cq.cpp.o.d"
+  "CMakeFiles/cq_core.dir/core/losses.cpp.o"
+  "CMakeFiles/cq_core.dir/core/losses.cpp.o.d"
+  "CMakeFiles/cq_core.dir/core/moco.cpp.o"
+  "CMakeFiles/cq_core.dir/core/moco.cpp.o.d"
+  "CMakeFiles/cq_core.dir/core/runner.cpp.o"
+  "CMakeFiles/cq_core.dir/core/runner.cpp.o.d"
+  "CMakeFiles/cq_core.dir/core/simclr.cpp.o"
+  "CMakeFiles/cq_core.dir/core/simclr.cpp.o.d"
+  "CMakeFiles/cq_core.dir/core/simsiam.cpp.o"
+  "CMakeFiles/cq_core.dir/core/simsiam.cpp.o.d"
+  "libcq_core.a"
+  "libcq_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cq_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cq_data.dir/data/augment.cpp.o"
+  "CMakeFiles/cq_data.dir/data/augment.cpp.o.d"
+  "CMakeFiles/cq_data.dir/data/dataset.cpp.o"
+  "CMakeFiles/cq_data.dir/data/dataset.cpp.o.d"
+  "CMakeFiles/cq_data.dir/data/image.cpp.o"
+  "CMakeFiles/cq_data.dir/data/image.cpp.o.d"
+  "CMakeFiles/cq_data.dir/data/synth.cpp.o"
+  "CMakeFiles/cq_data.dir/data/synth.cpp.o.d"
+  "libcq_data.a"
+  "libcq_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cq_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cq_deploy.dir/deploy/int8.cpp.o"
+  "CMakeFiles/cq_deploy.dir/deploy/int8.cpp.o.d"
+  "libcq_deploy.a"
+  "libcq_deploy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cq_deploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cq_detect.dir/detect/ap.cpp.o"
+  "CMakeFiles/cq_detect.dir/detect/ap.cpp.o.d"
+  "CMakeFiles/cq_detect.dir/detect/boxes.cpp.o"
+  "CMakeFiles/cq_detect.dir/detect/boxes.cpp.o.d"
+  "CMakeFiles/cq_detect.dir/detect/dataset.cpp.o"
+  "CMakeFiles/cq_detect.dir/detect/dataset.cpp.o.d"
+  "CMakeFiles/cq_detect.dir/detect/head.cpp.o"
+  "CMakeFiles/cq_detect.dir/detect/head.cpp.o.d"
+  "libcq_detect.a"
+  "libcq_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cq_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

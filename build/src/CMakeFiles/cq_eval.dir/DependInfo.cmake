@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/classifier.cpp" "src/CMakeFiles/cq_eval.dir/eval/classifier.cpp.o" "gcc" "src/CMakeFiles/cq_eval.dir/eval/classifier.cpp.o.d"
+  "/root/repo/src/eval/metrics.cpp" "src/CMakeFiles/cq_eval.dir/eval/metrics.cpp.o" "gcc" "src/CMakeFiles/cq_eval.dir/eval/metrics.cpp.o.d"
+  "/root/repo/src/eval/separability.cpp" "src/CMakeFiles/cq_eval.dir/eval/separability.cpp.o" "gcc" "src/CMakeFiles/cq_eval.dir/eval/separability.cpp.o.d"
+  "/root/repo/src/eval/tsne.cpp" "src/CMakeFiles/cq_eval.dir/eval/tsne.cpp.o" "gcc" "src/CMakeFiles/cq_eval.dir/eval/tsne.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cq_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cq_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cq_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cq_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cq_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cq_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cq_eval.dir/eval/classifier.cpp.o"
+  "CMakeFiles/cq_eval.dir/eval/classifier.cpp.o.d"
+  "CMakeFiles/cq_eval.dir/eval/metrics.cpp.o"
+  "CMakeFiles/cq_eval.dir/eval/metrics.cpp.o.d"
+  "CMakeFiles/cq_eval.dir/eval/separability.cpp.o"
+  "CMakeFiles/cq_eval.dir/eval/separability.cpp.o.d"
+  "CMakeFiles/cq_eval.dir/eval/tsne.cpp.o"
+  "CMakeFiles/cq_eval.dir/eval/tsne.cpp.o.d"
+  "libcq_eval.a"
+  "libcq_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cq_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

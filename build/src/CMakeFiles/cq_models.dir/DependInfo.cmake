@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/encoder.cpp" "src/CMakeFiles/cq_models.dir/models/encoder.cpp.o" "gcc" "src/CMakeFiles/cq_models.dir/models/encoder.cpp.o.d"
+  "/root/repo/src/models/heads.cpp" "src/CMakeFiles/cq_models.dir/models/heads.cpp.o" "gcc" "src/CMakeFiles/cq_models.dir/models/heads.cpp.o.d"
+  "/root/repo/src/models/mobilenetv2.cpp" "src/CMakeFiles/cq_models.dir/models/mobilenetv2.cpp.o" "gcc" "src/CMakeFiles/cq_models.dir/models/mobilenetv2.cpp.o.d"
+  "/root/repo/src/models/resnet.cpp" "src/CMakeFiles/cq_models.dir/models/resnet.cpp.o" "gcc" "src/CMakeFiles/cq_models.dir/models/resnet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cq_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cq_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cq_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

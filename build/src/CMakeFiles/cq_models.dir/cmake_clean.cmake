@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cq_models.dir/models/encoder.cpp.o"
+  "CMakeFiles/cq_models.dir/models/encoder.cpp.o.d"
+  "CMakeFiles/cq_models.dir/models/heads.cpp.o"
+  "CMakeFiles/cq_models.dir/models/heads.cpp.o.d"
+  "CMakeFiles/cq_models.dir/models/mobilenetv2.cpp.o"
+  "CMakeFiles/cq_models.dir/models/mobilenetv2.cpp.o.d"
+  "CMakeFiles/cq_models.dir/models/resnet.cpp.o"
+  "CMakeFiles/cq_models.dir/models/resnet.cpp.o.d"
+  "libcq_models.a"
+  "libcq_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cq_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/CMakeFiles/cq_nn.dir/nn/activations.cpp.o" "gcc" "src/CMakeFiles/cq_nn.dir/nn/activations.cpp.o.d"
+  "/root/repo/src/nn/batchnorm.cpp" "src/CMakeFiles/cq_nn.dir/nn/batchnorm.cpp.o" "gcc" "src/CMakeFiles/cq_nn.dir/nn/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/conv2d.cpp" "src/CMakeFiles/cq_nn.dir/nn/conv2d.cpp.o" "gcc" "src/CMakeFiles/cq_nn.dir/nn/conv2d.cpp.o.d"
+  "/root/repo/src/nn/init.cpp" "src/CMakeFiles/cq_nn.dir/nn/init.cpp.o" "gcc" "src/CMakeFiles/cq_nn.dir/nn/init.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/CMakeFiles/cq_nn.dir/nn/linear.cpp.o" "gcc" "src/CMakeFiles/cq_nn.dir/nn/linear.cpp.o.d"
+  "/root/repo/src/nn/module.cpp" "src/CMakeFiles/cq_nn.dir/nn/module.cpp.o" "gcc" "src/CMakeFiles/cq_nn.dir/nn/module.cpp.o.d"
+  "/root/repo/src/nn/pooling.cpp" "src/CMakeFiles/cq_nn.dir/nn/pooling.cpp.o" "gcc" "src/CMakeFiles/cq_nn.dir/nn/pooling.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "src/CMakeFiles/cq_nn.dir/nn/sequential.cpp.o" "gcc" "src/CMakeFiles/cq_nn.dir/nn/sequential.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cq_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

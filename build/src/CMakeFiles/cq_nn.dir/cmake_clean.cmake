@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cq_nn.dir/nn/activations.cpp.o"
+  "CMakeFiles/cq_nn.dir/nn/activations.cpp.o.d"
+  "CMakeFiles/cq_nn.dir/nn/batchnorm.cpp.o"
+  "CMakeFiles/cq_nn.dir/nn/batchnorm.cpp.o.d"
+  "CMakeFiles/cq_nn.dir/nn/conv2d.cpp.o"
+  "CMakeFiles/cq_nn.dir/nn/conv2d.cpp.o.d"
+  "CMakeFiles/cq_nn.dir/nn/init.cpp.o"
+  "CMakeFiles/cq_nn.dir/nn/init.cpp.o.d"
+  "CMakeFiles/cq_nn.dir/nn/linear.cpp.o"
+  "CMakeFiles/cq_nn.dir/nn/linear.cpp.o.d"
+  "CMakeFiles/cq_nn.dir/nn/module.cpp.o"
+  "CMakeFiles/cq_nn.dir/nn/module.cpp.o.d"
+  "CMakeFiles/cq_nn.dir/nn/pooling.cpp.o"
+  "CMakeFiles/cq_nn.dir/nn/pooling.cpp.o.d"
+  "CMakeFiles/cq_nn.dir/nn/sequential.cpp.o"
+  "CMakeFiles/cq_nn.dir/nn/sequential.cpp.o.d"
+  "libcq_nn.a"
+  "libcq_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cq_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

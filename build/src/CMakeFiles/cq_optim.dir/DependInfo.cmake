@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optim/adam.cpp" "src/CMakeFiles/cq_optim.dir/optim/adam.cpp.o" "gcc" "src/CMakeFiles/cq_optim.dir/optim/adam.cpp.o.d"
+  "/root/repo/src/optim/schedule.cpp" "src/CMakeFiles/cq_optim.dir/optim/schedule.cpp.o" "gcc" "src/CMakeFiles/cq_optim.dir/optim/schedule.cpp.o.d"
+  "/root/repo/src/optim/sgd.cpp" "src/CMakeFiles/cq_optim.dir/optim/sgd.cpp.o" "gcc" "src/CMakeFiles/cq_optim.dir/optim/sgd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cq_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cq_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

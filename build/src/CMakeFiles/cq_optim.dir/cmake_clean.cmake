@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cq_optim.dir/optim/adam.cpp.o"
+  "CMakeFiles/cq_optim.dir/optim/adam.cpp.o.d"
+  "CMakeFiles/cq_optim.dir/optim/schedule.cpp.o"
+  "CMakeFiles/cq_optim.dir/optim/schedule.cpp.o.d"
+  "CMakeFiles/cq_optim.dir/optim/sgd.cpp.o"
+  "CMakeFiles/cq_optim.dir/optim/sgd.cpp.o.d"
+  "libcq_optim.a"
+  "libcq_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cq_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

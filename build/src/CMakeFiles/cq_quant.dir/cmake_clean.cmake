@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cq_quant.dir/quant/actquant.cpp.o"
+  "CMakeFiles/cq_quant.dir/quant/actquant.cpp.o.d"
+  "CMakeFiles/cq_quant.dir/quant/policy.cpp.o"
+  "CMakeFiles/cq_quant.dir/quant/policy.cpp.o.d"
+  "CMakeFiles/cq_quant.dir/quant/quantizer.cpp.o"
+  "CMakeFiles/cq_quant.dir/quant/quantizer.cpp.o.d"
+  "libcq_quant.a"
+  "libcq_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cq_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cq_tensor.dir/tensor/im2col.cpp.o"
+  "CMakeFiles/cq_tensor.dir/tensor/im2col.cpp.o.d"
+  "CMakeFiles/cq_tensor.dir/tensor/ops.cpp.o"
+  "CMakeFiles/cq_tensor.dir/tensor/ops.cpp.o.d"
+  "CMakeFiles/cq_tensor.dir/tensor/shape.cpp.o"
+  "CMakeFiles/cq_tensor.dir/tensor/shape.cpp.o.d"
+  "CMakeFiles/cq_tensor.dir/tensor/tensor.cpp.o"
+  "CMakeFiles/cq_tensor.dir/tensor/tensor.cpp.o.d"
+  "libcq_tensor.a"
+  "libcq_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cq_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

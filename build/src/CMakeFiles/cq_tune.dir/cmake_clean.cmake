@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cq_tune.dir/__/tools/tune.cpp.o"
+  "CMakeFiles/cq_tune.dir/__/tools/tune.cpp.o.d"
+  "cq_tune"
+  "cq_tune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cq_tune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

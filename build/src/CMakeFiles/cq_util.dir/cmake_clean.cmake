@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cq_util.dir/util/csv.cpp.o"
+  "CMakeFiles/cq_util.dir/util/csv.cpp.o.d"
+  "CMakeFiles/cq_util.dir/util/logging.cpp.o"
+  "CMakeFiles/cq_util.dir/util/logging.cpp.o.d"
+  "CMakeFiles/cq_util.dir/util/rng.cpp.o"
+  "CMakeFiles/cq_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/cq_util.dir/util/serialize.cpp.o"
+  "CMakeFiles/cq_util.dir/util/serialize.cpp.o.d"
+  "CMakeFiles/cq_util.dir/util/table.cpp.o"
+  "CMakeFiles/cq_util.dir/util/table.cpp.o.d"
+  "libcq_util.a"
+  "libcq_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cq_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

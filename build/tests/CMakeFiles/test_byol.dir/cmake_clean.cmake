@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_byol.dir/test_byol.cpp.o"
+  "CMakeFiles/test_byol.dir/test_byol.cpp.o.d"
+  "test_byol"
+  "test_byol.pdb"
+  "test_byol[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_byol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

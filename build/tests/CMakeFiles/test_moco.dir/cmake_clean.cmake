@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_moco.dir/test_moco.cpp.o"
+  "CMakeFiles/test_moco.dir/test_moco.cpp.o.d"
+  "test_moco"
+  "test_moco.pdb"
+  "test_moco[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_moco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

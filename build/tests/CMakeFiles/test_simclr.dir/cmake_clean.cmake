@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simclr.dir/test_simclr.cpp.o"
+  "CMakeFiles/test_simclr.dir/test_simclr.cpp.o.d"
+  "test_simclr"
+  "test_simclr.pdb"
+  "test_simclr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simclr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

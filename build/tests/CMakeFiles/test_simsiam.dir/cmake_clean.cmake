@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simsiam.dir/test_simsiam.cpp.o"
+  "CMakeFiles/test_simsiam.dir/test_simsiam.cpp.o.d"
+  "test_simsiam"
+  "test_simsiam.pdb"
+  "test_simsiam[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simsiam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

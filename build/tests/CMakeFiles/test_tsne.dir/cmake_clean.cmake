@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tsne.dir/test_tsne.cpp.o"
+  "CMakeFiles/test_tsne.dir/test_tsne.cpp.o.d"
+  "test_tsne"
+  "test_tsne.pdb"
+  "test_tsne[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tsne.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
