@@ -215,4 +215,4 @@ src/CMakeFiles/cq_nn.dir/nn/conv2d.cpp.o: /root/repo/src/nn/conv2d.cpp \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/rng.hpp \
  /root/repo/src/tensor/im2col.hpp /root/repo/src/nn/init.hpp \
- /root/repo/src/tensor/ops.hpp
+ /root/repo/src/tensor/gemm.hpp

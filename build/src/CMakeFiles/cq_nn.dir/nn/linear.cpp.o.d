@@ -237,4 +237,4 @@ src/CMakeFiles/cq_nn.dir/nn/linear.cpp.o: /root/repo/src/nn/linear.cpp \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/nn/init.hpp \
- /root/repo/src/tensor/ops.hpp
+ /root/repo/src/tensor/gemm.hpp

@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/gemm.cpp" "src/CMakeFiles/cq_tensor.dir/tensor/gemm.cpp.o" "gcc" "src/CMakeFiles/cq_tensor.dir/tensor/gemm.cpp.o.d"
   "/root/repo/src/tensor/im2col.cpp" "src/CMakeFiles/cq_tensor.dir/tensor/im2col.cpp.o" "gcc" "src/CMakeFiles/cq_tensor.dir/tensor/im2col.cpp.o.d"
   "/root/repo/src/tensor/ops.cpp" "src/CMakeFiles/cq_tensor.dir/tensor/ops.cpp.o" "gcc" "src/CMakeFiles/cq_tensor.dir/tensor/ops.cpp.o.d"
   "/root/repo/src/tensor/shape.cpp" "src/CMakeFiles/cq_tensor.dir/tensor/shape.cpp.o" "gcc" "src/CMakeFiles/cq_tensor.dir/tensor/shape.cpp.o.d"

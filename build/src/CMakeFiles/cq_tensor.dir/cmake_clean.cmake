@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/cq_tensor.dir/tensor/gemm.cpp.o"
+  "CMakeFiles/cq_tensor.dir/tensor/gemm.cpp.o.d"
   "CMakeFiles/cq_tensor.dir/tensor/im2col.cpp.o"
   "CMakeFiles/cq_tensor.dir/tensor/im2col.cpp.o.d"
   "CMakeFiles/cq_tensor.dir/tensor/ops.cpp.o"

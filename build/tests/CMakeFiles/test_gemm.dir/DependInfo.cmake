@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_gemm.cpp" "tests/CMakeFiles/test_gemm.dir/test_gemm.cpp.o" "gcc" "tests/CMakeFiles/test_gemm.dir/test_gemm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cq_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cq_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cq_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cq_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cq_deploy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cq_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cq_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cq_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cq_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -7,6 +7,7 @@
 include("/root/repo/build/tests/test_util[1]_include.cmake")
 include("/root/repo/build/tests/test_tensor[1]_include.cmake")
 include("/root/repo/build/tests/test_ops[1]_include.cmake")
+include("/root/repo/build/tests/test_gemm[1]_include.cmake")
 include("/root/repo/build/tests/test_im2col[1]_include.cmake")
 include("/root/repo/build/tests/test_nn[1]_include.cmake")
 include("/root/repo/build/tests/test_nn_gradcheck[1]_include.cmake")

@@ -1,7 +1,7 @@
 #include "nn/conv2d.hpp"
 
 #include "nn/init.hpp"
-#include "tensor/ops.hpp"
+#include "tensor/gemm.hpp"
 
 namespace cq::nn {
 
@@ -64,18 +64,8 @@ Tensor Conv2d::forward(const Tensor& x) {
       // out[cout_g, oh*ow] = W_grp[cout_g, krows] * cols[krows, oh*ow]
       const float* wg = W + grp * cout_g * krows;
       float* og = out_base + grp * cout_g * oh * ow;
-      const auto spatial = oh * ow;
-      for (std::int64_t oc = 0; oc < cout_g; ++oc) {
-        float* orow = og + oc * spatial;
-        for (std::int64_t s = 0; s < spatial; ++s) orow[s] = 0.0f;
-        const float* wrow = wg + oc * krows;
-        for (std::int64_t kk = 0; kk < krows; ++kk) {
-          const float wv = wrow[kk];
-          if (wv == 0.0f) continue;
-          const float* crow = cols.data() + kk * spatial;
-          for (std::int64_t s = 0; s < spatial; ++s) orow[s] += wv * crow[s];
-        }
-      }
+      gemm::gemm(gemm::Trans::kNN, cout_g, oh * ow, krows, wg, cols.data(),
+                 og);
     }
     if (spec_.bias) {
       for (std::int64_t oc = 0; oc < spec_.out_channels; ++oc) {
@@ -133,31 +123,12 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
       const float* go = go_base + grp * cout_g * spatial;
       // dW_grp += go[cout_g, spatial] * cols^T[spatial, krows]
       float* wg_grad = Wg + grp * cout_g * krows;
-      for (std::int64_t oc = 0; oc < cout_g; ++oc) {
-        const float* gorow = go + oc * spatial;
-        float* wrow = wg_grad + oc * krows;
-        for (std::int64_t kk = 0; kk < krows; ++kk) {
-          const float* crow = cols.data() + kk * spatial;
-          double s = 0.0;
-          for (std::int64_t sp = 0; sp < spatial; ++sp)
-            s += static_cast<double>(gorow[sp]) * crow[sp];
-          wrow[kk] += static_cast<float>(s);
-        }
-      }
+      gemm::gemm(gemm::Trans::kNT, cout_g, krows, spatial, go, cols.data(),
+                 wg_grad, /*accumulate=*/true);
       // dcols[krows, spatial] = W_grp^T[krows, cout_g] * go[cout_g, spatial]
-      std::fill(dcols.begin(), dcols.end(), 0.0f);
       const float* wgrp = W + grp * cout_g * krows;
-      for (std::int64_t oc = 0; oc < cout_g; ++oc) {
-        const float* wrow = wgrp + oc * krows;
-        const float* gorow = go + oc * spatial;
-        for (std::int64_t kk = 0; kk < krows; ++kk) {
-          const float wv = wrow[kk];
-          if (wv == 0.0f) continue;
-          float* drow = dcols.data() + kk * spatial;
-          for (std::int64_t sp = 0; sp < spatial; ++sp)
-            drow[sp] += wv * gorow[sp];
-        }
-      }
+      gemm::gemm(gemm::Trans::kTN, krows, spatial, cout_g, wgrp, go,
+                 dcols.data());
       col2im(dcols.data(), g, gi_base + grp * cin_g * in_h * in_w);
     }
     if (spec_.bias) {

@@ -3,7 +3,7 @@
 #include <cmath>
 
 #include "nn/init.hpp"
-#include "tensor/ops.hpp"
+#include "tensor/gemm.hpp"
 
 namespace cq::nn {
 
@@ -29,7 +29,10 @@ Tensor Linear::forward(const Tensor& x) {
   Tensor w_eff =
       transformed ? transform_->apply(weight_.value) : weight_.value;
 
-  Tensor y = ops::matmul_nt(x, w_eff);  // [N, out]
+  const auto batch = x.dim(0);
+  Tensor y(Shape{batch, out_features_});  // y = x * W^T
+  gemm::gemm(gemm::Trans::kNT, batch, out_features_, in_features_, x.data(),
+             w_eff.data(), y.data());
   if (has_bias_) {
     const auto n = y.dim(0);
     for (std::int64_t r = 0; r < n; ++r)
@@ -52,17 +55,23 @@ Tensor Linear::backward(const Tensor& grad_out) {
   CQ_CHECK(grad_out.shape().rank() == 2 && grad_out.dim(1) == out_features_);
   CQ_CHECK(grad_out.dim(0) == entry.input.dim(0));
 
+  const auto batch = grad_out.dim(0);
   // Straight-through estimator: dL/dW_master := dL/dW_effective.
-  weight_.grad.add_(ops::matmul_tn(grad_out, entry.input));
+  // dW[out,in] += grad_out^T[out,batch] * x[batch,in], accumulated in place.
+  gemm::gemm(gemm::Trans::kTN, out_features_, in_features_, batch,
+             grad_out.data(), entry.input.data(), weight_.grad.data(),
+             /*accumulate=*/true);
   if (has_bias_) {
-    const auto n = grad_out.dim(0);
-    for (std::int64_t r = 0; r < n; ++r)
+    for (std::int64_t r = 0; r < batch; ++r)
       for (std::int64_t c = 0; c < out_features_; ++c)
         bias_.grad[c] += grad_out.at(r, c);
   }
   const Tensor& w_used =
       entry.effective_weight ? *entry.effective_weight : weight_.value;
-  return ops::matmul(grad_out, w_used);  // [N, in]
+  Tensor grad_in(Shape{batch, in_features_});  // grad_out * W
+  gemm::gemm(gemm::Trans::kNN, batch, in_features_, out_features_,
+             grad_out.data(), w_used.data(), grad_in.data());
+  return grad_in;
 }
 
 void Linear::collect_parameters(std::vector<Parameter*>& out) {

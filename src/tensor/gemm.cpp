@@ -1,0 +1,231 @@
+// Blocked GEMM implementation (BLIS-style). This translation unit is compiled
+// with -march=native (see src/CMakeLists.txt) so the micro-kernel vectorizes
+// to the widest SIMD the build machine has; the rest of the library keeps the
+// portable baseline flags.
+#include "tensor/gemm.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+namespace cq::gemm {
+namespace {
+
+constexpr std::int64_t MR = kMR;
+constexpr std::int64_t NR = kNR;
+constexpr std::int64_t MC = kMC;
+constexpr std::int64_t KC = kKC;
+constexpr std::int64_t NC = kNC;
+
+static_assert(MC % MR == 0 && NC % NR == 0, "cache blocks must tile evenly");
+
+// Element accessors for the logical operands: op(A)(i,p) = a[i*rs + p*cs]
+// and op(B)(p,j) = b[p*rs + j*cs]. The transpose variants differ only here.
+struct Strides {
+  std::int64_t rs, cs;
+};
+
+Strides a_strides(Trans t, std::int64_t m, std::int64_t k) {
+  // kNN/kNT store A as [M,K]; kTN stores A as [K,M] and reads it transposed.
+  return t == Trans::kTN ? Strides{1, m} : Strides{k, 1};
+}
+
+Strides b_strides(Trans t, std::int64_t k, std::int64_t n) {
+  // kNN/kTN store B as [K,N]; kNT stores B as [N,K] and reads it transposed.
+  return t == Trans::kNT ? Strides{1, k} : Strides{n, 1};
+}
+
+// Pack an mc x kc block of op(A) into MR-row slivers: sliver s holds rows
+// [s*MR, s*MR+MR) laid out p-major so the micro-kernel reads MR contiguous
+// floats per k-step. Short edge slivers are zero-padded to full MR.
+void pack_a(const float* a, Strides s, std::int64_t mc, std::int64_t kc,
+            float* ap) {
+  for (std::int64_t ir = 0; ir < mc; ir += MR) {
+    const std::int64_t mr = std::min(MR, mc - ir);
+    for (std::int64_t p = 0; p < kc; ++p) {
+      for (std::int64_t i = 0; i < mr; ++i)
+        *ap++ = a[(ir + i) * s.rs + p * s.cs];
+      for (std::int64_t i = mr; i < MR; ++i) *ap++ = 0.0f;
+    }
+  }
+}
+
+// Pack a kc x nc block of op(B) into NR-column slivers, zero-padded likewise.
+void pack_b(const float* b, Strides s, std::int64_t kc, std::int64_t nc,
+            float* bp) {
+  for (std::int64_t jr = 0; jr < nc; jr += NR) {
+    const std::int64_t nr = std::min(NR, nc - jr);
+    for (std::int64_t p = 0; p < kc; ++p) {
+      for (std::int64_t j = 0; j < nr; ++j)
+        *bp++ = b[p * s.rs + (jr + j) * s.cs];
+      for (std::int64_t j = nr; j < NR; ++j) *bp++ = 0.0f;
+    }
+  }
+}
+
+// MR x NR register tile over a kc-long packed panel pair. The NR lanes live
+// in one GCC vector-extension value per row: this pins the vectorization
+// axis to the contiguous B sliver (broadcast-A times vector-B), which GCC's
+// loop vectorizer does not reliably pick on its own for the equivalent
+// scalar loops. Edge tiles only clip the write-back.
+#if defined(__GNUC__) || defined(__clang__)
+typedef float VecNR __attribute__((vector_size(sizeof(float) * NR)));
+
+void micro_kernel(std::int64_t kc, const float* __restrict__ ap,
+                  const float* __restrict__ bp, float* __restrict__ c,
+                  std::int64_t ldc, std::int64_t mr, std::int64_t nr,
+                  bool overwrite) {
+  VecNR acc[MR] = {};
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const float* a = ap + p * MR;
+    VecNR bv;  // unaligned NR-wide load of the packed B sliver
+    __builtin_memcpy(&bv, bp + p * NR, sizeof(bv));
+    for (std::int64_t i = 0; i < MR; ++i) acc[i] += a[i] * bv;
+  }
+  if (mr == MR && nr == NR) {
+    for (std::int64_t i = 0; i < MR; ++i) {
+      float* crow = c + i * ldc;
+      if (!overwrite) {
+        VecNR cv;
+        __builtin_memcpy(&cv, crow, sizeof(cv));
+        acc[i] += cv;
+      }
+      __builtin_memcpy(crow, &acc[i], sizeof(acc[i]));
+    }
+  } else {
+    for (std::int64_t i = 0; i < mr; ++i) {
+      float* crow = c + i * ldc;
+      const float* lanes = reinterpret_cast<const float*>(&acc[i]);
+      if (overwrite)
+        for (std::int64_t j = 0; j < nr; ++j) crow[j] = lanes[j];
+      else
+        for (std::int64_t j = 0; j < nr; ++j) crow[j] += lanes[j];
+    }
+  }
+}
+#else
+void micro_kernel(std::int64_t kc, const float* __restrict__ ap,
+                  const float* __restrict__ bp, float* __restrict__ c,
+                  std::int64_t ldc, std::int64_t mr, std::int64_t nr,
+                  bool overwrite) {
+  float acc[MR][NR] = {};
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const float* a = ap + p * MR;
+    const float* b = bp + p * NR;
+    for (std::int64_t i = 0; i < MR; ++i)
+      for (std::int64_t j = 0; j < NR; ++j) acc[i][j] += a[i] * b[j];
+  }
+  for (std::int64_t i = 0; i < mr; ++i) {
+    float* crow = c + i * ldc;
+    if (overwrite)
+      for (std::int64_t j = 0; j < nr; ++j) crow[j] = acc[i][j];
+    else
+      for (std::int64_t j = 0; j < nr; ++j) crow[j] += acc[i][j];
+  }
+}
+#endif
+
+// Packing scratch, reused across calls so small GEMMs don't pay an
+// allocation each time (the library is single-threaded per DESIGN.md, but
+// thread_local keeps this safe if that ever changes).
+std::vector<float>& scratch(std::size_t need) {
+  static thread_local std::vector<float> buf;
+  if (buf.size() < need) buf.resize(need);
+  return buf;
+}
+
+}  // namespace
+
+void gemm(Trans trans, std::int64_t m, std::int64_t n, std::int64_t k,
+          const float* a, const float* b, float* c, bool accumulate) {
+  if (m <= 0 || n <= 0) return;
+  if (k <= 0) {
+    if (!accumulate)
+      for (std::int64_t i = 0; i < m * n; ++i) c[i] = 0.0f;
+    return;
+  }
+  const Strides as = a_strides(trans, m, k);
+  const Strides bs = b_strides(trans, k, n);
+
+  const std::size_t a_cap = static_cast<std::size_t>(MC * KC);
+  const std::size_t b_cap = static_cast<std::size_t>(KC * NC);
+  std::vector<float>& buf = scratch(a_cap + b_cap);
+  float* ap = buf.data();
+  float* bp = buf.data() + a_cap;
+
+  for (std::int64_t jc = 0; jc < n; jc += NC) {
+    const std::int64_t nc = std::min(NC, n - jc);
+    for (std::int64_t pc = 0; pc < k; pc += KC) {
+      const std::int64_t kc = std::min(KC, k - pc);
+      // The first k-panel either overwrites C or adds into the caller's
+      // values; every later panel accumulates on top.
+      const bool overwrite = pc == 0 && !accumulate;
+      pack_b(b + pc * bs.rs + jc * bs.cs, bs, kc, nc, bp);
+      for (std::int64_t ic = 0; ic < m; ic += MC) {
+        const std::int64_t mc = std::min(MC, m - ic);
+        pack_a(a + ic * as.rs + pc * as.cs, as, mc, kc, ap);
+        for (std::int64_t jr = 0; jr < nc; jr += NR) {
+          const std::int64_t nr = std::min(NR, nc - jr);
+          const float* bpp = bp + (jr / NR) * (kc * NR);
+          for (std::int64_t ir = 0; ir < mc; ir += MR) {
+            const std::int64_t mr = std::min(MR, mc - ir);
+            const float* app = ap + (ir / MR) * (kc * MR);
+            micro_kernel(kc, app, bpp, c + (ic + ir) * n + (jc + jr), n, mr,
+                         nr, overwrite);
+          }
+        }
+      }
+    }
+  }
+}
+
+namespace reference {
+
+void gemm(Trans trans, std::int64_t m, std::int64_t n, std::int64_t k,
+          const float* a, const float* b, float* c, bool accumulate) {
+  if (m <= 0 || n <= 0) return;
+  if (!accumulate && trans != Trans::kNT)
+    for (std::int64_t i = 0; i < m * n; ++i) c[i] = 0.0f;
+  switch (trans) {
+    case Trans::kNN:
+      // ikj loop order: unit-stride inner loop over both B and C rows.
+      for (std::int64_t i = 0; i < m; ++i) {
+        float* crow = c + i * n;
+        for (std::int64_t kk = 0; kk < k; ++kk) {
+          const float aval = a[i * k + kk];
+          const float* brow = b + kk * n;
+          for (std::int64_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+        }
+      }
+      break;
+    case Trans::kTN:
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float* arow = a + kk * m;
+        const float* brow = b + kk * n;
+        for (std::int64_t i = 0; i < m; ++i) {
+          const float aval = arow[i];
+          float* crow = c + i * n;
+          for (std::int64_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+        }
+      }
+      break;
+    case Trans::kNT:
+      // Dot-product form; accumulates in double (the golden behaviour the
+      // blocked kernel's float32 tiles are tested against).
+      for (std::int64_t i = 0; i < m; ++i) {
+        const float* arow = a + i * k;
+        float* crow = c + i * n;
+        for (std::int64_t j = 0; j < n; ++j) {
+          const float* brow = b + j * k;
+          double s = accumulate ? static_cast<double>(crow[j]) : 0.0;
+          for (std::int64_t kk = 0; kk < k; ++kk)
+            s += static_cast<double>(arow[kk]) * brow[kk];
+          crow[j] = static_cast<float>(s);
+        }
+      }
+      break;
+  }
+}
+
+}  // namespace reference
+}  // namespace cq::gemm

@@ -1,0 +1,53 @@
+// Single-precision GEMM kernels: one blocked, register-tiled core shared by
+// all three transpose variants, plus the naive loops kept as a golden
+// reference for equivalence testing.
+//
+// Storage is row-major throughout (matching Tensor). The transpose variant
+// only changes how the packing routines walk A and B; the macro loops and
+// micro-kernel are identical for all three, so every forward and backward
+// GEMM in the library exercises the same optimized core.
+//
+// Numerics: the blocked kernels accumulate in float32 register tiles over
+// KC-sized panels of k. This replaces the double-precision accumulation the
+// old naive NT loop used — a conscious relaxation, pinned by
+// tests/test_gemm.cpp (GemmTest.NtAccumulationStaysNearDoubleReference).
+// Zeros in A are never skipped, so NaN/Inf in either operand propagate to C
+// for every variant (the old kernels skipped zero rows, silently dropping
+// 0 * NaN terms).
+#pragma once
+
+#include <cstdint>
+
+namespace cq::gemm {
+
+/// Which operand is logically transposed. Operand shapes as stored:
+///   kNN: C[M,N] = A[M,K]   * B[K,N]
+///   kTN: C[M,N] = A[K,M]^T * B[K,N]
+///   kNT: C[M,N] = A[M,K]   * B[N,K]^T
+enum class Trans { kNN, kTN, kNT };
+
+/// Blocked GEMM: C = op(A) * op(B), or C += op(A) * op(B) when `accumulate`.
+/// C is row-major [M, N] and must not alias A or B. k == 0 zeroes C (unless
+/// accumulating), mirroring an empty sum.
+void gemm(Trans trans, std::int64_t m, std::int64_t n, std::int64_t k,
+          const float* a, const float* b, float* c, bool accumulate = false);
+
+namespace reference {
+/// The pre-blocking naive loops, kept verbatim as the golden reference (NT
+/// still accumulates in double). Same contract as gemm::gemm. The only
+/// deliberate change from the historical loops: no zero-skip, so NaN
+/// propagation matches the blocked kernels.
+void gemm(Trans trans, std::int64_t m, std::int64_t n, std::int64_t k,
+          const float* a, const float* b, float* c, bool accumulate = false);
+}  // namespace reference
+
+// Blocking parameters, exposed so tests can target tile boundaries and the
+// bench can report them. kMR x kNR is the register tile; kMC/kKC/kNC are the
+// cache-block sizes of the packed A (MC x KC) and B (KC x NC) panels.
+inline constexpr std::int64_t kMR = 8;
+inline constexpr std::int64_t kNR = 16;
+inline constexpr std::int64_t kMC = 128;
+inline constexpr std::int64_t kKC = 256;
+inline constexpr std::int64_t kNC = 1024;
+
+}  // namespace cq::gemm

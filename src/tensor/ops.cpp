@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "tensor/gemm.hpp"
+
 namespace cq::ops {
 
 namespace {
@@ -176,19 +178,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   CQ_CHECK_MSG(b.dim(0) == k, "matmul inner dims: " << a.shape().str() << " * "
                                                     << b.shape().str());
   Tensor c(Shape{m, n});
-  const float* A = a.data();
-  const float* B = b.data();
-  float* C = c.data();
-  // ikj loop order: unit-stride inner loop over both B and C rows.
-  for (std::int64_t i = 0; i < m; ++i) {
-    float* crow = C + i * n;
-    for (std::int64_t kk = 0; kk < k; ++kk) {
-      const float aval = A[i * k + kk];
-      if (aval == 0.0f) continue;
-      const float* brow = B + kk * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
-    }
-  }
+  gemm::gemm(gemm::Trans::kNN, m, n, k, a.data(), b.data(), c.data());
   return c;
 }
 
@@ -199,19 +189,7 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
                                                        << "^T * "
                                                        << b.shape().str());
   Tensor c(Shape{m, n});
-  const float* A = a.data();
-  const float* B = b.data();
-  float* C = c.data();
-  for (std::int64_t kk = 0; kk < k; ++kk) {
-    const float* arow = A + kk * m;
-    const float* brow = B + kk * n;
-    for (std::int64_t i = 0; i < m; ++i) {
-      const float aval = arow[i];
-      if (aval == 0.0f) continue;
-      float* crow = C + i * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
-    }
-  }
+  gemm::gemm(gemm::Trans::kTN, m, n, k, a.data(), b.data(), c.data());
   return c;
 }
 
@@ -223,19 +201,7 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
                                                        << b.shape().str()
                                                        << "^T");
   Tensor c(Shape{m, n});
-  const float* A = a.data();
-  const float* B = b.data();
-  float* C = c.data();
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* arow = A + i * k;
-    float* crow = C + i * n;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float* brow = B + j * k;
-      double s = 0.0;
-      for (std::int64_t kk = 0; kk < k; ++kk) s += double(arow[kk]) * brow[kk];
-      crow[j] = static_cast<float>(s);
-    }
-  }
+  gemm::gemm(gemm::Trans::kNT, m, n, k, a.data(), b.data(), c.data());
   return c;
 }
 

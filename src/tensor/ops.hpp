@@ -43,6 +43,10 @@ Tensor row_max(const Tensor& a);   // -> [N]
 std::vector<std::int64_t> row_argmax(const Tensor& a);
 
 // ---- linear algebra --------------------------------------------------------
+//
+// All three matmul variants dispatch into the blocked kernels in
+// tensor/gemm.hpp: float32 accumulation, no zero-skipping, so NaN/Inf
+// propagate identically across variants.
 
 /// C[M,N] = A[M,K] * B[K,N].
 Tensor matmul(const Tensor& a, const Tensor& b);

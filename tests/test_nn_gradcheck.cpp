@@ -74,6 +74,41 @@ TEST(GradCheck, Conv2dGrouped) {
   test::check_module_gradients(conv, x, rng);
 }
 
+// The next three cases size every GEMM dimension off the blocked kernel's
+// 8x16 register tile (see tensor/gemm.hpp), so the backward GEMMs run
+// through partial edge tiles in m, n, and k simultaneously.
+
+TEST(GradCheck, LinearPartialTileEdges) {
+  Rng rng(40);
+  // batch=5 (m edge), out=9 (one full 8-sliver + 1), in=13 (k not a tile
+  // multiple) — partial tiles in every dimension of all three GEMMs.
+  nn::Linear layer(13, 9, rng);
+  Tensor x = Tensor::randn(Shape{5, 13}, rng);
+  test::check_module_gradients(layer, x, rng);
+}
+
+TEST(GradCheck, Conv2dPartialTileEdges) {
+  Rng rng(41);
+  // cout=7 (< one 8-row tile), krows=3*9=27, spatial=7*5=35 (two 16-column
+  // tiles + 3): dW (NT) and dcols (TN) both hit ragged edges.
+  nn::Conv2d conv({.in_channels = 3, .out_channels = 7, .kernel = 3,
+                   .stride = 1, .pad = 1},
+                  rng);
+  Tensor x = Tensor::randn(Shape{2, 3, 7, 5}, rng);
+  test::check_module_gradients(conv, x, rng);
+}
+
+TEST(GradCheck, Conv2dOutChannelsJustPastTile) {
+  Rng rng(42);
+  // cout=17 = 2 full 8-row tiles + 1 leftover row; stride-2 geometry keeps
+  // spatial (3*3=9) below one column tile.
+  nn::Conv2d conv({.in_channels = 5, .out_channels = 17, .kernel = 3,
+                   .stride = 2, .pad = 1, .bias = true},
+                  rng);
+  Tensor x = Tensor::randn(Shape{1, 5, 6, 6}, rng);
+  test::check_module_gradients(conv, x, rng);
+}
+
 TEST(GradCheck, BatchNorm2d) {
   Rng rng(8);
   nn::BatchNorm2d bn(3);
