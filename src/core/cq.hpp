@@ -82,6 +82,45 @@ struct PretrainStats {
   bool diverged = false;
   std::int64_t iterations = 0;
   double seconds = 0.0;
+
+  // ---- allocation accounting (tensor::alloc_stats() deltas) ----
+  /// Heap allocations performed by the very first training iteration, while
+  /// the tensor pool is cold. This approximates pre-pool per-iteration
+  /// allocation behavior and is the baseline for the steady-state reduction
+  /// reported by bench/pipeline_alloc.
+  std::uint64_t first_iteration_heap_allocs = 0;
+  /// New heap allocations per epoch (pool misses; ~0 once the pool is warm).
+  std::vector<std::uint64_t> epoch_heap_allocs;
+  /// Pool hit/miss totals over the whole run.
+  std::uint64_t pool_hits = 0;
+  std::uint64_t pool_misses = 0;
+  /// Heap allocations per iteration averaged over the final epoch.
+  double steady_allocs_per_iteration = 0.0;
+  /// Wall-clock seconds per epoch (for ms/iteration reporting).
+  std::vector<double> epoch_seconds;
+};
+
+/// Captures tensor::alloc_stats() deltas over a pretraining run so every
+/// runner (SimCLR / BYOL / MoCo) reports identical allocation accounting.
+/// Construct at the start of train(), call end_first_iteration() once after
+/// the first optimizer step, end_epoch() per epoch, and finish() before
+/// returning stats.
+class AllocTracker {
+ public:
+  AllocTracker();
+  void end_first_iteration();
+  void end_epoch(double seconds, std::int64_t iterations);
+  void finish(PretrainStats& stats) const;
+
+ private:
+  std::uint64_t base_allocs_ = 0;
+  std::uint64_t base_hits_ = 0;
+  std::uint64_t base_misses_ = 0;
+  std::uint64_t first_iter_allocs_ = 0;
+  std::uint64_t epoch_start_allocs_ = 0;
+  std::vector<std::uint64_t> epoch_allocs_;
+  std::vector<double> epoch_seconds_;
+  std::int64_t last_epoch_iterations_ = 0;
 };
 
 }  // namespace cq::core

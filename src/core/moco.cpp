@@ -55,6 +55,7 @@ PretrainStats MocoCqTrainer::train(const data::Dataset& dataset) {
   CQ_CHECK(dataset.size() >= config_.batch_size);
   Timer timer;
   PretrainStats stats;
+  AllocTracker alloc_tracker;
 
   query_.backbone->set_mode(nn::Mode::kTrain);
   proj_query_->set_mode(nn::Mode::kTrain);
@@ -80,6 +81,8 @@ PretrainStats MocoCqTrainer::train(const data::Dataset& dataset) {
   std::int64_t step = 0;
   for (std::int64_t epoch = 0; epoch < config_.epochs && !stats.diverged;
        ++epoch) {
+    const double epoch_start = timer.seconds();
+    const auto epoch_iter_start = stats.iterations;
     double epoch_loss = 0.0;
     for (std::int64_t it = 0; it < iters_per_epoch; ++it, ++step) {
       sgd.set_lr(schedule.lr_at(step));
@@ -120,6 +123,7 @@ PretrainStats MocoCqTrainer::train(const data::Dataset& dataset) {
           std::max(stats.max_grad_norm, sgd.last_grad_norm());
       epoch_loss += loss.value;
       ++stats.iterations;
+      if (stats.iterations == 1) alloc_tracker.end_first_iteration();
       if (!std::isfinite(loss.value) ||
           sgd.last_grad_norm() > kDivergenceGradNorm) {
         stats.diverged = true;
@@ -130,12 +134,20 @@ PretrainStats MocoCqTrainer::train(const data::Dataset& dataset) {
     }
     stats.epoch_loss.push_back(
         static_cast<float>(epoch_loss / static_cast<double>(iters_per_epoch)));
+    alloc_tracker.end_epoch(timer.seconds() - epoch_start,
+                            stats.iterations - epoch_iter_start);
     CQ_LOG_DEBUG << "moco/" << variant_name(config_.variant) << " epoch "
                  << epoch << " loss " << stats.epoch_loss.back();
   }
   stats.final_loss =
       stats.epoch_loss.empty() ? 0.0f : stats.epoch_loss.back();
   stats.seconds = timer.seconds();
+  alloc_tracker.finish(stats);
+  CQ_LOG_DEBUG << "moco/" << variant_name(config_.variant)
+               << " alloc stats: first-iter "
+               << stats.first_iteration_heap_allocs << ", steady "
+               << stats.steady_allocs_per_iteration << "/iter, pool hits "
+               << stats.pool_hits << ", misses " << stats.pool_misses;
   query_.policy->set_full_precision();
   query_.backbone->clear_cache();
   proj_query_->clear_cache();

@@ -37,6 +37,7 @@ PretrainStats SimClrCqTrainer::train(const data::Dataset& dataset) {
   CQ_CHECK(dataset.size() >= config_.batch_size);
   Timer timer;
   PretrainStats stats;
+  AllocTracker alloc_tracker;
 
   encoder_.backbone->set_mode(nn::Mode::kTrain);
   projection_->set_mode(nn::Mode::kTrain);
@@ -62,6 +63,8 @@ PretrainStats SimClrCqTrainer::train(const data::Dataset& dataset) {
   std::int64_t step = 0;
   for (std::int64_t epoch = 0; epoch < config_.epochs && !stats.diverged;
        ++epoch) {
+    const double epoch_start = timer.seconds();
+    const auto epoch_iter_start = stats.iterations;
     double epoch_loss = 0.0;
     for (std::int64_t it = 0; it < iters_per_epoch; ++it, ++step) {
       sgd.set_lr(schedule.lr_at(step));
@@ -158,6 +161,7 @@ PretrainStats SimClrCqTrainer::train(const data::Dataset& dataset) {
                                      sgd.last_grad_norm());
       epoch_loss += loss;
       ++stats.iterations;
+      if (stats.iterations == 1) alloc_tracker.end_first_iteration();
       if (!is_finite(loss) || sgd.last_grad_norm() > kDivergenceGradNorm) {
         stats.diverged = true;
         CQ_LOG_WARN << variant_name(config_.variant)
@@ -168,12 +172,19 @@ PretrainStats SimClrCqTrainer::train(const data::Dataset& dataset) {
     }
     stats.epoch_loss.push_back(
         static_cast<float>(epoch_loss / static_cast<double>(iters_per_epoch)));
+    alloc_tracker.end_epoch(timer.seconds() - epoch_start,
+                            stats.iterations - epoch_iter_start);
     CQ_LOG_DEBUG << variant_name(config_.variant) << " epoch " << epoch
                  << " loss " << stats.epoch_loss.back();
   }
   stats.final_loss =
       stats.epoch_loss.empty() ? 0.0f : stats.epoch_loss.back();
   stats.seconds = timer.seconds();
+  alloc_tracker.finish(stats);
+  CQ_LOG_DEBUG << variant_name(config_.variant) << " alloc stats: first-iter "
+               << stats.first_iteration_heap_allocs << ", steady "
+               << stats.steady_allocs_per_iteration << "/iter, pool hits "
+               << stats.pool_hits << ", misses " << stats.pool_misses;
   encoder_.policy->set_full_precision();
   encoder_.backbone->clear_cache();
   projection_->clear_cache();

@@ -94,6 +94,7 @@ void load_module(const std::string& path, nn::Module& module) {
     CQ_CHECK_MSG(static_cast<std::int64_t>(values.size()) == p->value.numel(),
                  "size mismatch for " << name);
     std::copy(values.begin(), values.end(), p->value.data());
+    p->bump_version();
   }
   std::vector<Tensor*> buffers;
   module.collect_buffers(buffers);

@@ -3,14 +3,16 @@
 namespace cq::nn {
 
 Tensor ReLU::forward(const Tensor& x) {
-  Tensor y = x;
+  // Write into fresh (pool-recycled) storage instead of copy-then-overwrite.
+  Tensor y = x.like();
   float* d = y.data();
+  const float* xd = x.data();
   const auto n = y.numel();
   if (cap_ > 0.0f) {
     for (std::int64_t i = 0; i < n; ++i)
-      d[i] = d[i] < 0.0f ? 0.0f : (d[i] > cap_ ? cap_ : d[i]);
+      d[i] = xd[i] < 0.0f ? 0.0f : (xd[i] > cap_ ? cap_ : xd[i]);
   } else {
-    for (std::int64_t i = 0; i < n; ++i) d[i] = d[i] > 0.0f ? d[i] : 0.0f;
+    for (std::int64_t i = 0; i < n; ++i) d[i] = xd[i] > 0.0f ? xd[i] : 0.0f;
   }
   if (mode_ == Mode::kTrain) cache_.push_back(x);
   return y;
@@ -21,16 +23,16 @@ Tensor ReLU::backward(const Tensor& grad_out) {
   Tensor x = std::move(cache_.back());
   cache_.pop_back();
   CQ_CHECK(grad_out.same_shape(x));
-  Tensor g = grad_out;
+  Tensor g = grad_out.like();
   float* gd = g.data();
+  const float* god = grad_out.data();
   const float* xd = x.data();
   const auto n = g.numel();
   if (cap_ > 0.0f) {
     for (std::int64_t i = 0; i < n; ++i)
-      if (xd[i] <= 0.0f || xd[i] >= cap_) gd[i] = 0.0f;
+      gd[i] = (xd[i] <= 0.0f || xd[i] >= cap_) ? 0.0f : god[i];
   } else {
-    for (std::int64_t i = 0; i < n; ++i)
-      if (xd[i] <= 0.0f) gd[i] = 0.0f;
+    for (std::int64_t i = 0; i < n; ++i) gd[i] = xd[i] <= 0.0f ? 0.0f : god[i];
   }
   return g;
 }

@@ -23,12 +23,13 @@ Tensor BatchNorm2d::forward(const Tensor& x) {
   const auto n = x.dim(0), h = x.dim(2), w = x.dim(3);
   const auto spatial = h * w;
   const auto count = n * spatial;
-  Tensor y(x.shape());
+  // Every element of y / xhat / inv_std is written below.
+  Tensor y = Tensor::empty(x.shape());
 
   if (mode_ == Mode::kTrain) {
     Cache entry;
-    entry.xhat = Tensor(x.shape());
-    entry.inv_std = Tensor(Shape{channels_});
+    entry.xhat = Tensor::empty(x.shape());
+    entry.inv_std = Tensor::empty(Shape{channels_});
     entry.n = n;
     entry.h = h;
     entry.w = w;
@@ -91,7 +92,7 @@ Tensor BatchNorm2d::backward(const Tensor& grad_out) {
            grad_out.dim(1) == channels_ && grad_out.dim(2) == h &&
            grad_out.dim(3) == w);
 
-  Tensor grad_in(grad_out.shape());
+  Tensor grad_in = Tensor::empty(grad_out.shape());
   for (std::int64_t c = 0; c < channels_; ++c) {
     // Accumulate dgamma, dbeta, and the two reduction terms of the BN
     // input-gradient formula.

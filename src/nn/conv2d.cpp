@@ -45,27 +45,29 @@ Tensor Conv2d::forward(const Tensor& x) {
                                      << x.shape().str());
 
   const bool transformed = transform_ && transform_->active();
-  Tensor w_eff =
-      transformed ? transform_->apply(weight_.value) : weight_.value;
+  Tensor w_eff = transformed ? transform_->apply(weight_) : weight_.value;
 
   const auto groups = spec_.groups;
   const auto cout_g = spec_.out_channels / groups;
   const auto cin_g = g.in_channels;
   const auto krows = g.col_rows();  // cin_g * K * K
 
-  Tensor y(Shape{n, spec_.out_channels, oh, ow});
-  std::vector<float> cols(static_cast<std::size_t>(krows * oh * ow));
+  // Fully overwritten below (gemm writes every output element).
+  Tensor y = Tensor::empty(Shape{n, spec_.out_channels, oh, ow});
+  cols_.resize(Shape{krows, oh * ow});
+  float* cols = cols_.data();
   const float* W = w_eff.data();
+  const float* x_base = x.data();
+  float* y_base = y.data();
   for (std::int64_t img = 0; img < n; ++img) {
-    const float* in_base = x.data() + img * spec_.in_channels * in_h * in_w;
-    float* out_base = y.data() + img * spec_.out_channels * oh * ow;
+    const float* in_base = x_base + img * spec_.in_channels * in_h * in_w;
+    float* out_base = y_base + img * spec_.out_channels * oh * ow;
     for (std::int64_t grp = 0; grp < groups; ++grp) {
-      im2col(in_base + grp * cin_g * in_h * in_w, g, cols.data());
+      im2col(in_base + grp * cin_g * in_h * in_w, g, cols);
       // out[cout_g, oh*ow] = W_grp[cout_g, krows] * cols[krows, oh*ow]
       const float* wg = W + grp * cout_g * krows;
       float* og = out_base + grp * cout_g * oh * ow;
-      gemm::gemm(gemm::Trans::kNN, cout_g, oh * ow, krows, wg, cols.data(),
-                 og);
+      gemm::gemm(gemm::Trans::kNN, cout_g, oh * ow, krows, wg, cols, og);
     }
     if (spec_.bias) {
       for (std::int64_t oc = 0; oc < spec_.out_channels; ++oc) {
@@ -109,27 +111,32 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
   const float* W = w_used.data();
   float* Wg = weight_.grad.data();
 
+  // grad_in must start zeroed: col2im scatter-adds into it.
   Tensor grad_in(x.shape());
-  std::vector<float> cols(static_cast<std::size_t>(krows * spatial));
-  std::vector<float> dcols(static_cast<std::size_t>(krows * spatial));
+  cols_.resize(Shape{krows, spatial});
+  dcols_.resize(Shape{krows, spatial});
+  float* cols = cols_.data();
+  float* dcols = dcols_.data();
 
+  const float* x_base = x.data();
+  const float* go_all = grad_out.data();
+  float* gi_all = grad_in.data();
   for (std::int64_t img = 0; img < n; ++img) {
-    const float* in_base = x.data() + img * spec_.in_channels * in_h * in_w;
-    const float* go_base = grad_out.data() + img * spec_.out_channels * spatial;
-    float* gi_base = grad_in.data() + img * spec_.in_channels * in_h * in_w;
+    const float* in_base = x_base + img * spec_.in_channels * in_h * in_w;
+    const float* go_base = go_all + img * spec_.out_channels * spatial;
+    float* gi_base = gi_all + img * spec_.in_channels * in_h * in_w;
     for (std::int64_t grp = 0; grp < groups; ++grp) {
       // Recompute cols (cheaper in memory than caching per-image columns).
-      im2col(in_base + grp * cin_g * in_h * in_w, g, cols.data());
+      im2col(in_base + grp * cin_g * in_h * in_w, g, cols);
       const float* go = go_base + grp * cout_g * spatial;
       // dW_grp += go[cout_g, spatial] * cols^T[spatial, krows]
       float* wg_grad = Wg + grp * cout_g * krows;
-      gemm::gemm(gemm::Trans::kNT, cout_g, krows, spatial, go, cols.data(),
-                 wg_grad, /*accumulate=*/true);
+      gemm::gemm(gemm::Trans::kNT, cout_g, krows, spatial, go, cols, wg_grad,
+                 /*accumulate=*/true);
       // dcols[krows, spatial] = W_grp^T[krows, cout_g] * go[cout_g, spatial]
       const float* wgrp = W + grp * cout_g * krows;
-      gemm::gemm(gemm::Trans::kTN, krows, spatial, cout_g, wgrp, go,
-                 dcols.data());
-      col2im(dcols.data(), g, gi_base + grp * cin_g * in_h * in_w);
+      gemm::gemm(gemm::Trans::kTN, krows, spatial, cout_g, wgrp, go, dcols);
+      col2im(dcols, g, gi_base + grp * cin_g * in_h * in_w);
     }
     if (spec_.bias) {
       for (std::int64_t oc = 0; oc < spec_.out_channels; ++oc) {

@@ -52,6 +52,7 @@ class Conv2d : public Module {
   Parameter bias_;
   std::shared_ptr<const WeightTransform> transform_;
   std::vector<Cache> cache_;
+  Tensor cols_, dcols_;  // per-image im2col scratch, reused across calls
 };
 
 }  // namespace cq::nn

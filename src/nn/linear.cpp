@@ -26,11 +26,11 @@ Tensor Linear::forward(const Tensor& x) {
                "linear input " << x.shape().str() << " expects [N, "
                                << in_features_ << "]");
   const bool transformed = transform_ && transform_->active();
-  Tensor w_eff =
-      transformed ? transform_->apply(weight_.value) : weight_.value;
+  Tensor w_eff = transformed ? transform_->apply(weight_) : weight_.value;
 
   const auto batch = x.dim(0);
-  Tensor y(Shape{batch, out_features_});  // y = x * W^T
+  // gemm fully writes y, so skip the zero-fill.
+  Tensor y = Tensor::empty(Shape{batch, out_features_});  // y = x * W^T
   gemm::gemm(gemm::Trans::kNT, batch, out_features_, in_features_, x.data(),
              w_eff.data(), y.data());
   if (has_bias_) {
@@ -68,7 +68,7 @@ Tensor Linear::backward(const Tensor& grad_out) {
   }
   const Tensor& w_used =
       entry.effective_weight ? *entry.effective_weight : weight_.value;
-  Tensor grad_in(Shape{batch, in_features_});  // grad_out * W
+  Tensor grad_in = Tensor::empty(Shape{batch, in_features_});  // grad_out * W
   gemm::gemm(gemm::Trans::kNN, batch, in_features_, out_features_,
              grad_out.data(), w_used.data(), grad_in.data());
   return grad_in;

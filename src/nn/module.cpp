@@ -49,6 +49,7 @@ void copy_parameters(Module& src, Module& dst) {
     CQ_CHECK_MSG(sp[i]->value.same_shape(dp[i]->value),
                  "parameter shape mismatch at " << sp[i]->name);
     dp[i]->value = sp[i]->value;
+    dp[i]->bump_version();
   }
   std::vector<Tensor*> sb, db;
   src.collect_buffers(sb);
@@ -68,6 +69,7 @@ void ema_update(Module& src, Module& dst, float momentum) {
     CQ_CHECK(d.same_shape(s));
     d.mul_(momentum);
     d.add_(s, 1.0f - momentum);
+    dp[i]->bump_version();
   }
   std::vector<Tensor*> sb, db;
   src.collect_buffers(sb);
@@ -98,6 +100,7 @@ void restore_state(Module& module, const std::vector<Tensor>& state) {
   for (Parameter* p : params) {
     CQ_CHECK(state[i].same_shape(p->value));
     p->value = state[i++];
+    p->bump_version();
   }
   for (Tensor* b : buffers) {
     CQ_CHECK(state[i].same_shape(*b));

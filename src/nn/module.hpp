@@ -30,6 +30,11 @@ struct Parameter {
   std::string name;
   /// Parameters flagged false are excluded from weight decay (biases, BN).
   bool decay = true;
+  /// Monotonic counter bumped whenever `value` is rewritten (optimizer step,
+  /// EMA update, checkpoint restore). Weight transforms key their memoized
+  /// results on (parameter, version) so a weight that hasn't changed is never
+  /// re-quantized within an iteration.
+  std::uint64_t version = 0;
 
   Parameter() = default;
   Parameter(Tensor v, std::string n, bool decay_flag = true)
@@ -37,6 +42,7 @@ struct Parameter {
         name(std::move(n)), decay(decay_flag) {}
 
   void zero_grad() { grad.fill(0.0f); }
+  void bump_version() { ++version; }
 };
 
 enum class Mode { kTrain, kEval };
@@ -49,8 +55,11 @@ class WeightTransform {
   virtual ~WeightTransform() = default;
   /// Whether the transform currently does anything (e.g. bits < 32).
   virtual bool active() const = 0;
-  /// The transformed weight used for the forward pass.
-  virtual Tensor apply(const Tensor& weight) const = 0;
+  /// The transformed weight used for the forward pass. Takes the whole
+  /// Parameter (not just the tensor) so implementations can memoize per
+  /// (parameter identity, version) — CQ pushes 2–4 branches through the same
+  /// encoder per iteration and the weight only changes at optimizer steps.
+  virtual Tensor apply(const Parameter& weight) const = 0;
 };
 
 class Module {

@@ -16,7 +16,7 @@ Tensor MaxPool2d::forward(const Tensor& x) {
   const auto oh = (h + 2 * pad_ - kernel_) / stride_ + 1;
   const auto ow = (w + 2 * pad_ - kernel_) / stride_ + 1;
   CQ_CHECK(oh > 0 && ow > 0);
-  Tensor y(Shape{n, c, oh, ow});
+  Tensor y = Tensor::empty(Shape{n, c, oh, ow});  // every element written
   Cache entry;
   entry.in_shape = x.shape();
   entry.argmax.resize(static_cast<std::size_t>(y.numel()));
@@ -76,7 +76,7 @@ Tensor AvgPool2d::forward(const Tensor& x) {
   const auto oh = (h - kernel_) / stride_ + 1;
   const auto ow = (w - kernel_) / stride_ + 1;
   CQ_CHECK(oh > 0 && ow > 0);
-  Tensor y(Shape{n, c, oh, ow});
+  Tensor y = Tensor::empty(Shape{n, c, oh, ow});  // every element written
   const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
   std::int64_t oidx = 0;
   for (std::int64_t img = 0; img < n; ++img)
@@ -123,7 +123,7 @@ Tensor GlobalAvgPool::forward(const Tensor& x) {
   CQ_CHECK(x.shape().rank() == 4);
   const auto n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
   const auto spatial = h * w;
-  Tensor y(Shape{n, c});
+  Tensor y = Tensor::empty(Shape{n, c});  // every element written
   const float inv = 1.0f / static_cast<float>(spatial);
   for (std::int64_t img = 0; img < n; ++img)
     for (std::int64_t ch = 0; ch < c; ++ch) {
@@ -145,7 +145,7 @@ Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
   const auto spatial = h * w;
   CQ_CHECK(grad_out.shape().rank() == 2 && grad_out.dim(0) == n &&
            grad_out.dim(1) == c);
-  Tensor grad_in(in_shape);
+  Tensor grad_in = Tensor::empty(in_shape);  // every plane fully assigned
   const float inv = 1.0f / static_cast<float>(spatial);
   for (std::int64_t img = 0; img < n; ++img)
     for (std::int64_t ch = 0; ch < c; ++ch) {

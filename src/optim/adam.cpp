@@ -34,6 +34,7 @@ void Adam::step() {
       const float vhat = v_[k][i] / bc2;
       p->value[i] -= config_.lr * mhat / (std::sqrt(vhat) + config_.eps);
     }
+    p->bump_version();  // invalidate memoized weight transforms
     p->zero_grad();
   }
 }

@@ -36,6 +36,7 @@ void Sgd::step() {
       v[i] = config_.momentum * v[i] + g;
       p->value[i] -= config_.lr * v[i];
     }
+    p->bump_version();  // invalidate memoized weight transforms
     p->zero_grad();
   }
 }

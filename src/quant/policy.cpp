@@ -13,6 +13,35 @@ Tensor QuantPolicy::transform(const Tensor& a) const {
   return quantizer_.quantize(a, bits_);
 }
 
+Tensor FakeQuantWeight::apply(const nn::Parameter& weight) const {
+  if (!policy_->active()) return weight.value;
+  // Stochastic perturbation must stay fresh per branch; bypass the cache.
+  if (policy_->quantizer().config().perturb == PerturbMode::kGaussian) {
+    ++quantizer_calls_;
+    return policy_->transform(weight.value);
+  }
+  const int bits = policy_->bits();
+  for (Slot& s : slots_) {
+    if (s.param == &weight && s.bits == bits && s.version == weight.version)
+      return s.value;
+  }
+  ++quantizer_calls_;
+  Tensor q = policy_->transform(weight.value);
+  // Evict the slot whose cached bits match (stale version) or, failing
+  // that, slot 0 — branch orders visit precisions in runs, so LRU subtleties
+  // don't matter.
+  Slot* victim = &slots_[0];
+  for (Slot& s : slots_) {
+    if (s.param == nullptr || (s.param == &weight && s.bits == bits)) {
+      victim = &s;
+      break;
+    }
+    if (s.param == &weight && s.version != weight.version) victim = &s;
+  }
+  *victim = Slot{&weight, bits, weight.version, q};
+  return q;
+}
+
 PrecisionSet::PrecisionSet(std::vector<int> bits) : bits_(std::move(bits)) {
   for (int b : bits_) CQ_CHECK_MSG(b >= 1, "invalid bit-width " << b);
 }

@@ -50,18 +50,38 @@ class QuantPolicy {
 /// bit-width. Installed on Conv2d / Linear layers; the layers implement the
 /// straight-through estimator by applying the effective-weight gradient to
 /// the fp32 master weight.
+///
+/// Results are memoized per (parameter, bits, parameter version): CQ-B/CQ-C
+/// push 4 branches at 2 precisions through the same encoder each iteration,
+/// so without memoization every weight is quantized 4x per step. Two slots
+/// cover the two precisions in flight; the version bump on optimizer step
+/// invalidates both. Gaussian perturbation is NOT memoized — its noise must
+/// stay independent per branch.
 class FakeQuantWeight : public nn::WeightTransform {
  public:
   explicit FakeQuantWeight(std::shared_ptr<const QuantPolicy> policy)
       : policy_(std::move(policy)) {}
 
   bool active() const override { return policy_->active(); }
-  Tensor apply(const Tensor& weight) const override {
-    return policy_->transform(weight);
-  }
+  Tensor apply(const nn::Parameter& weight) const override;
+
+  /// Lifetime count of actual quantizer invocations (cache misses). Tests
+  /// assert this grows by at most one per (weight, bits) per step.
+  std::uint64_t quantizer_calls() const { return quantizer_calls_; }
 
  private:
+  struct Slot {
+    const nn::Parameter* param = nullptr;
+    int bits = 0;
+    std::uint64_t version = 0;
+    Tensor value;
+  };
+
   std::shared_ptr<const QuantPolicy> policy_;
+  // One transform instance is owned by one layer, so `param` is effectively
+  // fixed; the two slots track the two bit-widths of one CQ iteration.
+  mutable Slot slots_[2];
+  mutable std::uint64_t quantizer_calls_ = 0;
 };
 
 /// A set of candidate bit-widths. The paper uses contiguous ranges ("4-16",

@@ -28,6 +28,11 @@ void im2col(const float* image, const ConvGeometry& g, float* cols) {
   }
 }
 
+void im2col_into(const float* image, const ConvGeometry& g, Tensor& cols) {
+  cols.resize(Shape{g.col_rows(), g.col_cols()});
+  im2col(image, g, cols.data());
+}
+
 void col2im(const float* cols, const ConvGeometry& g, float* image_grad) {
   const auto oh = g.out_h(), ow = g.out_w();
   std::int64_t row = 0;

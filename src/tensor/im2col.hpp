@@ -26,6 +26,11 @@ struct ConvGeometry {
 /// `image` must be the contiguous CHW block (C*H*W floats).
 void im2col(const float* image, const ConvGeometry& g, float* cols);
 
+/// Destination-passing variant: resizes `cols` to [col_rows, col_cols]
+/// (reusing its pooled storage when possible) and fully overwrites it.
+/// `image` must not alias `cols`.
+void im2col_into(const float* image, const ConvGeometry& g, Tensor& cols);
+
 /// Scatter-add a column matrix back into a CHW image gradient.
 /// `image_grad` must be zero-initialized by the caller (or hold an existing
 /// gradient to accumulate into).

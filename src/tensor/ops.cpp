@@ -15,80 +15,143 @@ void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
 }
 }  // namespace
 
-Tensor add(const Tensor& a, const Tensor& b) {
+// ---- elementwise (_into cores) ---------------------------------------------
+
+Tensor& add_into(const Tensor& a, const Tensor& b, Tensor& out) {
   check_same_shape(a, b, "add");
-  Tensor out = a;
-  out.add_(b);
+  out.resize_as(a);
+  float* dst = out.data();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  const auto n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) dst[i] = pa[i] + pb[i];
   return out;
+}
+
+Tensor& sub_into(const Tensor& a, const Tensor& b, Tensor& out) {
+  check_same_shape(a, b, "sub");
+  out.resize_as(a);
+  float* dst = out.data();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  const auto n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) dst[i] = pa[i] - pb[i];
+  return out;
+}
+
+Tensor& mul_into(const Tensor& a, const Tensor& b, Tensor& out) {
+  check_same_shape(a, b, "mul");
+  out.resize_as(a);
+  float* dst = out.data();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  const auto n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) dst[i] = pa[i] * pb[i];
+  return out;
+}
+
+Tensor& scale_into(const Tensor& a, float s, Tensor& out) {
+  out.resize_as(a);
+  float* dst = out.data();
+  const float* pa = a.data();
+  const auto n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) dst[i] = pa[i] * s;
+  return out;
+}
+
+Tensor& add_scalar_into(const Tensor& a, float s, Tensor& out) {
+  out.resize_as(a);
+  float* dst = out.data();
+  const float* pa = a.data();
+  const auto n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) dst[i] = pa[i] + s;
+  return out;
+}
+
+Tensor& map_into(const Tensor& a, const std::function<float(float)>& f,
+                 Tensor& out) {
+  out.resize_as(a);
+  float* dst = out.data();
+  const float* pa = a.data();
+  const auto n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) dst[i] = f(pa[i]);
+  return out;
+}
+
+Tensor& relu_into(const Tensor& a, Tensor& out) {
+  out.resize_as(a);
+  float* dst = out.data();
+  const float* pa = a.data();
+  const auto n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) dst[i] = pa[i] > 0.0f ? pa[i] : 0.0f;
+  return out;
+}
+
+Tensor& clamp_into(const Tensor& a, float lo, float hi, Tensor& out) {
+  CQ_CHECK(lo <= hi);
+  out.resize_as(a);
+  float* dst = out.data();
+  const float* pa = a.data();
+  const auto n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) dst[i] = std::clamp(pa[i], lo, hi);
+  return out;
+}
+
+// ---- elementwise (value wrappers) ------------------------------------------
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  Tensor out = a.like();
+  return std::move(add_into(a, b, out));
 }
 
 Tensor sub(const Tensor& a, const Tensor& b) {
-  check_same_shape(a, b, "sub");
-  Tensor out = a;
-  out.add_(b, -1.0f);
-  return out;
+  Tensor out = a.like();
+  return std::move(sub_into(a, b, out));
 }
 
 Tensor mul(const Tensor& a, const Tensor& b) {
-  check_same_shape(a, b, "mul");
-  Tensor out = a;
-  float* dst = out.data();
-  const float* src = b.data();
-  const auto n = out.numel();
-  for (std::int64_t i = 0; i < n; ++i) dst[i] *= src[i];
-  return out;
+  Tensor out = a.like();
+  return std::move(mul_into(a, b, out));
 }
 
 Tensor scale(const Tensor& a, float s) {
-  Tensor out = a;
-  out.mul_(s);
-  return out;
+  Tensor out = a.like();
+  return std::move(scale_into(a, s, out));
 }
 
 Tensor add_scalar(const Tensor& a, float s) {
-  Tensor out = a;
-  for (std::int64_t i = 0; i < out.numel(); ++i) out[i] += s;
-  return out;
+  Tensor out = a.like();
+  return std::move(add_scalar_into(a, s, out));
 }
 
 Tensor map(const Tensor& a, const std::function<float(float)>& f) {
-  Tensor out = a;
-  for (std::int64_t i = 0; i < out.numel(); ++i) out[i] = f(out[i]);
-  return out;
+  Tensor out = a.like();
+  return std::move(map_into(a, f, out));
 }
 
 Tensor relu(const Tensor& a) {
-  Tensor out = a;
-  float* d = out.data();
-  for (std::int64_t i = 0; i < out.numel(); ++i) d[i] = d[i] > 0 ? d[i] : 0.0f;
-  return out;
+  Tensor out = a.like();
+  return std::move(relu_into(a, out));
 }
 
 Tensor exp(const Tensor& a) {
-  Tensor out = a;
-  for (std::int64_t i = 0; i < out.numel(); ++i) out[i] = std::exp(out[i]);
-  return out;
+  return map(a, [](float v) { return std::exp(v); });
 }
 
 Tensor log(const Tensor& a) {
-  Tensor out = a;
-  for (std::int64_t i = 0; i < out.numel(); ++i) out[i] = std::log(out[i]);
-  return out;
+  return map(a, [](float v) { return std::log(v); });
 }
 
 Tensor sqrt(const Tensor& a) {
-  Tensor out = a;
-  for (std::int64_t i = 0; i < out.numel(); ++i) out[i] = std::sqrt(out[i]);
-  return out;
+  return map(a, [](float v) { return std::sqrt(v); });
 }
 
 Tensor clamp(const Tensor& a, float lo, float hi) {
-  CQ_CHECK(lo <= hi);
-  Tensor out = a;
-  for (std::int64_t i = 0; i < out.numel(); ++i)
-    out[i] = std::clamp(out[i], lo, hi);
-  return out;
+  Tensor out = a.like();
+  return std::move(clamp_into(a, lo, hi, out));
 }
+
+// ---- reductions ------------------------------------------------------------
 
 float sum(const Tensor& a) {
   // Kahan summation: cheap insurance for long reductions in fp32.
@@ -138,7 +201,7 @@ float dot(const Tensor& a, const Tensor& b) {
 Tensor row_sum(const Tensor& a) {
   CQ_CHECK(a.shape().rank() == 2);
   const auto n = a.dim(0), d = a.dim(1);
-  Tensor out(Shape{n});
+  Tensor out = Tensor::empty(Shape{n});
   for (std::int64_t r = 0; r < n; ++r) {
     double s = 0.0;
     for (std::int64_t c = 0; c < d; ++c) s += a.at(r, c);
@@ -150,7 +213,7 @@ Tensor row_sum(const Tensor& a) {
 Tensor row_max(const Tensor& a) {
   CQ_CHECK(a.shape().rank() == 2);
   const auto n = a.dim(0), d = a.dim(1);
-  Tensor out(Shape{n});
+  Tensor out = Tensor::empty(Shape{n});
   for (std::int64_t r = 0; r < n; ++r) {
     float m = -std::numeric_limits<float>::infinity();
     for (std::int64_t c = 0; c < d; ++c) m = std::max(m, a.at(r, c));
@@ -172,47 +235,83 @@ std::vector<std::int64_t> row_argmax(const Tensor& a) {
   return out;
 }
 
-Tensor matmul(const Tensor& a, const Tensor& b) {
+// ---- linear algebra --------------------------------------------------------
+
+namespace {
+void check_no_alias(const Tensor& a, const Tensor& b, const Tensor& out,
+                    const char* op) {
+  CQ_CHECK_MSG(out.data() != a.data() && out.data() != b.data(),
+               op << "_into: out must not alias an input");
+}
+}  // namespace
+
+Tensor& matmul_into(const Tensor& a, const Tensor& b, Tensor& out) {
   CQ_CHECK(a.shape().rank() == 2 && b.shape().rank() == 2);
   const auto m = a.dim(0), k = a.dim(1), n = b.dim(1);
   CQ_CHECK_MSG(b.dim(0) == k, "matmul inner dims: " << a.shape().str() << " * "
                                                     << b.shape().str());
-  Tensor c(Shape{m, n});
-  gemm::gemm(gemm::Trans::kNN, m, n, k, a.data(), b.data(), c.data());
-  return c;
+  out.resize(Shape{m, n});
+  check_no_alias(a, b, out, "matmul");
+  gemm::gemm(gemm::Trans::kNN, m, n, k, a.data(), b.data(), out.data());
+  return out;
 }
 
-Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+Tensor& matmul_tn_into(const Tensor& a, const Tensor& b, Tensor& out) {
   CQ_CHECK(a.shape().rank() == 2 && b.shape().rank() == 2);
   const auto k = a.dim(0), m = a.dim(1), n = b.dim(1);
   CQ_CHECK_MSG(b.dim(0) == k, "matmul_tn inner dims: " << a.shape().str()
                                                        << "^T * "
                                                        << b.shape().str());
-  Tensor c(Shape{m, n});
-  gemm::gemm(gemm::Trans::kTN, m, n, k, a.data(), b.data(), c.data());
-  return c;
+  out.resize(Shape{m, n});
+  check_no_alias(a, b, out, "matmul_tn");
+  gemm::gemm(gemm::Trans::kTN, m, n, k, a.data(), b.data(), out.data());
+  return out;
 }
 
-Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+Tensor& matmul_nt_into(const Tensor& a, const Tensor& b, Tensor& out) {
   CQ_CHECK(a.shape().rank() == 2 && b.shape().rank() == 2);
   const auto m = a.dim(0), k = a.dim(1), n = b.dim(0);
   CQ_CHECK_MSG(b.dim(1) == k, "matmul_nt inner dims: " << a.shape().str()
                                                        << " * "
                                                        << b.shape().str()
                                                        << "^T");
-  Tensor c(Shape{m, n});
-  gemm::gemm(gemm::Trans::kNT, m, n, k, a.data(), b.data(), c.data());
-  return c;
+  out.resize(Shape{m, n});
+  check_no_alias(a, b, out, "matmul_nt");
+  gemm::gemm(gemm::Trans::kNT, m, n, k, a.data(), b.data(), out.data());
+  return out;
 }
 
-Tensor transpose(const Tensor& a) {
+Tensor& transpose_into(const Tensor& a, Tensor& out) {
   CQ_CHECK(a.shape().rank() == 2);
   const auto m = a.dim(0), n = a.dim(1);
-  Tensor out(Shape{n, m});
+  out.resize(Shape{n, m});
+  CQ_CHECK_MSG(out.data() != a.data(), "transpose_into: out must not alias a");
   for (std::int64_t i = 0; i < m; ++i)
     for (std::int64_t j = 0; j < n; ++j) out.at(j, i) = a.at(i, j);
   return out;
 }
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  Tensor c;
+  return std::move(matmul_into(a, b, c));
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  Tensor c;
+  return std::move(matmul_tn_into(a, b, c));
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  Tensor c;
+  return std::move(matmul_nt_into(a, b, c));
+}
+
+Tensor transpose(const Tensor& a) {
+  Tensor out;
+  return std::move(transpose_into(a, out));
+}
+
+// ---- neural-net helpers ----------------------------------------------------
 
 Tensor softmax_rows(const Tensor& a) {
   CQ_CHECK(a.shape().rank() == 2);
@@ -252,7 +351,7 @@ Tensor l2_normalize_rows(const Tensor& a, Tensor* norms_out, float eps) {
   CQ_CHECK(a.shape().rank() == 2);
   const auto n = a.dim(0), d = a.dim(1);
   Tensor out = a;
-  Tensor norms(Shape{n});
+  Tensor norms = Tensor::empty(Shape{n});
   for (std::int64_t r = 0; r < n; ++r) {
     double s = 0.0;
     for (std::int64_t c = 0; c < d; ++c)

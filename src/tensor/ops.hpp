@@ -1,5 +1,14 @@
-// Eager tensor operations. All ops allocate their result; shapes are
-// validated with CQ_CHECK so misuse fails at the call site.
+// Eager tensor operations. Every op has a destination-passing `_into`
+// variant that resizes `out` (reusing its pooled storage when possible) and
+// writes the full result into it; the value-returning APIs are thin wrappers
+// that allocate `out` from the pool. Shapes are validated with CQ_CHECK so
+// misuse fails at the call site.
+//
+// _into aliasing contract: elementwise `_into` ops may be called with `out`
+// aliasing an input (same object or shared storage) — they read inputs
+// through their own handles, so copy-on-write keeps the result correct. The
+// matmul/transpose `_into` ops require `out` to be distinct from both inputs
+// (checked).
 #pragma once
 
 #include <functional>
@@ -22,6 +31,16 @@ Tensor exp(const Tensor& a);
 Tensor log(const Tensor& a);
 Tensor sqrt(const Tensor& a);
 Tensor clamp(const Tensor& a, float lo, float hi);
+
+Tensor& add_into(const Tensor& a, const Tensor& b, Tensor& out);
+Tensor& sub_into(const Tensor& a, const Tensor& b, Tensor& out);
+Tensor& mul_into(const Tensor& a, const Tensor& b, Tensor& out);
+Tensor& scale_into(const Tensor& a, float s, Tensor& out);
+Tensor& add_scalar_into(const Tensor& a, float s, Tensor& out);
+Tensor& map_into(const Tensor& a, const std::function<float(float)>& f,
+                 Tensor& out);
+Tensor& relu_into(const Tensor& a, Tensor& out);
+Tensor& clamp_into(const Tensor& a, float lo, float hi, Tensor& out);
 
 // ---- reductions ------------------------------------------------------------
 
@@ -56,6 +75,13 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b);
 Tensor matmul_nt(const Tensor& a, const Tensor& b);
 /// Transpose of a rank-2 tensor.
 Tensor transpose(const Tensor& a);
+
+/// Destination-passing matmuls: `out` is resized to [M,N] (storage reused
+/// when possible) and fully overwritten. `out` must not alias `a` or `b`.
+Tensor& matmul_into(const Tensor& a, const Tensor& b, Tensor& out);
+Tensor& matmul_tn_into(const Tensor& a, const Tensor& b, Tensor& out);
+Tensor& matmul_nt_into(const Tensor& a, const Tensor& b, Tensor& out);
+Tensor& transpose_into(const Tensor& a, Tensor& out);
 
 // ---- neural-net helpers ----------------------------------------------------
 

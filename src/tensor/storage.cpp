@@ -1,0 +1,111 @@
+#include "tensor/storage.hpp"
+
+#include <bit>
+#include <new>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace cq {
+
+namespace {
+
+/// Smallest bucket, in floats. Sub-32-element tensors (scalars, per-channel
+/// vectors) all share one size class.
+constexpr std::int64_t kMinBucketFloats = 32;
+constexpr int kNumBuckets = 48;  // 2^5 .. 2^52 floats — far beyond any tensor
+
+std::int64_t bucket_capacity(std::int64_t numel) {
+  const auto need =
+      static_cast<std::uint64_t>(numel < kMinBucketFloats ? kMinBucketFloats
+                                                          : numel);
+  return static_cast<std::int64_t>(std::bit_ceil(need));
+}
+
+int bucket_index(std::int64_t capacity) {
+  return std::bit_width(static_cast<std::uint64_t>(capacity)) - 1;
+}
+
+struct Pool {
+  std::vector<void*> free_lists[kNumBuckets];  // parked Header blocks
+  tensor::AllocStats stats;
+};
+
+// Heap-allocated and intentionally never destroyed: Storage handles may
+// legally outlive normal thread_local destruction order (e.g. statics), and
+// the block stays reachable through the TLS pointer so LeakSanitizer does
+// not flag it. tensor::trim_pool() exists for explicit release.
+Pool& pool() {
+  thread_local Pool* p = new Pool;
+  return *p;
+}
+
+}  // namespace
+
+Storage Storage::acquire(std::int64_t numel) {
+  CQ_CHECK_MSG(numel >= 0, "Storage::acquire(" << numel << ")");
+  const auto capacity = bucket_capacity(numel);
+  const int idx = bucket_index(capacity);
+  Pool& p = pool();
+  const auto bytes = static_cast<std::int64_t>(capacity) *
+                     static_cast<std::int64_t>(sizeof(float));
+  Header* h = nullptr;
+  auto& list = p.free_lists[idx];
+  if (!list.empty()) {
+    h = static_cast<Header*>(list.back());
+    list.pop_back();
+    ++p.stats.pool_hits;
+    p.stats.pooled_bytes -= bytes;
+  } else {
+    h = static_cast<Header*>(
+        ::operator new(sizeof(Header) + static_cast<std::size_t>(bytes)));
+    h->capacity = capacity;
+    ++p.stats.pool_misses;
+    ++p.stats.cumulative_allocations;
+  }
+  h->refs = 1;
+  p.stats.live_bytes += bytes;
+  if (p.stats.live_bytes > p.stats.peak_live_bytes)
+    p.stats.peak_live_bytes = p.stats.live_bytes;
+  return Storage(h);
+}
+
+void Storage::release() {
+  if (h_ == nullptr) return;
+  if (--h_->refs == 0) {
+    Pool& p = pool();
+    const auto bytes = h_->capacity * static_cast<std::int64_t>(sizeof(float));
+    p.stats.live_bytes -= bytes;
+    p.stats.pooled_bytes += bytes;
+    p.free_lists[bucket_index(h_->capacity)].push_back(h_);
+  }
+  h_ = nullptr;
+}
+
+namespace tensor {
+
+AllocStats alloc_stats() { return pool().stats; }
+
+void reset_alloc_counters() {
+  Pool& p = pool();
+  p.stats.pool_hits = 0;
+  p.stats.pool_misses = 0;
+}
+
+std::int64_t trim_pool() {
+  Pool& p = pool();
+  std::int64_t freed = 0;
+  for (auto& list : p.free_lists) {
+    for (void* block : list) {
+      freed += static_cast<detail::StorageHeader*>(block)->capacity *
+               static_cast<std::int64_t>(sizeof(float));
+      ::operator delete(block);
+    }
+    list.clear();
+  }
+  p.stats.pooled_bytes -= freed;
+  return freed;
+}
+
+}  // namespace tensor
+}  // namespace cq

@@ -6,6 +6,7 @@
 
 #include "nn/conv2d.hpp"
 #include "nn/linear.hpp"
+#include "optim/sgd.hpp"
 #include "quant/actquant.hpp"
 #include "quant/policy.hpp"
 #include "quant/quantizer.hpp"
@@ -324,6 +325,85 @@ TEST(FakeQuantWeight, InputGradUsesQuantizedWeight) {
     EXPECT_NEAR(gx[i], expected[i], 1e-5);
 }
 
+// CQ-B/CQ-C push 4 branches at 2 precisions through the encoder each
+// iteration; the memo cache must collapse that to one quantizer call per
+// (weight, bits) until the optimizer rewrites the weight.
+TEST(FakeQuantWeight, MemoizesPerBitsAndWeightVersion) {
+  Rng rng(18);
+  auto policy = std::make_shared<QuantPolicy>();
+  auto fq = std::make_shared<quant::FakeQuantWeight>(policy);
+  nn::Linear layer(4, 4, rng, /*bias=*/false);
+  layer.set_weight_transform(fq);
+  Tensor x = Tensor::randn(Shape{2, 4}, rng);
+
+  // SimCLR CQ branch order: (v1,q1), (v2,q1), (v1,q2), (v2,q2).
+  policy->set_bits(4);
+  layer.forward(x);
+  layer.forward(x);
+  policy->set_bits(8);
+  layer.forward(x);
+  layer.forward(x);
+  layer.clear_cache();
+  EXPECT_EQ(fq->quantizer_calls(), 2u);  // one per (weight, bits)
+
+  // Revisiting a cached precision within the same step stays free.
+  policy->set_bits(4);
+  Tensor y_cached = layer.forward(x);
+  layer.clear_cache();
+  EXPECT_EQ(fq->quantizer_calls(), 2u);
+  // And the cached result equals a fresh quantization.
+  const Tensor w_q = policy->quantizer().quantize(layer.weight().value, 4);
+  Tensor expected = ops::matmul_nt(x, w_q);
+  for (std::int64_t i = 0; i < y_cached.numel(); ++i)
+    EXPECT_NEAR(y_cached[i], expected[i], 1e-5);
+}
+
+TEST(FakeQuantWeight, OptimizerStepInvalidatesMemo) {
+  Rng rng(19);
+  auto policy = std::make_shared<QuantPolicy>();
+  auto fq = std::make_shared<quant::FakeQuantWeight>(policy);
+  nn::Linear layer(4, 2, rng, /*bias=*/false);
+  layer.set_weight_transform(fq);
+  Tensor x = Tensor::randn(Shape{2, 4}, rng);
+  policy->set_bits(4);
+
+  layer.forward(x);
+  layer.backward(Tensor::ones(Shape{2, 2}));
+  EXPECT_EQ(fq->quantizer_calls(), 1u);
+
+  optim::Sgd sgd(layer.parameters(), {.lr = 0.1f});
+  sgd.step();  // bumps the weight version
+
+  Tensor y = layer.forward(x);
+  layer.clear_cache();
+  EXPECT_EQ(fq->quantizer_calls(), 2u);  // stale entry was re-quantized
+  const Tensor w_q = policy->quantizer().quantize(layer.weight().value, 4);
+  Tensor expected = ops::matmul_nt(x, w_q);
+  for (std::int64_t i = 0; i < y.numel(); ++i)
+    EXPECT_NEAR(y[i], expected[i], 1e-5);
+}
+
+TEST(FakeQuantWeight, GaussianPerturbIsNeverMemoized) {
+  Rng rng(22);
+  QuantizerConfig qcfg;
+  qcfg.perturb = quant::PerturbMode::kGaussian;
+  auto policy = std::make_shared<QuantPolicy>(qcfg);
+  auto fq = std::make_shared<quant::FakeQuantWeight>(policy);
+  nn::Linear layer(8, 8, rng, /*bias=*/false);
+  layer.set_weight_transform(fq);
+  policy->set_bits(4);
+  Tensor x = Tensor::randn(Shape{1, 8}, rng);
+  // Same weight, same bits, same step — outputs must still differ because
+  // each branch draws fresh noise.
+  Tensor y1 = layer.forward(x);
+  Tensor y2 = layer.forward(x);
+  layer.clear_cache();
+  EXPECT_EQ(fq->quantizer_calls(), 2u);
+  float diff = 0.0f;
+  for (std::int64_t i = 0; i < y1.numel(); ++i)
+    diff += std::abs(y1[i] - y2[i]);
+  EXPECT_GT(diff, 0.0f);
+}
 
 TEST(PerturbGaussian, MatchesStepMagnitude) {
   Rng rng(20);
