@@ -1,11 +1,46 @@
 #!/bin/bash
 # Runs every table/figure bench, skipping ones already completed
-# (marker: bench_out/<name>.txt ends with the CQ_BENCH_DONE line).
+# (marker: bench_out/<name>.txt ends with the CQ_BENCH_DONE line), then
+# regenerates the repo-root machine-readable baselines:
+#   BENCH_gemm.json      blocked-vs-reference GEMM GFLOP/s
+#   BENCH_pipeline.json  steady-state allocation accounting
+#   BENCH_kernels.json   SIMD kernel layer: fused epilogues, quantize-on-pack
+#
+#   ./run_benches.sh          build ./build if needed, run benches + JSONs
+#   ./run_benches.sh --check  correctness sweep instead of benches: substrate
+#                             + kernel tests under ASan+UBSan (`sanitize`
+#                             preset) and under the portable scalar kernel
+#                             backend (`scalar` preset, CQ_SCALAR_KERNELS=ON)
+#
 # Scale knobs below trade runtime for statistical polish; unset them for a
 # full-scale run.
+set -u
+cd "$(dirname "$0")"
+
+if [ "${1:-}" = "--check" ]; then
+  set -e
+  echo "=== sanitize preset (ASan+UBSan, substrate + kernel tests) ==="
+  cmake --preset sanitize
+  cmake --build --preset sanitize -j"$(nproc)"
+  ctest --preset sanitize -j"$(nproc)"
+  echo "=== scalar preset (CQ_SCALAR_KERNELS=ON, portable backend) ==="
+  cmake --preset scalar
+  cmake --build --preset scalar -j"$(nproc)"
+  ctest --preset scalar -j"$(nproc)"
+  echo ALL_CHECKS_DONE
+  exit 0
+fi
+
 export CQ_FT_EPOCHS=${CQ_FT_EPOCHS:-10}
 export CQ_DET_EPOCHS=${CQ_DET_EPOCHS:-20}
 export CQ_TSNE_ITERS=${CQ_TSNE_ITERS:-200}
+
+if [ ! -x build/bench/micro_kernels ] || [ ! -x build/bench/kernels ] \
+   || [ ! -x build/bench/pipeline_alloc ]; then
+  cmake --preset default
+  cmake --build --preset default -j"$(nproc)"
+fi
+
 mkdir -p bench_out
 for b in table1_imagenet_finetune table2_imagenet_linear table3_detection_transfer \
          table4_cifar_finetune table5_cifar_linear table6_byol_finetune \
@@ -26,4 +61,17 @@ for b in table1_imagenet_finetune table2_imagenet_linear table3_detection_transf
     mv "$out.tmp" "$out.failed" 2>/dev/null
   fi
 done
+
+# Machine-readable baselines live in the repo root so perf drift shows up in
+# review diffs. Each regenerates unconditionally (cheap next to the tables).
+echo "=== RUNNING json baselines ==="
+./build/bench/micro_kernels --gemm_json=BENCH_gemm.json \
+  2> bench_out/gemm_json.err && echo "done BENCH_gemm.json" \
+  || echo "FAILED BENCH_gemm.json (see bench_out/gemm_json.err)"
+./build/bench/pipeline_alloc --json=BENCH_pipeline.json \
+  > bench_out/pipeline_json.txt 2>&1 && echo "done BENCH_pipeline.json" \
+  || echo "FAILED BENCH_pipeline.json (see bench_out/pipeline_json.txt)"
+./build/bench/kernels --json=BENCH_kernels.json \
+  2> bench_out/kernels_json.err && echo "done BENCH_kernels.json" \
+  || echo "FAILED BENCH_kernels.json (see bench_out/kernels_json.err)"
 echo ALL_BENCHES_DONE

@@ -1,19 +1,17 @@
 #include "nn/activations.hpp"
 
+#include "tensor/kernels/kernels.hpp"
+
 namespace cq::nn {
 
 Tensor ReLU::forward(const Tensor& x) {
   // Write into fresh (pool-recycled) storage instead of copy-then-overwrite.
   Tensor y = x.like();
-  float* d = y.data();
   const float* xd = x.data();
-  const auto n = y.numel();
-  if (cap_ > 0.0f) {
-    for (std::int64_t i = 0; i < n; ++i)
-      d[i] = xd[i] < 0.0f ? 0.0f : (xd[i] > cap_ ? cap_ : xd[i]);
-  } else {
-    for (std::int64_t i = 0; i < n; ++i) d[i] = xd[i] > 0.0f ? xd[i] : 0.0f;
-  }
+  if (cap_ > 0.0f)
+    kernels::relu_cap(xd, y.data(), y.numel(), cap_);
+  else
+    kernels::relu(xd, y.data(), y.numel());
   if (mode_ == Mode::kTrain) cache_.push_back(x);
   return y;
 }
@@ -24,16 +22,11 @@ Tensor ReLU::backward(const Tensor& grad_out) {
   cache_.pop_back();
   CQ_CHECK(grad_out.same_shape(x));
   Tensor g = grad_out.like();
-  float* gd = g.data();
-  const float* god = grad_out.data();
-  const float* xd = x.data();
-  const auto n = g.numel();
-  if (cap_ > 0.0f) {
-    for (std::int64_t i = 0; i < n; ++i)
-      gd[i] = (xd[i] <= 0.0f || xd[i] >= cap_) ? 0.0f : god[i];
-  } else {
-    for (std::int64_t i = 0; i < n; ++i) gd[i] = xd[i] <= 0.0f ? 0.0f : god[i];
-  }
+  if (cap_ > 0.0f)
+    kernels::relu_cap_grad(x.data(), grad_out.data(), g.data(), g.numel(),
+                           cap_);
+  else
+    kernels::relu_grad(x.data(), grad_out.data(), g.data(), g.numel());
   return g;
 }
 

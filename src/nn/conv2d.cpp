@@ -1,5 +1,7 @@
 #include "nn/conv2d.hpp"
 
+#include <utility>
+
 #include "nn/init.hpp"
 #include "tensor/gemm.hpp"
 
@@ -45,7 +47,16 @@ Tensor Conv2d::forward(const Tensor& x) {
                                      << x.shape().str());
 
   const bool transformed = transform_ && transform_->active();
-  Tensor w_eff = transformed ? transform_->apply(weight_) : weight_.value;
+  // Quantize-on-pack: fold an affine fake quantization into the GEMM's
+  // packing of W; otherwise materialize via apply().
+  std::optional<gemm::QuantSpec> wq;
+  Tensor w_eff;
+  if (transformed) {
+    wq = transform_->pack_spec(weight_);
+    if (!wq) w_eff = transform_->apply(weight_);
+  }
+  const Tensor& w_fwd = wq || !transformed ? weight_.value : w_eff;
+  const gemm::QuantSpec* qa = wq ? &*wq : nullptr;
 
   const auto groups = spec_.groups;
   const auto cout_g = spec_.out_channels / groups;
@@ -56,7 +67,8 @@ Tensor Conv2d::forward(const Tensor& x) {
   Tensor y = Tensor::empty(Shape{n, spec_.out_channels, oh, ow});
   cols_.resize(Shape{krows, oh * ow});
   float* cols = cols_.data();
-  const float* W = w_eff.data();
+  const float* W = w_fwd.data();
+  const float* bias = spec_.bias ? std::as_const(bias_.value).data() : nullptr;
   const float* x_base = x.data();
   float* y_base = y.data();
   for (std::int64_t img = 0; img < n; ++img) {
@@ -64,24 +76,30 @@ Tensor Conv2d::forward(const Tensor& x) {
     float* out_base = y_base + img * spec_.out_channels * oh * ow;
     for (std::int64_t grp = 0; grp < groups; ++grp) {
       im2col(in_base + grp * cin_g * in_h * in_w, g, cols);
-      // out[cout_g, oh*ow] = W_grp[cout_g, krows] * cols[krows, oh*ow]
+      // out[cout_g, oh*ow] = W_grp[cout_g, krows] * cols[krows, oh*ow],
+      // with the per-channel bias fused as a per-row epilogue (GEMM rows
+      // are output channels here).
       const float* wg = W + grp * cout_g * krows;
       float* og = out_base + grp * cout_g * oh * ow;
-      gemm::gemm(gemm::Trans::kNN, cout_g, oh * ow, krows, wg, cols, og);
-    }
-    if (spec_.bias) {
-      for (std::int64_t oc = 0; oc < spec_.out_channels; ++oc) {
-        float* orow = out_base + oc * oh * ow;
-        const float b = bias_.value[oc];
-        for (std::int64_t s = 0; s < oh * ow; ++s) orow[s] += b;
+      gemm::Epilogue ep;
+      if (bias != nullptr) {
+        ep.bias = bias + grp * cout_g;
+        ep.bias_kind = gemm::Epilogue::Bias::kPerRow;
       }
+      gemm::gemm(gemm::Trans::kNN, cout_g, oh * ow, krows, wg, cols, og,
+                 /*accumulate=*/false, ep, qa, nullptr);
     }
   }
 
   if (mode_ == Mode::kTrain) {
     Cache entry;
     entry.input = x;
-    if (transformed) entry.effective_weight = std::move(w_eff);
+    if (transformed) {
+      if (wq)
+        entry.weight_spec = wq;
+      else
+        entry.effective_weight = std::move(w_eff);
+    }
     cache_.push_back(std::move(entry));
   }
   return y;
@@ -133,9 +151,14 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
       float* wg_grad = Wg + grp * cout_g * krows;
       gemm::gemm(gemm::Trans::kNT, cout_g, krows, spatial, go, cols, wg_grad,
                  /*accumulate=*/true);
-      // dcols[krows, spatial] = W_grp^T[krows, cout_g] * go[cout_g, spatial]
+      // dcols[krows, spatial] = W_grp^T[krows, cout_g] * go[cout_g, spatial].
+      // With quantize-on-pack the effective weight is re-derived from the
+      // master weight and the cached spec (backward precedes the optimizer
+      // step, so the master values still match the forward's).
       const float* wgrp = W + grp * cout_g * krows;
-      gemm::gemm(gemm::Trans::kTN, krows, spatial, cout_g, wgrp, go, dcols);
+      gemm::gemm(gemm::Trans::kTN, krows, spatial, cout_g, wgrp, go, dcols,
+                 /*accumulate=*/false, gemm::Epilogue{},
+                 entry.weight_spec ? &*entry.weight_spec : nullptr, nullptr);
       col2im(dcols, g, gi_base + grp * cin_g * in_h * in_w);
     }
     if (spec_.bias) {

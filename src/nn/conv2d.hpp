@@ -41,8 +41,11 @@ class Conv2d : public Module {
 
  private:
   struct Cache {
-    Tensor input;                            // [N, Cin, H, W]
-    std::optional<Tensor> effective_weight;  // set iff transform was active
+    Tensor input;  // [N, Cin, H, W]
+    // Exactly one of these is set when the transform was active: the spec
+    // when quantize-on-pack applied, the tensor otherwise (e.g. Gaussian).
+    std::optional<Tensor> effective_weight;
+    std::optional<gemm::QuantSpec> weight_spec;
   };
 
   ConvGeometry group_geometry(std::int64_t in_h, std::int64_t in_w) const;

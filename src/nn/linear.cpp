@@ -1,9 +1,11 @@
 #include "nn/linear.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "nn/init.hpp"
 #include "tensor/gemm.hpp"
+#include "tensor/kernels/kernels.hpp"
 
 namespace cq::nn {
 
@@ -26,23 +28,45 @@ Tensor Linear::forward(const Tensor& x) {
                "linear input " << x.shape().str() << " expects [N, "
                                << in_features_ << "]");
   const bool transformed = transform_ && transform_->active();
-  Tensor w_eff = transformed ? transform_->apply(weight_) : weight_.value;
+  // Quantize-on-pack: an affine transform is folded into the GEMM's packing
+  // of W (no quantized tensor materialized); otherwise fall back to apply().
+  std::optional<gemm::QuantSpec> wq;
+  Tensor w_eff;
+  if (transformed) {
+    wq = transform_->pack_spec(weight_);
+    if (!wq) w_eff = transform_->apply(weight_);
+  }
+  const Tensor& w = wq || !transformed ? weight_.value : w_eff;
+
+  gemm::Epilogue ep;
+  if (has_bias_) {
+    ep.bias = std::as_const(bias_.value).data();
+    ep.bias_kind = gemm::Epilogue::Bias::kPerCol;
+  }
+  if (fused_act_ != FusedAct::kNone) {
+    CQ_CHECK_MSG(mode_ == Mode::kEval,
+                 "fused activation is eval-only: backward needs the "
+                 "pre-activation values");
+    ep.act = fused_act_ == FusedAct::kRelu ? gemm::Epilogue::Act::kRelu
+                                           : gemm::Epilogue::Act::kReluCap;
+    ep.cap = fused_cap_;
+  }
 
   const auto batch = x.dim(0);
   // gemm fully writes y, so skip the zero-fill.
-  Tensor y = Tensor::empty(Shape{batch, out_features_});  // y = x * W^T
+  Tensor y = Tensor::empty(Shape{batch, out_features_});  // y = act(x W^T + b)
   gemm::gemm(gemm::Trans::kNT, batch, out_features_, in_features_, x.data(),
-             w_eff.data(), y.data());
-  if (has_bias_) {
-    const auto n = y.dim(0);
-    for (std::int64_t r = 0; r < n; ++r)
-      for (std::int64_t c = 0; c < out_features_; ++c)
-        y.at(r, c) += bias_.value[c];
-  }
+             w.data(), y.data(), /*accumulate=*/false, ep, nullptr,
+             wq ? &*wq : nullptr);
   if (mode_ == Mode::kTrain) {
     Cache entry;
     entry.input = x;
-    if (transformed) entry.effective_weight = std::move(w_eff);
+    if (transformed) {
+      if (wq)
+        entry.weight_spec = wq;
+      else
+        entry.effective_weight = std::move(w_eff);
+    }
     cache_.push_back(std::move(entry));
   }
   return y;
@@ -62,15 +86,20 @@ Tensor Linear::backward(const Tensor& grad_out) {
              grad_out.data(), entry.input.data(), weight_.grad.data(),
              /*accumulate=*/true);
   if (has_bias_) {
-    for (std::int64_t r = 0; r < batch; ++r)
-      for (std::int64_t c = 0; c < out_features_; ++c)
-        bias_.grad[c] += grad_out.at(r, c);
+    kernels::add_rows(grad_out.data(), batch, out_features_,
+                      bias_.grad.data());
   }
+  // grad_in = grad_out * W_effective. In the quantize-on-pack case the
+  // effective weight is re-derived from the master weight and the cached
+  // spec — valid because backward always runs before the optimizer step
+  // that would rewrite the master values.
   const Tensor& w_used =
       entry.effective_weight ? *entry.effective_weight : weight_.value;
   Tensor grad_in = Tensor::empty(Shape{batch, in_features_});  // grad_out * W
   gemm::gemm(gemm::Trans::kNN, batch, in_features_, out_features_,
-             grad_out.data(), w_used.data(), grad_in.data());
+             grad_out.data(), w_used.data(), grad_in.data(),
+             /*accumulate=*/false, gemm::Epilogue{}, nullptr,
+             entry.weight_spec ? &*entry.weight_spec : nullptr);
   return grad_in;
 }
 

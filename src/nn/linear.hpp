@@ -1,5 +1,10 @@
 // Fully connected layer y = x W^T + b, with optional weight transform
 // (fake quantization) applied on the forward path.
+//
+// The bias add rides the GEMM epilogue (no separate pass over y), and when
+// the installed transform exposes a pack_spec() the fake quantization is
+// folded into the GEMM packing of W — the layer then never materializes a
+// quantized weight tensor, caching only the tiny QuantSpec for backward.
 #pragma once
 
 #include <memory>
@@ -11,6 +16,10 @@ namespace cq::nn {
 
 class Linear : public Module {
  public:
+  /// Activation fused into the forward GEMM's epilogue (eval mode only:
+  /// backward needs the pre-activation values a fused pass never yields).
+  enum class FusedAct { kNone, kRelu, kReluCap };
+
   /// He-uniform initialized weight [out_features, in_features].
   Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng,
          bool bias = true, std::string name = "linear");
@@ -25,6 +34,13 @@ class Linear : public Module {
     transform_ = std::move(t);
   }
 
+  /// Fuse an activation into the forward epilogue. Checked against train
+  /// mode at forward time; `cap` is the ReLU6-style ceiling for kReluCap.
+  void set_fused_activation(FusedAct act, float cap = 0.0f) {
+    fused_act_ = act;
+    fused_cap_ = cap;
+  }
+
   std::int64_t in_features() const { return in_features_; }
   std::int64_t out_features() const { return out_features_; }
   Parameter& weight() { return weight_; }
@@ -35,8 +51,12 @@ class Linear : public Module {
 
  private:
   struct Cache {
-    Tensor input;             // [N, in]
-    std::optional<Tensor> effective_weight;  // set iff transform was active
+    Tensor input;  // [N, in]
+    // Exactly one of these is set when the transform was active: the spec
+    // when quantize-on-pack applied, the tensor when the transform had to
+    // materialize (e.g. Gaussian perturbation).
+    std::optional<Tensor> effective_weight;
+    std::optional<gemm::QuantSpec> weight_spec;
   };
 
   std::int64_t in_features_;
@@ -45,6 +65,8 @@ class Linear : public Module {
   Parameter weight_;
   Parameter bias_;
   std::shared_ptr<const WeightTransform> transform_;
+  FusedAct fused_act_ = FusedAct::kNone;
+  float fused_cap_ = 0.0f;
   std::vector<Cache> cache_;
 };
 

@@ -16,9 +16,11 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "tensor/gemm.hpp"
 #include "tensor/tensor.hpp"
 
 namespace cq::nn {
@@ -60,6 +62,16 @@ class WeightTransform {
   /// (parameter identity, version) — CQ pushes 2–4 branches through the same
   /// encoder per iteration and the weight only changes at optimizer steps.
   virtual Tensor apply(const Parameter& weight) const = 0;
+  /// Quantize-on-pack fast path: when the transform is an affine fake
+  /// quantization (Eq. 10), return the QuantSpec describing it so layers can
+  /// fold it into the GEMM packing stage and never materialize a transformed
+  /// weight tensor. nullopt (the default) means "no pack fusion" — layers
+  /// must then fall back to apply(). Stochastic transforms (Gaussian
+  /// perturbation) return nullopt so each branch keeps independent noise.
+  virtual std::optional<gemm::QuantSpec> pack_spec(
+      const Parameter& /*weight*/) const {
+    return std::nullopt;
+  }
 };
 
 class Module {

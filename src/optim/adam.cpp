@@ -1,7 +1,9 @@
 #include "optim/adam.hpp"
 
 #include <cmath>
+#include <utility>
 
+#include "tensor/kernels/kernels.hpp"
 #include "util/check.hpp"
 
 namespace cq::optim {
@@ -26,14 +28,12 @@ void Adam::step() {
   for (std::size_t k = 0; k < params_.size(); ++k) {
     nn::Parameter* p = params_[k];
     const float wd = p->decay ? config_.weight_decay : 0.0f;
-    for (std::int64_t i = 0; i < p->value.numel(); ++i) {
-      const float g = p->grad[i] + wd * p->value[i];
-      m_[k][i] = config_.beta1 * m_[k][i] + (1.0f - config_.beta1) * g;
-      v_[k][i] = config_.beta2 * v_[k][i] + (1.0f - config_.beta2) * g * g;
-      const float mhat = m_[k][i] / bc1;
-      const float vhat = v_[k][i] / bc2;
-      p->value[i] -= config_.lr * mhat / (std::sqrt(vhat) + config_.eps);
-    }
+    // Vectorized update; same operation sequence as the historical scalar
+    // loop, so trajectories are unchanged.
+    kernels::adam_update(p->value.data(), std::as_const(p->grad).data(),
+                         m_[k].data(), v_[k].data(), p->value.numel(),
+                         config_.lr, config_.beta1, config_.beta2,
+                         config_.eps, wd, bc1, bc2);
     p->bump_version();  // invalidate memoized weight transforms
     p->zero_grad();
   }

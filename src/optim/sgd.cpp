@@ -1,7 +1,9 @@
 #include "optim/sgd.hpp"
 
 #include <cmath>
+#include <utility>
 
+#include "tensor/kernels/kernels.hpp"
 #include "util/check.hpp"
 
 namespace cq::optim {
@@ -16,11 +18,16 @@ Sgd::Sgd(std::vector<nn::Parameter*> params, SgdConfig config)
 }
 
 void Sgd::step() {
-  // Global grad norm (for diagnostics and optional clipping).
+  // Global grad norm (for diagnostics and optional clipping). Double
+  // accumulation kept: the clip threshold comparison is sensitive and this
+  // pass is cheap relative to the updates.
   double sq = 0.0;
-  for (nn::Parameter* p : params_)
-    for (std::int64_t i = 0; i < p->grad.numel(); ++i)
-      sq += static_cast<double>(p->grad[i]) * p->grad[i];
+  for (nn::Parameter* p : params_) {
+    const float* g = std::as_const(p->grad).data();
+    const auto n = p->grad.numel();
+    for (std::int64_t i = 0; i < n; ++i)
+      sq += static_cast<double>(g[i]) * g[i];
+  }
   last_grad_norm_ = static_cast<float>(std::sqrt(sq));
 
   float grad_scale = 1.0f;
@@ -31,11 +38,11 @@ void Sgd::step() {
     nn::Parameter* p = params_[k];
     Tensor& v = velocity_[k];
     const float wd = p->decay ? config_.weight_decay : 0.0f;
-    for (std::int64_t i = 0; i < p->value.numel(); ++i) {
-      const float g = grad_scale * p->grad[i] + wd * p->value[i];
-      v[i] = config_.momentum * v[i] + g;
-      p->value[i] -= config_.lr * v[i];
-    }
+    // Vectorized update; same operation sequence as the historical scalar
+    // loop, so trajectories are unchanged.
+    kernels::sgd_update(p->value.data(), std::as_const(p->grad).data(),
+                        v.data(), p->value.numel(), config_.lr,
+                        config_.momentum, wd, grad_scale);
     p->bump_version();  // invalidate memoized weight transforms
     p->zero_grad();
   }

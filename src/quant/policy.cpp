@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "tensor/kernels/kernels.hpp"
 #include "util/check.hpp"
 
 namespace cq::quant {
@@ -13,20 +14,16 @@ Tensor QuantPolicy::transform(const Tensor& a) const {
   return quantizer_.quantize(a, bits_);
 }
 
-Tensor FakeQuantWeight::apply(const nn::Parameter& weight) const {
-  if (!policy_->active()) return weight.value;
-  // Stochastic perturbation must stay fresh per branch; bypass the cache.
-  if (policy_->quantizer().config().perturb == PerturbMode::kGaussian) {
-    ++quantizer_calls_;
-    return policy_->transform(weight.value);
-  }
+FakeQuantWeight::Slot& FakeQuantWeight::lookup(
+    const nn::Parameter& weight) const {
   const int bits = policy_->bits();
   for (Slot& s : slots_) {
     if (s.param == &weight && s.bits == bits && s.version == weight.version)
-      return s.value;
+      return s;
   }
+  // Miss: one range/scale pass over the master weight.
   ++quantizer_calls_;
-  Tensor q = policy_->transform(weight.value);
+  gemm::QuantSpec spec = policy_->quantizer().make_spec(weight.value, bits);
   // Evict the slot whose cached bits match (stale version) or, failing
   // that, slot 0 — branch orders visit precisions in runs, so LRU subtleties
   // don't matter.
@@ -38,8 +35,42 @@ Tensor FakeQuantWeight::apply(const nn::Parameter& weight) const {
     }
     if (s.param == &weight && s.version != weight.version) victim = &s;
   }
-  *victim = Slot{&weight, bits, weight.version, q};
-  return q;
+  *victim = Slot{&weight, bits, weight.version, spec, Tensor{}, false};
+  return *victim;
+}
+
+std::optional<gemm::QuantSpec> FakeQuantWeight::pack_spec(
+    const nn::Parameter& weight) const {
+  if (!policy_->active()) return std::nullopt;
+  // Stochastic perturbation cannot be folded into packing: every branch must
+  // draw fresh noise, so layers fall back to apply().
+  if (policy_->quantizer().config().perturb == PerturbMode::kGaussian)
+    return std::nullopt;
+  return lookup(weight).spec;
+}
+
+Tensor FakeQuantWeight::apply(const nn::Parameter& weight) const {
+  if (!policy_->active()) return weight.value;
+  // Stochastic perturbation must stay fresh per branch; bypass the cache.
+  if (policy_->quantizer().config().perturb == PerturbMode::kGaussian) {
+    ++quantizer_calls_;
+    return policy_->transform(weight.value);
+  }
+  Slot& s = lookup(weight);
+  if (!s.has_value) {
+    // Materialize lazily from the cached spec (no extra quantizer call);
+    // identity specs share the master weight via copy-on-write.
+    if (s.spec.identity) {
+      s.value = weight.value;
+    } else {
+      Tensor q = weight.value;
+      float* d = q.data();
+      kernels::quantize(d, d, q.numel(), s.spec);
+      s.value = std::move(q);
+    }
+    s.has_value = true;
+  }
+  return s.value;
 }
 
 PrecisionSet::PrecisionSet(std::vector<int> bits) : bits_(std::move(bits)) {

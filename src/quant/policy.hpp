@@ -53,10 +53,15 @@ class QuantPolicy {
 ///
 /// Results are memoized per (parameter, bits, parameter version): CQ-B/CQ-C
 /// push 4 branches at 2 precisions through the same encoder each iteration,
-/// so without memoization every weight is quantized 4x per step. Two slots
+/// so without memoization every weight is re-examined 4x per step. Two slots
 /// cover the two precisions in flight; the version bump on optimizer step
-/// invalidates both. Gaussian perturbation is NOT memoized — its noise must
-/// stay independent per branch.
+/// invalidates both. The slots cache the *range/scale spec* (one range pass
+/// over the weight) — layers consume it via pack_spec() and fold Eq. 10 into
+/// the GEMM packing stage, so no quantized weight tensor exists in the
+/// steady state. apply() still materializes one lazily (from the cached
+/// spec, at no extra quantizer_calls) for callers that need a tensor.
+/// Gaussian perturbation is NOT memoized and NOT pack-fusable — its noise
+/// must stay independent per branch.
 class FakeQuantWeight : public nn::WeightTransform {
  public:
   explicit FakeQuantWeight(std::shared_ptr<const QuantPolicy> policy)
@@ -64,9 +69,12 @@ class FakeQuantWeight : public nn::WeightTransform {
 
   bool active() const override { return policy_->active(); }
   Tensor apply(const nn::Parameter& weight) const override;
+  std::optional<gemm::QuantSpec> pack_spec(
+      const nn::Parameter& weight) const override;
 
-  /// Lifetime count of actual quantizer invocations (cache misses). Tests
-  /// assert this grows by at most one per (weight, bits) per step.
+  /// Lifetime count of range/scale computations (spec cache misses; for
+  /// Gaussian mode, perturbation draws). Tests assert this grows by at most
+  /// one per (weight, bits) per step.
   std::uint64_t quantizer_calls() const { return quantizer_calls_; }
 
  private:
@@ -74,8 +82,14 @@ class FakeQuantWeight : public nn::WeightTransform {
     const nn::Parameter* param = nullptr;
     int bits = 0;
     std::uint64_t version = 0;
-    Tensor value;
+    gemm::QuantSpec spec;
+    Tensor value;            // lazily materialized from spec by apply()
+    bool has_value = false;
   };
+
+  /// Slot holding the memoized spec for (weight, current bits, version);
+  /// fills it (one quantizer call) on miss.
+  Slot& lookup(const nn::Parameter& weight) const;
 
   std::shared_ptr<const QuantPolicy> policy_;
   // One transform instance is owned by one layer, so `param` is effectively

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <vector>
 
+#include "tensor/kernels/kernels.hpp"
 #include "tensor/ops.hpp"
 #include "util/check.hpp"
 
@@ -16,8 +18,12 @@ LinearQuantizer::LinearQuantizer(QuantizerConfig config) : config_(config) {
 LinearQuantizer::Range LinearQuantizer::dynamic_range(const Tensor& a) const {
   Range r;
   if (config_.range == RangeMode::kMinMax) {
-    r.lo = ops::min(a);
-    r.hi = ops::max(a);
+    if (a.numel() == 0) {  // empty: preserve the historical inf/-inf bounds
+      r.lo = std::numeric_limits<float>::infinity();
+      r.hi = -std::numeric_limits<float>::infinity();
+      return r;
+    }
+    kernels::minmax(a.data(), a.numel(), &r.lo, &r.hi);  // one fused pass
     return r;
   }
   // Percentile clipping: take the (1-p) and p quantiles.
@@ -43,49 +49,40 @@ float LinearQuantizer::step_size(const Tensor& a, int bits) const {
   return static_cast<float>(static_cast<double>(r.width()) / levels);
 }
 
-Tensor LinearQuantizer::quantize(
-    const Tensor& a, int bits,
-    std::vector<std::uint8_t>* clip_mask_out) const {
+gemm::QuantSpec LinearQuantizer::make_spec(const Tensor& a, int bits) const {
   CQ_CHECK_MSG(bits >= 1, "bit-width must be >= 1");
-  if (clip_mask_out != nullptr)
-    clip_mask_out->assign(static_cast<std::size_t>(a.numel()), 1);
-  if (bits >= kFullPrecisionBits) return a;
+  gemm::QuantSpec q;  // identity by default
+  if (bits >= kFullPrecisionBits) return q;
 
   const auto r = dynamic_range(a);
   const double width = static_cast<double>(r.hi) - r.lo;
-  if (!(width > 0.0) || !std::isfinite(width)) return a;  // constant tensor
+  if (!(width > 0.0) || !std::isfinite(width)) return q;  // constant tensor
 
   const double levels = std::pow(2.0, bits) - 1.0;
-  const float s = static_cast<float>(width / levels);
-  const float inv_s = 1.0f / s;
-  const bool clip = config_.range == RangeMode::kPercentile;
+  q.step = static_cast<float>(width / levels);
+  q.inv_step = 1.0f / q.step;
+  q.lo = r.lo;
+  q.hi = r.hi;
+  q.clip = config_.range == RangeMode::kPercentile;
+  q.nearest = config_.rounding == RoundingMode::kNearest;
+  q.identity = false;
+  return q;
+}
+
+Tensor LinearQuantizer::quantize(
+    const Tensor& a, int bits,
+    std::vector<std::uint8_t>* clip_mask_out) const {
+  if (clip_mask_out != nullptr)
+    clip_mask_out->assign(static_cast<std::size_t>(a.numel()), 1);
+  const gemm::QuantSpec q = make_spec(a, bits);
+  if (q.identity) return a;
 
   Tensor out = a;
   float* d = out.data();
-  const auto n = out.numel();
-  if (config_.rounding == RoundingMode::kNearest) {
-    for (std::int64_t i = 0; i < n; ++i) {
-      float v = d[i];
-      if (clip) {
-        const float c = std::clamp(v, r.lo, r.hi);
-        if (clip_mask_out != nullptr && c != v)
-          (*clip_mask_out)[static_cast<std::size_t>(i)] = 0;
-        v = c;
-      }
-      d[i] = s * std::nearbyint(v * inv_s);
-    }
-  } else {
-    for (std::int64_t i = 0; i < n; ++i) {
-      float v = d[i];
-      if (clip) {
-        const float c = std::clamp(v, r.lo, r.hi);
-        if (clip_mask_out != nullptr && c != v)
-          (*clip_mask_out)[static_cast<std::size_t>(i)] = 0;
-        v = c;
-      }
-      d[i] = s * std::floor(v * inv_s);
-    }
-  }
+  if (clip_mask_out != nullptr)
+    kernels::quantize_masked(d, d, out.numel(), q, clip_mask_out->data());
+  else
+    kernels::quantize(d, d, out.numel(), q);
   return out;
 }
 

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 
+#include "tensor/gemm.hpp"
 #include "tensor/tensor.hpp"
 
 namespace cq::quant {
@@ -57,6 +58,14 @@ class LinearQuantizer {
 
   /// Step size S_a for the given tensor and bit-width.
   float step_size(const Tensor& a, int bits) const;
+
+  /// The full affine-quantizer parameters for `a` at `bits` — one range pass
+  /// plus the Eq. 10 step. The returned spec drives kernels::quantize and the
+  /// GEMM quantize-on-pack path interchangeably (both evaluate
+  /// gemm::quantize_value element-wise, so the results are bit-identical to
+  /// quantize()). Identity (spec.identity == true) for full precision or
+  /// zero/non-finite range.
+  gemm::QuantSpec make_spec(const Tensor& a, int bits) const;
 
   /// Quantize a copy of `a` to `bits` bits. If `clip_mask_out` is non-null it
   /// is resized to a.numel() and set to 1 where the value passed through the

@@ -2,6 +2,16 @@
 // with -march=native (see src/CMakeLists.txt) so the micro-kernel vectorizes
 // to the widest SIMD the build machine has; the rest of the library keeps the
 // portable baseline flags.
+//
+// Fusion hooks (DESIGN.md §9):
+//  * quantize-on-pack — pack_a/pack_b optionally run each gathered element
+//    through gemm::quantize_value, so a fake-quantized operand is only ever
+//    materialized sliver-by-sliver inside the packing scratch.
+//  * epilogue — bias add + activation applied to the register tile during
+//    write-back of the LAST k-panel, after the accumulated sum (and any
+//    partial C from earlier panels / accumulate mode) is complete. The
+//    per-element operation sequence equals the unfused
+//    gemm-then-bias-then-act pipeline, so results are bit-identical.
 #include "tensor/gemm.hpp"
 
 #include <algorithm>
@@ -37,30 +47,71 @@ Strides b_strides(Trans t, std::int64_t k, std::int64_t n) {
 
 // Pack an mc x kc block of op(A) into MR-row slivers: sliver s holds rows
 // [s*MR, s*MR+MR) laid out p-major so the micro-kernel reads MR contiguous
-// floats per k-step. Short edge slivers are zero-padded to full MR.
-void pack_a(const float* a, Strides s, std::int64_t mc, std::int64_t kc,
-            float* ap) {
+// floats per k-step. Short edge slivers are zero-padded to full MR. The
+// quantized variant folds Eq. 10 into the gather (quantize-on-pack).
+template <bool Q>
+void pack_a_impl(const float* a, Strides s, std::int64_t mc, std::int64_t kc,
+                 float* ap, const QuantSpec& q) {
   for (std::int64_t ir = 0; ir < mc; ir += MR) {
     const std::int64_t mr = std::min(MR, mc - ir);
     for (std::int64_t p = 0; p < kc; ++p) {
-      for (std::int64_t i = 0; i < mr; ++i)
-        *ap++ = a[(ir + i) * s.rs + p * s.cs];
+      for (std::int64_t i = 0; i < mr; ++i) {
+        const float v = a[(ir + i) * s.rs + p * s.cs];
+        *ap++ = Q ? quantize_value(v, q) : v;
+      }
       for (std::int64_t i = mr; i < MR; ++i) *ap++ = 0.0f;
     }
   }
 }
 
+void pack_a(const float* a, Strides s, std::int64_t mc, std::int64_t kc,
+            float* ap, const QuantSpec* q) {
+  if (q != nullptr)
+    pack_a_impl<true>(a, s, mc, kc, ap, *q);
+  else
+    pack_a_impl<false>(a, s, mc, kc, ap, QuantSpec{});
+}
+
 // Pack a kc x nc block of op(B) into NR-column slivers, zero-padded likewise.
-void pack_b(const float* b, Strides s, std::int64_t kc, std::int64_t nc,
-            float* bp) {
+template <bool Q>
+void pack_b_impl(const float* b, Strides s, std::int64_t kc, std::int64_t nc,
+                 float* bp, const QuantSpec& q) {
   for (std::int64_t jr = 0; jr < nc; jr += NR) {
     const std::int64_t nr = std::min(NR, nc - jr);
     for (std::int64_t p = 0; p < kc; ++p) {
-      for (std::int64_t j = 0; j < nr; ++j)
-        *bp++ = b[p * s.rs + (jr + j) * s.cs];
+      for (std::int64_t j = 0; j < nr; ++j) {
+        const float v = b[p * s.rs + (jr + j) * s.cs];
+        *bp++ = Q ? quantize_value(v, q) : v;
+      }
       for (std::int64_t j = nr; j < NR; ++j) *bp++ = 0.0f;
     }
   }
+}
+
+void pack_b(const float* b, Strides s, std::int64_t kc, std::int64_t nc,
+            float* bp, const QuantSpec* q) {
+  if (q != nullptr)
+    pack_b_impl<true>(b, s, kc, nc, bp, *q);
+  else
+    pack_b_impl<false>(b, s, kc, nc, bp, QuantSpec{});
+}
+
+// Epilogue applied to one C element: c = act(c + bias). The same formula is
+// used by the register write-back below and the k == 0 fallback, and matches
+// the historical separate bias/activation passes element-for-element.
+inline float epilogue_elem(float c, float bias, const Epilogue& ep) {
+  c += bias;
+  switch (ep.act) {
+    case Epilogue::Act::kNone:
+      break;
+    case Epilogue::Act::kRelu:
+      c = c > 0.0f ? c : 0.0f;
+      break;
+    case Epilogue::Act::kReluCap:
+      c = c < 0.0f ? 0.0f : (c > ep.cap ? ep.cap : c);
+      break;
+  }
+  return c;
 }
 
 // MR x NR register tile over a kc-long packed panel pair. The NR lanes live
@@ -68,13 +119,17 @@ void pack_b(const float* b, Strides s, std::int64_t kc, std::int64_t nc,
 // axis to the contiguous B sliver (broadcast-A times vector-B), which GCC's
 // loop vectorizer does not reliably pick on its own for the equivalent
 // scalar loops. Edge tiles only clip the write-back.
+//
+// `ep` is non-null only on the final k-panel; `brow`/`bcol` are the bias
+// pointers pre-offset to this tile's first row / column.
 #if defined(__GNUC__) || defined(__clang__)
 typedef float VecNR __attribute__((vector_size(sizeof(float) * NR)));
 
 void micro_kernel(std::int64_t kc, const float* __restrict__ ap,
                   const float* __restrict__ bp, float* __restrict__ c,
                   std::int64_t ldc, std::int64_t mr, std::int64_t nr,
-                  bool overwrite) {
+                  bool overwrite, const Epilogue* ep, const float* brow,
+                  const float* bcol) {
   VecNR acc[MR] = {};
   for (std::int64_t p = 0; p < kc; ++p) {
     const float* a = ap + p * MR;
@@ -83,6 +138,9 @@ void micro_kernel(std::int64_t kc, const float* __restrict__ ap,
     for (std::int64_t i = 0; i < MR; ++i) acc[i] += a[i] * bv;
   }
   if (mr == MR && nr == NR) {
+    VecNR biasv = {};
+    if (ep != nullptr && bcol != nullptr)
+      __builtin_memcpy(&biasv, bcol, sizeof(biasv));
     for (std::int64_t i = 0; i < MR; ++i) {
       float* crow = c + i * ldc;
       if (!overwrite) {
@@ -90,16 +148,37 @@ void micro_kernel(std::int64_t kc, const float* __restrict__ ap,
         __builtin_memcpy(&cv, crow, sizeof(cv));
         acc[i] += cv;
       }
+      if (ep != nullptr) {
+        if (brow != nullptr)
+          acc[i] += brow[i];  // scalar broadcasts across the lanes
+        else
+          acc[i] += biasv;
+        if (ep->act == Epilogue::Act::kRelu) {
+          float* lanes = reinterpret_cast<float*>(&acc[i]);
+          for (std::int64_t j = 0; j < NR; ++j)
+            lanes[j] = lanes[j] > 0.0f ? lanes[j] : 0.0f;
+        } else if (ep->act == Epilogue::Act::kReluCap) {
+          float* lanes = reinterpret_cast<float*>(&acc[i]);
+          for (std::int64_t j = 0; j < NR; ++j)
+            lanes[j] = lanes[j] < 0.0f ? 0.0f
+                                       : (lanes[j] > ep->cap ? ep->cap
+                                                             : lanes[j]);
+        }
+      }
       __builtin_memcpy(crow, &acc[i], sizeof(acc[i]));
     }
   } else {
     for (std::int64_t i = 0; i < mr; ++i) {
       float* crow = c + i * ldc;
       const float* lanes = reinterpret_cast<const float*>(&acc[i]);
-      if (overwrite)
-        for (std::int64_t j = 0; j < nr; ++j) crow[j] = lanes[j];
-      else
-        for (std::int64_t j = 0; j < nr; ++j) crow[j] += lanes[j];
+      for (std::int64_t j = 0; j < nr; ++j) {
+        float v = overwrite ? lanes[j] : crow[j] + lanes[j];
+        if (ep != nullptr)
+          v = epilogue_elem(
+              v, brow != nullptr ? brow[i] : (bcol != nullptr ? bcol[j] : 0.0f),
+              *ep);
+        crow[j] = v;
+      }
     }
   }
 }
@@ -107,7 +186,8 @@ void micro_kernel(std::int64_t kc, const float* __restrict__ ap,
 void micro_kernel(std::int64_t kc, const float* __restrict__ ap,
                   const float* __restrict__ bp, float* __restrict__ c,
                   std::int64_t ldc, std::int64_t mr, std::int64_t nr,
-                  bool overwrite) {
+                  bool overwrite, const Epilogue* ep, const float* brow,
+                  const float* bcol) {
   float acc[MR][NR] = {};
   for (std::int64_t p = 0; p < kc; ++p) {
     const float* a = ap + p * MR;
@@ -117,10 +197,14 @@ void micro_kernel(std::int64_t kc, const float* __restrict__ ap,
   }
   for (std::int64_t i = 0; i < mr; ++i) {
     float* crow = c + i * ldc;
-    if (overwrite)
-      for (std::int64_t j = 0; j < nr; ++j) crow[j] = acc[i][j];
-    else
-      for (std::int64_t j = 0; j < nr; ++j) crow[j] += acc[i][j];
+    for (std::int64_t j = 0; j < nr; ++j) {
+      float v = overwrite ? acc[i][j] : crow[j] + acc[i][j];
+      if (ep != nullptr)
+        v = epilogue_elem(
+            v, brow != nullptr ? brow[i] : (bcol != nullptr ? bcol[j] : 0.0f),
+            *ep);
+      crow[j] = v;
+    }
   }
 }
 #endif
@@ -134,14 +218,44 @@ std::vector<float>& scratch(std::size_t need) {
   return buf;
 }
 
+// k == 0 / empty-sum path: C is already zeroed (or holds the accumulate-mode
+// values); run the epilogue as a standalone pass with the same formula.
+void apply_epilogue_plain(float* c, std::int64_t m, std::int64_t n,
+                          const Epilogue& ep) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    const float rbias =
+        ep.bias_kind == Epilogue::Bias::kPerRow && ep.bias ? ep.bias[i] : 0.0f;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float bias = ep.bias_kind == Epilogue::Bias::kPerCol && ep.bias
+                             ? ep.bias[j]
+                             : rbias;
+      crow[j] = epilogue_elem(crow[j], bias, ep);
+    }
+  }
+}
+
 }  // namespace
 
 void gemm(Trans trans, std::int64_t m, std::int64_t n, std::int64_t k,
-          const float* a, const float* b, float* c, bool accumulate) {
+          const float* a, const float* b, float* c, bool accumulate,
+          const Epilogue& epilogue, const QuantSpec* qa, const QuantSpec* qb) {
   if (m <= 0 || n <= 0) return;
+  // Identity specs (full precision / zero range) pack raw values.
+  if (qa != nullptr && qa->identity) qa = nullptr;
+  if (qb != nullptr && qb->identity) qb = nullptr;
+  const Epilogue* ep = epilogue.empty() ? nullptr : &epilogue;
+  const float* bias_rows =
+      ep != nullptr && ep->bias_kind == Epilogue::Bias::kPerRow ? ep->bias
+                                                                : nullptr;
+  const float* bias_cols =
+      ep != nullptr && ep->bias_kind == Epilogue::Bias::kPerCol ? ep->bias
+                                                                : nullptr;
+
   if (k <= 0) {
     if (!accumulate)
       for (std::int64_t i = 0; i < m * n; ++i) c[i] = 0.0f;
+    if (ep != nullptr) apply_epilogue_plain(c, m, n, *ep);
     return;
   }
   const Strides as = a_strides(trans, m, k);
@@ -158,26 +272,56 @@ void gemm(Trans trans, std::int64_t m, std::int64_t n, std::int64_t k,
     for (std::int64_t pc = 0; pc < k; pc += KC) {
       const std::int64_t kc = std::min(KC, k - pc);
       // The first k-panel either overwrites C or adds into the caller's
-      // values; every later panel accumulates on top.
+      // values; every later panel accumulates on top. The epilogue fires
+      // only while writing back the final panel, when the sum is complete.
       const bool overwrite = pc == 0 && !accumulate;
-      pack_b(b + pc * bs.rs + jc * bs.cs, bs, kc, nc, bp);
+      const Epilogue* panel_ep = pc + kc == k ? ep : nullptr;
+      pack_b(b + pc * bs.rs + jc * bs.cs, bs, kc, nc, bp, qb);
       for (std::int64_t ic = 0; ic < m; ic += MC) {
         const std::int64_t mc = std::min(MC, m - ic);
-        pack_a(a + ic * as.rs + pc * as.cs, as, mc, kc, ap);
+        pack_a(a + ic * as.rs + pc * as.cs, as, mc, kc, ap, qa);
         for (std::int64_t jr = 0; jr < nc; jr += NR) {
           const std::int64_t nr = std::min(NR, nc - jr);
           const float* bpp = bp + (jr / NR) * (kc * NR);
           for (std::int64_t ir = 0; ir < mc; ir += MR) {
             const std::int64_t mr = std::min(MR, mc - ir);
             const float* app = ap + (ir / MR) * (kc * MR);
-            micro_kernel(kc, app, bpp, c + (ic + ir) * n + (jc + jr), n, mr,
-                         nr, overwrite);
+            micro_kernel(
+                kc, app, bpp, c + (ic + ir) * n + (jc + jr), n, mr, nr,
+                overwrite, panel_ep,
+                bias_rows != nullptr ? bias_rows + ic + ir : nullptr,
+                bias_cols != nullptr ? bias_cols + jc + jr : nullptr);
           }
         }
       }
     }
   }
 }
+
+void gemm(Trans trans, std::int64_t m, std::int64_t n, std::int64_t k,
+          const float* a, const float* b, float* c, bool accumulate) {
+  gemm(trans, m, n, k, a, b, c, accumulate, Epilogue{}, nullptr, nullptr);
+}
+
+namespace detail {
+
+void pack_block_b(Trans trans, std::int64_t k, std::int64_t n, const float* b,
+                  float* bp, const QuantSpec* q) {
+  if (q != nullptr && q->identity) q = nullptr;
+  const std::int64_t kc = std::min(k, KC);
+  const std::int64_t nc = std::min(n, NC);
+  pack_b(b, b_strides(trans, k, n), kc, nc, bp, q);
+}
+
+void pack_block_a(Trans trans, std::int64_t m, std::int64_t k, const float* a,
+                  float* ap, const QuantSpec* q) {
+  if (q != nullptr && q->identity) q = nullptr;
+  const std::int64_t mc = std::min(m, MC);
+  const std::int64_t kc = std::min(k, KC);
+  pack_a(a, a_strides(trans, m, k), mc, kc, ap, q);
+}
+
+}  // namespace detail
 
 namespace reference {
 

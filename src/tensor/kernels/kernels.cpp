@@ -1,0 +1,515 @@
+// Kernel layer implementation. Every kernel is a template over the vector
+// type, instantiated once for the detected backend (simd::VecF) and once for
+// the portable emulation (simd::VecPortable, exported under kernels::scalar).
+//
+// This TU is compiled with -march=native -ffp-contract=off (or with
+// CQ_FORCE_SCALAR and baseline flags under -DCQ_SCALAR_KERNELS=ON, in which
+// case VecF *is* VecPortable and the two instantiations coincide). Tails
+// shorter than one vector run scalar lane code built from the same IEEE ops
+// (fmaf / nearbyintf / sqrt), so backend choice never changes results.
+#include "tensor/kernels/kernels.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "tensor/kernels/simd.hpp"
+
+namespace cq::kernels {
+namespace {
+
+constexpr std::int64_t W = simd::kWidth;
+
+// ---- exp: Cephes-style range reduction + degree-5 polynomial ---------------
+//
+//   n = round(x * log2(e));  r = x - n*ln2_hi - n*ln2_lo
+//   exp(r) = 1 + r + r^2 * P(r),  exp(x) = exp(r) * 2^n
+//
+// Max error < 2 ulp over the clamped domain. The input clamp keeps 2^n
+// constructible from the exponent field: above kExpHi the result saturates
+// at exp(kExpHi) ~ 1.7e38, below kExpLo at ~1.2e-38 (the historical
+// std::exp path returned inf / denormals there; softmax-style callers
+// subtract the row max first so the clamp is never live for them).
+constexpr float kExpHi = 88.0f;
+constexpr float kExpLo = -87.33654f;
+constexpr float kLog2e = 1.44269504088896341f;
+constexpr float kLn2Hi = 0.693359375f;
+constexpr float kLn2Lo = -2.12194440e-4f;
+constexpr float kExpC0 = 1.9875691500e-4f;
+constexpr float kExpC1 = 1.3981999507e-3f;
+constexpr float kExpC2 = 8.3334519073e-3f;
+constexpr float kExpC3 = 4.1665795894e-2f;
+constexpr float kExpC4 = 1.6666665459e-1f;
+constexpr float kExpC5 = 5.0000001201e-1f;
+
+// Scalar replica of the vector lane algorithm — used for loop tails so a
+// value produces the same bits whether it lands in a vector or the tail.
+inline float exp_lane(float x) {
+  x = x < kExpHi ? x : kExpHi;  // x86 min/max semantics, as in simd.hpp
+  x = x > kExpLo ? x : kExpLo;
+  const float n = std::nearbyint(x * kLog2e);
+  float r = std::fmaf(n, -kLn2Hi, x);
+  r = std::fmaf(n, -kLn2Lo, r);
+  float p = kExpC0;
+  p = std::fmaf(p, r, kExpC1);
+  p = std::fmaf(p, r, kExpC2);
+  p = std::fmaf(p, r, kExpC3);
+  p = std::fmaf(p, r, kExpC4);
+  p = std::fmaf(p, r, kExpC5);
+  const float y = std::fmaf(p, r * r, r) + 1.0f;
+  return y * std::bit_cast<float>(
+                 (static_cast<std::int32_t>(n) + 127) << 23);
+}
+
+template <class V>
+inline V exp_vec(V x) {
+  x = V::min(x, V::broadcast(kExpHi));
+  x = V::max(x, V::broadcast(kExpLo));
+  const V n = V::round_nearest(x * V::broadcast(kLog2e));
+  V r = V::fma(n, V::broadcast(-kLn2Hi), x);
+  r = V::fma(n, V::broadcast(-kLn2Lo), r);
+  V p = V::broadcast(kExpC0);
+  p = V::fma(p, r, V::broadcast(kExpC1));
+  p = V::fma(p, r, V::broadcast(kExpC2));
+  p = V::fma(p, r, V::broadcast(kExpC3));
+  p = V::fma(p, r, V::broadcast(kExpC4));
+  p = V::fma(p, r, V::broadcast(kExpC5));
+  const V y = V::fma(p, r * r, r) + V::broadcast(1.0f);
+  return y * V::exp2_int(n);
+}
+
+// ---- elementwise templates -------------------------------------------------
+
+template <class V>
+void vexp_t(const float* x, float* y, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + W <= n; i += W) exp_vec(V::load(x + i)).store(y + i);
+  for (; i < n; ++i) y[i] = exp_lane(x[i]);
+}
+
+template <class V>
+void relu_t(const float* x, float* y, std::int64_t n) {
+  const V zero = V::zero();
+  std::int64_t i = 0;
+  for (; i + W <= n; i += W) V::max(V::load(x + i), zero).store(y + i);
+  for (; i < n; ++i) y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+}
+
+template <class V>
+void relu_cap_t(const float* x, float* y, std::int64_t n, float cap) {
+  const V zero = V::zero(), capv = V::broadcast(cap);
+  std::int64_t i = 0;
+  for (; i + W <= n; i += W)
+    V::min(V::max(V::load(x + i), zero), capv).store(y + i);
+  for (; i < n; ++i) {
+    float v = x[i] > 0.0f ? x[i] : 0.0f;
+    y[i] = v < cap ? v : cap;
+  }
+}
+
+template <class V>
+void relu_grad_t(const float* x, const float* g, float* y, std::int64_t n) {
+  const V zero = V::zero();
+  std::int64_t i = 0;
+  for (; i + W <= n; i += W)
+    V::bit_and(V::cmp_gt(V::load(x + i), zero), V::load(g + i)).store(y + i);
+  for (; i < n; ++i) y[i] = x[i] > 0.0f ? g[i] : 0.0f;
+}
+
+template <class V>
+void relu_cap_grad_t(const float* x, const float* g, float* y, std::int64_t n,
+                     float cap) {
+  const V zero = V::zero(), capv = V::broadcast(cap);
+  std::int64_t i = 0;
+  for (; i + W <= n; i += W) {
+    const V xv = V::load(x + i);
+    const V mask = V::bit_and(V::cmp_gt(xv, zero), V::cmp_lt(xv, capv));
+    V::bit_and(mask, V::load(g + i)).store(y + i);
+  }
+  for (; i < n; ++i) y[i] = (x[i] > 0.0f && x[i] < cap) ? g[i] : 0.0f;
+}
+
+// ---- reduction templates ---------------------------------------------------
+
+inline float max2(float a, float b) { return a > b ? a : b; }
+inline float min2(float a, float b) { return a < b ? a : b; }
+
+template <class V>
+void minmax_t(const float* x, std::int64_t n, float* lo, float* hi) {
+  if (n <= 0) {
+    *lo = *hi = 0.0f;
+    return;
+  }
+  float l = x[0], h = x[0];
+  std::int64_t i = 0;
+  if (n >= W) {
+    V lv = V::load(x), hv = lv;
+    for (i = W; i + W <= n; i += W) {
+      const V v = V::load(x + i);
+      lv = V::min(lv, v);
+      hv = V::max(hv, v);
+    }
+    l = lv.hmin();
+    h = hv.hmax();
+  }
+  for (; i < n; ++i) {
+    l = min2(l, x[i]);
+    h = max2(h, x[i]);
+  }
+  *lo = l;
+  *hi = h;
+}
+
+template <class V>
+float sum_t(const float* x, std::int64_t n) {
+  V acc = V::zero();
+  std::int64_t i = 0;
+  for (; i + W <= n; i += W) acc = acc + V::load(x + i);
+  float s = acc.hsum();
+  for (; i < n; ++i) s += x[i];
+  return s;
+}
+
+template <class V>
+float row_max(const float* x, std::int64_t n) {
+  float m = x[0];
+  std::int64_t i = 0;
+  if (n >= W) {
+    V mv = V::load(x);
+    for (i = W; i + W <= n; i += W) mv = V::max(mv, V::load(x + i));
+    m = mv.hmax();
+  }
+  for (; i < n; ++i) m = max2(m, x[i]);
+  return m;
+}
+
+template <class V>
+void row_sum_t(const float* x, std::int64_t rows, std::int64_t cols,
+               float* out) {
+  for (std::int64_t r = 0; r < rows; ++r) out[r] = sum_t<V>(x + r * cols, cols);
+}
+
+// exp(x - m) written in place; returns the sum of the exponentials.
+template <class V>
+float exp_sub_sum(float* x, std::int64_t n, float m) {
+  const V mv = V::broadcast(m);
+  V acc = V::zero();
+  std::int64_t i = 0;
+  for (; i + W <= n; i += W) {
+    const V e = exp_vec(V::load(x + i) - mv);
+    e.store(x + i);
+    acc = acc + e;
+  }
+  float s = acc.hsum();
+  for (; i < n; ++i) {
+    const float e = exp_lane(x[i] - m);
+    x[i] = e;
+    s += e;
+  }
+  return s;
+}
+
+template <class V>
+void softmax_rows_t(float* x, std::int64_t rows, std::int64_t cols) {
+  if (cols <= 0) return;
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float* row = x + r * cols;
+    const float m = row_max<V>(row, cols);
+    const float s = exp_sub_sum<V>(row, cols, m);
+    const V sv = V::broadcast(s);
+    std::int64_t i = 0;
+    for (; i + W <= cols; i += W) (V::load(row + i) / sv).store(row + i);
+    for (; i < cols; ++i) row[i] /= s;
+  }
+}
+
+template <class V>
+void log_softmax_rows_t(float* x, std::int64_t rows, std::int64_t cols) {
+  if (cols <= 0) return;
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float* row = x + r * cols;
+    const float m = row_max<V>(row, cols);
+    // Sum of exp(x - m) without materializing the exponentials.
+    const V mv = V::broadcast(m);
+    V acc = V::zero();
+    std::int64_t i = 0;
+    for (; i + W <= cols; i += W)
+      acc = acc + exp_vec(V::load(row + i) - mv);
+    float s = acc.hsum();
+    for (; i < cols; ++i) s += exp_lane(row[i] - m);
+    const float shift = m + std::log(s);
+    const V shiftv = V::broadcast(shift);
+    for (i = 0; i + W <= cols; i += W)
+      (V::load(row + i) - shiftv).store(row + i);
+    for (; i < cols; ++i) row[i] -= shift;
+  }
+}
+
+template <class V>
+void l2_normalize_rows_t(float* x, std::int64_t rows, std::int64_t cols,
+                         float* norms, float eps) {
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float* row = x + r * cols;
+    V acc = V::zero();
+    std::int64_t i = 0;
+    for (; i + W <= cols; i += W) {
+      const V v = V::load(row + i);
+      acc = V::fma(v, v, acc);
+    }
+    float s = acc.hsum();
+    for (; i < cols; ++i) s = std::fmaf(row[i], row[i], s);
+    const float norm = std::sqrt(s);
+    if (norms != nullptr) norms[r] = norm;
+    if (norm > eps) {
+      const float inv = 1.0f / norm;
+      const V iv = V::broadcast(inv);
+      for (i = 0; i + W <= cols; i += W)
+        (V::load(row + i) * iv).store(row + i);
+      for (; i < cols; ++i) row[i] *= inv;
+    }
+  }
+}
+
+// ---- quantization templates ------------------------------------------------
+
+template <class V>
+void quantize_t(const float* x, float* y, std::int64_t n,
+                const gemm::QuantSpec& q) {
+  if (q.identity) {
+    if (y != x) std::memcpy(y, x, static_cast<std::size_t>(n) * sizeof(float));
+    return;
+  }
+  const V lov = V::broadcast(q.lo), hiv = V::broadcast(q.hi);
+  const V inv = V::broadcast(q.inv_step), stepv = V::broadcast(q.step);
+  std::int64_t i = 0;
+  for (; i + W <= n; i += W) {
+    V v = V::load(x + i);
+    if (q.clip) v = V::max(V::min(v, hiv), lov);
+    const V r = q.nearest ? V::round_nearest(v * inv) : V::floor(v * inv);
+    (stepv * r).store(y + i);
+  }
+  for (; i < n; ++i) y[i] = gemm::quantize_value(x[i], q);
+}
+
+template <class V>
+void quantize_masked_t(const float* x, float* y, std::int64_t n,
+                       const gemm::QuantSpec& q, std::uint8_t* mask) {
+  if (q.identity || !q.clip) {
+    quantize_t<V>(x, y, n, q);
+    std::memset(mask, 1, static_cast<std::size_t>(n));
+    return;
+  }
+  const V lov = V::broadcast(q.lo), hiv = V::broadcast(q.hi);
+  const V inv = V::broadcast(q.inv_step), stepv = V::broadcast(q.step);
+  std::int64_t i = 0;
+  for (; i + W <= n; i += W) {
+    const V v0 = V::load(x + i);
+    // Mask from the pre-clamp values; x may alias y, so derive it before the
+    // quantized store below overwrites the chunk.
+    float orig[W];
+    v0.store(orig);
+    for (std::int64_t j = 0; j < W; ++j)
+      mask[i + j] = (orig[j] < q.lo || orig[j] > q.hi) ? 0 : 1;
+    const V v = V::max(V::min(v0, hiv), lov);
+    const V r = q.nearest ? V::round_nearest(v * inv) : V::floor(v * inv);
+    (stepv * r).store(y + i);
+  }
+  for (; i < n; ++i) {
+    const float v = x[i];
+    mask[i] = (v < q.lo || v > q.hi) ? 0 : 1;
+    y[i] = gemm::quantize_value(v, q);
+  }
+}
+
+// ---- parameter update templates --------------------------------------------
+//
+// These reproduce the historical scalar loops' operation sequence exactly
+// (independent mul/add, never fma — the baseline x86-64 build of the old
+// loops had no FMA instruction), so switching the optimizers to the kernel
+// layer does not move any training trajectory.
+
+template <class V>
+void sgd_update_t(float* p, const float* g, float* v, std::int64_t n, float lr,
+                  float momentum, float wd, float grad_scale) {
+  const V lrv = V::broadcast(lr), mov = V::broadcast(momentum);
+  const V wdv = V::broadcast(wd), gsv = V::broadcast(grad_scale);
+  std::int64_t i = 0;
+  for (; i + W <= n; i += W) {
+    const V pv = V::load(p + i);
+    const V gv = gsv * V::load(g + i) + wdv * pv;
+    const V vv = mov * V::load(v + i) + gv;
+    vv.store(v + i);
+    (pv - lrv * vv).store(p + i);
+  }
+  for (; i < n; ++i) {
+    const float gi = grad_scale * g[i] + wd * p[i];
+    v[i] = momentum * v[i] + gi;
+    p[i] -= lr * v[i];
+  }
+}
+
+template <class V>
+void adam_update_t(float* p, const float* g, float* m, float* v,
+                   std::int64_t n, float lr, float beta1, float beta2,
+                   float eps, float wd, float bc1, float bc2) {
+  const V b1 = V::broadcast(beta1), c1 = V::broadcast(1.0f - beta1);
+  const V b2 = V::broadcast(beta2), c2 = V::broadcast(1.0f - beta2);
+  const V lrv = V::broadcast(lr), epsv = V::broadcast(eps);
+  const V wdv = V::broadcast(wd);
+  const V ibc1 = V::broadcast(bc1), ibc2 = V::broadcast(bc2);
+  std::int64_t i = 0;
+  for (; i + W <= n; i += W) {
+    const V pv = V::load(p + i);
+    const V gv = V::load(g + i) + wdv * pv;
+    const V mv = b1 * V::load(m + i) + c1 * gv;
+    const V vv = b2 * V::load(v + i) + c2 * gv * gv;  // ((1-b2)*g)*g order
+    mv.store(m + i);
+    vv.store(v + i);
+    const V mhat = mv / ibc1;
+    const V vhat = vv / ibc2;
+    (pv - (lrv * mhat) / (V::sqrt(vhat) + epsv)).store(p + i);
+  }
+  for (; i < n; ++i) {
+    const float gi = g[i] + wd * p[i];
+    m[i] = beta1 * m[i] + (1.0f - beta1) * gi;
+    v[i] = beta2 * v[i] + (1.0f - beta2) * gi * gi;
+    const float mhat = m[i] / bc1;
+    const float vhat = v[i] / bc2;
+    p[i] -= (lr * mhat) / (std::sqrt(vhat) + eps);
+  }
+}
+
+template <class V>
+void add_rows_t(const float* src, std::int64_t rows, std::int64_t cols,
+                float* dst) {
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* row = src + r * cols;
+    std::int64_t i = 0;
+    for (; i + W <= cols; i += W)
+      (V::load(dst + i) + V::load(row + i)).store(dst + i);
+    for (; i < cols; ++i) dst[i] += row[i];
+  }
+}
+
+}  // namespace
+
+const char* backend() { return simd::kBackend; }
+int simd_width() { return simd::kWidth; }
+
+// Default backend entry points.
+using simd::VecF;
+
+void vexp(const float* x, float* y, std::int64_t n) { vexp_t<VecF>(x, y, n); }
+void relu(const float* x, float* y, std::int64_t n) { relu_t<VecF>(x, y, n); }
+void relu_cap(const float* x, float* y, std::int64_t n, float cap) {
+  relu_cap_t<VecF>(x, y, n, cap);
+}
+void relu_grad(const float* x, const float* g, float* y, std::int64_t n) {
+  relu_grad_t<VecF>(x, g, y, n);
+}
+void relu_cap_grad(const float* x, const float* g, float* y, std::int64_t n,
+                   float cap) {
+  relu_cap_grad_t<VecF>(x, g, y, n, cap);
+}
+void minmax(const float* x, std::int64_t n, float* lo, float* hi) {
+  minmax_t<VecF>(x, n, lo, hi);
+}
+float sum(const float* x, std::int64_t n) { return sum_t<VecF>(x, n); }
+void row_sum(const float* x, std::int64_t rows, std::int64_t cols,
+             float* out) {
+  row_sum_t<VecF>(x, rows, cols, out);
+}
+void softmax_rows(float* x, std::int64_t rows, std::int64_t cols) {
+  softmax_rows_t<VecF>(x, rows, cols);
+}
+void log_softmax_rows(float* x, std::int64_t rows, std::int64_t cols) {
+  log_softmax_rows_t<VecF>(x, rows, cols);
+}
+void l2_normalize_rows(float* x, std::int64_t rows, std::int64_t cols,
+                       float* norms, float eps) {
+  l2_normalize_rows_t<VecF>(x, rows, cols, norms, eps);
+}
+void quantize(const float* x, float* y, std::int64_t n,
+              const gemm::QuantSpec& q) {
+  quantize_t<VecF>(x, y, n, q);
+}
+void quantize_masked(const float* x, float* y, std::int64_t n,
+                     const gemm::QuantSpec& q, std::uint8_t* mask) {
+  quantize_masked_t<VecF>(x, y, n, q, mask);
+}
+void sgd_update(float* p, const float* g, float* v, std::int64_t n, float lr,
+                float momentum, float wd, float grad_scale) {
+  sgd_update_t<VecF>(p, g, v, n, lr, momentum, wd, grad_scale);
+}
+void adam_update(float* p, const float* g, float* m, float* v, std::int64_t n,
+                 float lr, float beta1, float beta2, float eps, float wd,
+                 float bc1, float bc2) {
+  adam_update_t<VecF>(p, g, m, v, n, lr, beta1, beta2, eps, wd, bc1, bc2);
+}
+void add_rows(const float* src, std::int64_t rows, std::int64_t cols,
+              float* dst) {
+  add_rows_t<VecF>(src, rows, cols, dst);
+}
+
+// Portable reference entry points (same code on VecPortable).
+namespace scalar {
+using simd::VecPortable;
+
+void vexp(const float* x, float* y, std::int64_t n) {
+  vexp_t<VecPortable>(x, y, n);
+}
+void relu(const float* x, float* y, std::int64_t n) {
+  relu_t<VecPortable>(x, y, n);
+}
+void relu_cap(const float* x, float* y, std::int64_t n, float cap) {
+  relu_cap_t<VecPortable>(x, y, n, cap);
+}
+void relu_grad(const float* x, const float* g, float* y, std::int64_t n) {
+  relu_grad_t<VecPortable>(x, g, y, n);
+}
+void relu_cap_grad(const float* x, const float* g, float* y, std::int64_t n,
+                   float cap) {
+  relu_cap_grad_t<VecPortable>(x, g, y, n, cap);
+}
+void minmax(const float* x, std::int64_t n, float* lo, float* hi) {
+  minmax_t<VecPortable>(x, n, lo, hi);
+}
+float sum(const float* x, std::int64_t n) { return sum_t<VecPortable>(x, n); }
+void row_sum(const float* x, std::int64_t rows, std::int64_t cols,
+             float* out) {
+  row_sum_t<VecPortable>(x, rows, cols, out);
+}
+void softmax_rows(float* x, std::int64_t rows, std::int64_t cols) {
+  softmax_rows_t<VecPortable>(x, rows, cols);
+}
+void log_softmax_rows(float* x, std::int64_t rows, std::int64_t cols) {
+  log_softmax_rows_t<VecPortable>(x, rows, cols);
+}
+void l2_normalize_rows(float* x, std::int64_t rows, std::int64_t cols,
+                       float* norms, float eps) {
+  l2_normalize_rows_t<VecPortable>(x, rows, cols, norms, eps);
+}
+void quantize(const float* x, float* y, std::int64_t n,
+              const gemm::QuantSpec& q) {
+  quantize_t<VecPortable>(x, y, n, q);
+}
+void quantize_masked(const float* x, float* y, std::int64_t n,
+                     const gemm::QuantSpec& q, std::uint8_t* mask) {
+  quantize_masked_t<VecPortable>(x, y, n, q, mask);
+}
+void sgd_update(float* p, const float* g, float* v, std::int64_t n, float lr,
+                float momentum, float wd, float grad_scale) {
+  sgd_update_t<VecPortable>(p, g, v, n, lr, momentum, wd, grad_scale);
+}
+void adam_update(float* p, const float* g, float* m, float* v, std::int64_t n,
+                 float lr, float beta1, float beta2, float eps, float wd,
+                 float bc1, float bc2) {
+  adam_update_t<VecPortable>(p, g, m, v, n, lr, beta1, beta2, eps, wd, bc1,
+                             bc2);
+}
+void add_rows(const float* src, std::int64_t rows, std::int64_t cols,
+              float* dst) {
+  add_rows_t<VecPortable>(src, rows, cols, dst);
+}
+}  // namespace scalar
+
+}  // namespace cq::kernels

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "tensor/gemm.hpp"
+#include "tensor/kernels/kernels.hpp"
 
 namespace cq::ops {
 
@@ -80,10 +81,7 @@ Tensor& map_into(const Tensor& a, const std::function<float(float)>& f,
 
 Tensor& relu_into(const Tensor& a, Tensor& out) {
   out.resize_as(a);
-  float* dst = out.data();
-  const float* pa = a.data();
-  const auto n = a.numel();
-  for (std::int64_t i = 0; i < n; ++i) dst[i] = pa[i] > 0.0f ? pa[i] : 0.0f;
+  kernels::relu(a.data(), out.data(), a.numel());
   return out;
 }
 
@@ -135,7 +133,10 @@ Tensor relu(const Tensor& a) {
 }
 
 Tensor exp(const Tensor& a) {
-  return map(a, [](float v) { return std::exp(v); });
+  // Vectorized polynomial exp (kernel layer), < 2 ulp vs std::exp.
+  Tensor out = a.like();
+  kernels::vexp(a.data(), out.data(), a.numel());
+  return out;
 }
 
 Tensor log(const Tensor& a) {
@@ -165,15 +166,17 @@ float mean(const Tensor& a) {
 }
 
 float max(const Tensor& a) {
-  float m = -std::numeric_limits<float>::infinity();
-  for (std::int64_t i = 0; i < a.numel(); ++i) m = std::max(m, a[i]);
-  return m;
+  if (a.numel() == 0) return -std::numeric_limits<float>::infinity();
+  float lo, hi;
+  kernels::minmax(a.data(), a.numel(), &lo, &hi);
+  return hi;
 }
 
 float min(const Tensor& a) {
-  float m = std::numeric_limits<float>::infinity();
-  for (std::int64_t i = 0; i < a.numel(); ++i) m = std::min(m, a[i]);
-  return m;
+  if (a.numel() == 0) return std::numeric_limits<float>::infinity();
+  float lo, hi;
+  kernels::minmax(a.data(), a.numel(), &lo, &hi);
+  return lo;
 }
 
 std::int64_t argmax(const Tensor& a) {
@@ -202,11 +205,7 @@ Tensor row_sum(const Tensor& a) {
   CQ_CHECK(a.shape().rank() == 2);
   const auto n = a.dim(0), d = a.dim(1);
   Tensor out = Tensor::empty(Shape{n});
-  for (std::int64_t r = 0; r < n; ++r) {
-    double s = 0.0;
-    for (std::int64_t c = 0; c < d; ++c) s += a.at(r, c);
-    out[r] = static_cast<float>(s);
-  }
+  kernels::row_sum(a.data(), n, d, out.data());
   return out;
 }
 
@@ -317,18 +316,7 @@ Tensor softmax_rows(const Tensor& a) {
   CQ_CHECK(a.shape().rank() == 2);
   const auto n = a.dim(0), d = a.dim(1);
   Tensor out = a;
-  for (std::int64_t r = 0; r < n; ++r) {
-    float m = -std::numeric_limits<float>::infinity();
-    for (std::int64_t c = 0; c < d; ++c) m = std::max(m, out.at(r, c));
-    double s = 0.0;
-    for (std::int64_t c = 0; c < d; ++c) {
-      const float e = std::exp(out.at(r, c) - m);
-      out.at(r, c) = e;
-      s += e;
-    }
-    const float inv = static_cast<float>(1.0 / s);
-    for (std::int64_t c = 0; c < d; ++c) out.at(r, c) *= inv;
-  }
+  kernels::softmax_rows(out.data(), n, d);
   return out;
 }
 
@@ -336,14 +324,7 @@ Tensor log_softmax_rows(const Tensor& a) {
   CQ_CHECK(a.shape().rank() == 2);
   const auto n = a.dim(0), d = a.dim(1);
   Tensor out = a;
-  for (std::int64_t r = 0; r < n; ++r) {
-    float m = -std::numeric_limits<float>::infinity();
-    for (std::int64_t c = 0; c < d; ++c) m = std::max(m, out.at(r, c));
-    double s = 0.0;
-    for (std::int64_t c = 0; c < d; ++c) s += std::exp(out.at(r, c) - m);
-    const float lse = m + static_cast<float>(std::log(s));
-    for (std::int64_t c = 0; c < d; ++c) out.at(r, c) -= lse;
-  }
+  kernels::log_softmax_rows(out.data(), n, d);
   return out;
 }
 
@@ -351,19 +332,13 @@ Tensor l2_normalize_rows(const Tensor& a, Tensor* norms_out, float eps) {
   CQ_CHECK(a.shape().rank() == 2);
   const auto n = a.dim(0), d = a.dim(1);
   Tensor out = a;
-  Tensor norms = Tensor::empty(Shape{n});
-  for (std::int64_t r = 0; r < n; ++r) {
-    double s = 0.0;
-    for (std::int64_t c = 0; c < d; ++c)
-      s += static_cast<double>(out.at(r, c)) * out.at(r, c);
-    const float nr = static_cast<float>(std::sqrt(s));
-    norms[r] = nr;
-    if (nr > eps) {
-      const float inv = 1.0f / nr;
-      for (std::int64_t c = 0; c < d; ++c) out.at(r, c) *= inv;
-    }
+  if (norms_out == nullptr) {
+    kernels::l2_normalize_rows(out.data(), n, d, nullptr, eps);
+  } else {
+    Tensor norms = Tensor::empty(Shape{n});
+    kernels::l2_normalize_rows(out.data(), n, d, norms.data(), eps);
+    *norms_out = std::move(norms);
   }
-  if (norms_out != nullptr) *norms_out = std::move(norms);
   return out;
 }
 

@@ -10,6 +10,7 @@
 #include "quant/actquant.hpp"
 #include "quant/policy.hpp"
 #include "quant/quantizer.hpp"
+#include "tensor/kernels/kernels.hpp"
 #include "tensor/ops.hpp"
 #include "util/check.hpp"
 
@@ -451,6 +452,176 @@ TEST(PolicyTransform, DispatchesOnPerturbMode) {
   for (std::int64_t i = 0; i < a.numel(); ++i)
     diff += std::abs(n1[i] - n2[i]);
   EXPECT_GT(diff, 1e-4f);
+}
+
+// ---- quantizer edge cases at the PrecisionSet extremes + spec plumbing -----
+
+TEST(Quantizer, BehavesAtPrecisionSetEnds) {
+  // The paper's widest set is 4-16; CQ ablations go down to 2. Both ends
+  // must stay on the Eq. 10 grid with the expected level counts.
+  Rng rng(30);
+  LinearQuantizer q;
+  Tensor a = Tensor::uniform(Shape{2000}, rng, -1.0f, 1.0f);
+  std::set<float> lo_levels;
+  Tensor b2 = q.quantize(a, 2);
+  for (std::int64_t i = 0; i < b2.numel(); ++i) lo_levels.insert(b2[i]);
+  EXPECT_LE(lo_levels.size(), 5u);  // 2^2 + 1
+  EXPECT_GE(lo_levels.size(), 3u);
+  Tensor b16 = q.quantize(a, 16);
+  const float s16 = q.step_size(a, 16);
+  for (std::int64_t i = 0; i < a.numel(); ++i)
+    EXPECT_LE(std::abs(a[i] - b16[i]), 0.5f * s16 + 1e-7f);
+}
+
+TEST(Quantizer, MakeSpecIdentityForZeroRangeAndFullPrecision) {
+  Rng rng(31);
+  LinearQuantizer q;
+  Tensor constant = Tensor::full(Shape{16}, -2.5f);  // zero dynamic range
+  EXPECT_TRUE(q.make_spec(constant, 4).identity);
+  Tensor a = Tensor::randn(Shape{16}, rng);
+  EXPECT_TRUE(q.make_spec(a, 32).identity);   // full precision
+  EXPECT_TRUE(q.make_spec(a, 100).identity);  // beyond full precision
+  const gemm::QuantSpec live = q.make_spec(a, 4);
+  EXPECT_FALSE(live.identity);
+  EXPECT_NEAR(live.step, q.step_size(a, 4), 1e-7);
+  // Identity specs leave values untouched through the kernel path too.
+  Tensor out(Shape{16});
+  kernels::quantize(constant.data(), out.data(), 16, q.make_spec(constant, 4));
+  for (std::int64_t i = 0; i < 16; ++i) EXPECT_FLOAT_EQ(out[i], -2.5f);
+}
+
+// Every quantization route — LinearQuantizer::quantize, the SIMD kernel, and
+// its portable twin — must agree BITWISE for both rounding modes, else
+// quantize-on-pack would silently drift from the Eq. 10 reference.
+TEST(Quantizer, FloorAndNearestIdenticalAcrossScalarAndSimd) {
+  Rng rng(32);
+  Tensor a = Tensor::randn(Shape{1013}, rng);  // odd length: vector tails
+  for (auto mode : {RoundingMode::kNearest, RoundingMode::kFloor}) {
+    QuantizerConfig cfg;
+    cfg.rounding = mode;
+    LinearQuantizer q(cfg);
+    const gemm::QuantSpec spec = q.make_spec(a, 5);
+    EXPECT_EQ(spec.nearest, mode == RoundingMode::kNearest);
+    Tensor ref = q.quantize(a, 5);
+    Tensor simd(Shape{a.numel()}), port(Shape{a.numel()});
+    kernels::quantize(a.data(), simd.data(), a.numel(), spec);
+    kernels::scalar::quantize(a.data(), port.data(), a.numel(), spec);
+    for (std::int64_t i = 0; i < a.numel(); ++i) {
+      ASSERT_FLOAT_EQ(ref[i], simd[i]) << "mode=" << int(mode) << " @" << i;
+      ASSERT_FLOAT_EQ(simd[i], port[i]) << "mode=" << int(mode) << " @" << i;
+    }
+  }
+}
+
+TEST(Quantizer, PercentileSpecClipMaskMatchesQuantize) {
+  QuantizerConfig cfg;
+  cfg.range = RangeMode::kPercentile;
+  cfg.percentile = 0.95;
+  LinearQuantizer q(cfg);
+  Rng rng(33);
+  Tensor a = Tensor::uniform(Shape{501}, rng, -1.0f, 1.0f);
+  a[0] = 50.0f;
+  a[1] = -50.0f;
+  const gemm::QuantSpec spec = q.make_spec(a, 6);
+  EXPECT_TRUE(spec.clip);
+  std::vector<std::uint8_t> want_mask;
+  Tensor want = q.quantize(a, 6, &want_mask);
+  Tensor got(Shape{a.numel()});
+  std::vector<std::uint8_t> got_mask(a.numel());
+  kernels::quantize_masked(a.data(), got.data(), a.numel(), spec,
+                           got_mask.data());
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    ASSERT_FLOAT_EQ(want[i], got[i]) << i;
+    ASSERT_EQ(want_mask[i], got_mask[i]) << i;
+  }
+  EXPECT_EQ(got_mask[0], 0);
+  EXPECT_EQ(got_mask[1], 0);
+}
+
+// ---- quantize-on-pack through the layers -----------------------------------
+
+// The tentpole regression: folding quantization into GEMM packing must not
+// change the memoization accounting — pack_spec() hits the same slots
+// apply() fed, and materializing from a cached spec is free.
+TEST(FakeQuantWeight, QuantizeOnPackKeepsMemoCountAndExactOutputs) {
+  Rng rng(34);
+  auto policy = std::make_shared<QuantPolicy>();
+  auto fq = std::make_shared<quant::FakeQuantWeight>(policy);
+  nn::Linear layer(8, 6, rng, /*bias=*/true);
+  layer.set_weight_transform(fq);
+  Tensor x = Tensor::randn(Shape{3, 8}, rng);
+
+  policy->set_bits(3);
+  EXPECT_TRUE(fq->pack_spec(layer.weight()).has_value());
+  EXPECT_EQ(fq->quantizer_calls(), 1u);
+
+  Tensor y1 = layer.forward(x);
+  Tensor y2 = layer.forward(x);
+  layer.clear_cache();
+  EXPECT_EQ(fq->quantizer_calls(), 1u);  // forwards rode the cached spec
+
+  // apply() materializes from the cached spec without a new range pass, and
+  // the packed-GEMM forward equals the materialized GEMM bit-for-bit.
+  Tensor w_eff = fq->apply(layer.weight());
+  EXPECT_EQ(fq->quantizer_calls(), 1u);
+  Tensor expected = ops::matmul_nt(x, w_eff);
+  for (std::int64_t r = 0; r < expected.dim(0); ++r)
+    for (std::int64_t c = 0; c < expected.dim(1); ++c)
+      expected.at(r, c) += layer.bias()->value[c];
+  for (std::int64_t i = 0; i < y1.numel(); ++i) {
+    ASSERT_FLOAT_EQ(y1[i], expected[i]) << i;
+    ASSERT_FLOAT_EQ(y2[i], expected[i]) << i;
+  }
+}
+
+TEST(FakeQuantWeight, GaussianModeBypassesPackFusion) {
+  Rng rng(35);
+  QuantizerConfig cfg;
+  cfg.perturb = quant::PerturbMode::kGaussian;
+  auto policy = std::make_shared<QuantPolicy>(cfg);
+  auto fq = std::make_shared<quant::FakeQuantWeight>(policy);
+  nn::Linear layer(6, 4, rng, /*bias=*/false);
+  layer.set_weight_transform(fq);
+  policy->set_bits(4);
+  // No spec: the layer must fall back to materializing noisy weights, and
+  // every request draws fresh noise (never cached, never fused).
+  EXPECT_FALSE(fq->pack_spec(layer.weight()).has_value());
+  EXPECT_EQ(fq->quantizer_calls(), 0u);
+  Tensor x = Tensor::randn(Shape{2, 6}, rng);
+  Tensor y1 = layer.forward(x);
+  Tensor y2 = layer.forward(x);
+  layer.clear_cache();
+  EXPECT_EQ(fq->quantizer_calls(), 2u);
+  float diff = 0.0f;
+  for (std::int64_t i = 0; i < y1.numel(); ++i)
+    diff += std::abs(y1[i] - y2[i]);
+  EXPECT_GT(diff, 0.0f);
+}
+
+TEST(FakeQuantWeight, FusedConvForwardMatchesMaterializedWeights) {
+  Rng rng(36);
+  const nn::Conv2dSpec spec{.in_channels = 3, .out_channels = 4, .kernel = 3,
+                            .stride = 1, .pad = 1, .groups = 1, .bias = true};
+  nn::Conv2d fused(spec, rng);
+  Rng rng2(36);  // identical init
+  nn::Conv2d manual(spec, rng2);
+
+  auto policy = std::make_shared<QuantPolicy>();
+  policy->set_bits(3);
+  fused.set_weight_transform(
+      std::make_shared<quant::FakeQuantWeight>(policy));
+  manual.weight().value =
+      policy->quantizer().quantize(manual.weight().value, 3);
+
+  Rng xrng(37);
+  Tensor x = Tensor::randn(Shape{2, 3, 8, 8}, xrng);
+  Tensor y_fused = fused.forward(x);
+  Tensor y_manual = manual.forward(x);
+  fused.clear_cache();
+  manual.clear_cache();
+  ASSERT_EQ(y_fused.numel(), y_manual.numel());
+  for (std::int64_t i = 0; i < y_fused.numel(); ++i)
+    ASSERT_FLOAT_EQ(y_fused[i], y_manual[i]) << i;
 }
 
 TEST(PolicyTransform, IdentityWhenInactive) {
