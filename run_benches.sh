@@ -5,12 +5,15 @@
 #   BENCH_gemm.json      blocked-vs-reference GEMM GFLOP/s
 #   BENCH_pipeline.json  steady-state allocation accounting
 #   BENCH_kernels.json   SIMD kernel layer: fused epilogues, quantize-on-pack
+#   BENCH_serve.json     serving engine: dynamic batching vs serial baseline
 #
 #   ./run_benches.sh          build ./build if needed, run benches + JSONs
 #   ./run_benches.sh --check  correctness sweep instead of benches: substrate
 #                             + kernel tests under ASan+UBSan (`sanitize`
-#                             preset) and under the portable scalar kernel
-#                             backend (`scalar` preset, CQ_SCALAR_KERNELS=ON)
+#                             preset), under the portable scalar kernel
+#                             backend (`scalar` preset, CQ_SCALAR_KERNELS=ON),
+#                             and the serve-labeled threaded tests under
+#                             ThreadSanitizer (`tsan` preset)
 #
 # Scale knobs below trade runtime for statistical polish; unset them for a
 # full-scale run.
@@ -27,6 +30,10 @@ if [ "${1:-}" = "--check" ]; then
   cmake --preset scalar
   cmake --build --preset scalar -j"$(nproc)"
   ctest --preset scalar -j"$(nproc)"
+  echo "=== tsan preset (ThreadSanitizer, serve-labeled tests) ==="
+  cmake --preset tsan
+  cmake --build --preset tsan -j"$(nproc)"
+  ctest --preset tsan -j"$(nproc)"
   echo ALL_CHECKS_DONE
   exit 0
 fi
@@ -36,7 +43,7 @@ export CQ_DET_EPOCHS=${CQ_DET_EPOCHS:-20}
 export CQ_TSNE_ITERS=${CQ_TSNE_ITERS:-200}
 
 if [ ! -x build/bench/micro_kernels ] || [ ! -x build/bench/kernels ] \
-   || [ ! -x build/bench/pipeline_alloc ]; then
+   || [ ! -x build/bench/pipeline_alloc ] || [ ! -x build/bench/serve ]; then
   cmake --preset default
   cmake --build --preset default -j"$(nproc)"
 fi
@@ -74,4 +81,7 @@ echo "=== RUNNING json baselines ==="
 ./build/bench/kernels --json=BENCH_kernels.json \
   2> bench_out/kernels_json.err && echo "done BENCH_kernels.json" \
   || echo "FAILED BENCH_kernels.json (see bench_out/kernels_json.err)"
+./build/bench/serve --json=BENCH_serve.json \
+  > bench_out/serve_json.txt 2>&1 && echo "done BENCH_serve.json" \
+  || echo "FAILED BENCH_serve.json (see bench_out/serve_json.txt)"
 echo ALL_BENCHES_DONE

@@ -29,6 +29,10 @@ void AllocTracker::end_epoch(double seconds, std::int64_t iterations) {
   last_epoch_iterations_ = iterations;
 }
 
+std::uint64_t AllocTracker::thread_allocs() {
+  return tensor::alloc_stats().cumulative_allocations;
+}
+
 void AllocTracker::finish(PretrainStats& stats) const {
   const auto s = tensor::alloc_stats();
   stats.first_iteration_heap_allocs = first_iter_allocs_;

@@ -112,6 +112,12 @@ class AllocTracker {
   void end_epoch(double seconds, std::int64_t iterations);
   void finish(PretrainStats& stats) const;
 
+  /// Cumulative heap allocations (tensor-pool misses) made by the CALLING
+  /// thread. A delta of zero across a window proves the window ran entirely
+  /// off pooled storage; the serving engine samples this per worker to
+  /// report its zero-allocation steady state.
+  static std::uint64_t thread_allocs();
+
  private:
   std::uint64_t base_allocs_ = 0;
   std::uint64_t base_hits_ = 0;

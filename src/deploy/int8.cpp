@@ -49,10 +49,9 @@ void quantize_buffer(const float* src, std::int64_t n, float inv_scale,
         std::clamp<long>(std::lround(src[i] * inv_scale), -127L, 127L));
 }
 
-float tensor_max_abs(const Tensor& t) {
+float buffer_max_abs(const float* src, std::int64_t n) {
   float m = 0.0f;
-  for (std::int64_t i = 0; i < t.numel(); ++i)
-    m = std::max(m, std::fabs(t[i]));
+  for (std::int64_t i = 0; i < n; ++i) m = std::max(m, std::fabs(src[i]));
   return m;
 }
 
@@ -93,22 +92,24 @@ class ConvOp : public Int8Op {
     const auto cout_g = spec_.out_channels / spec_.groups;
     const auto cin_g = g.in_channels;
 
-    // Dynamic per-tensor activation quantization.
-    const float in_scale = std::max(tensor_max_abs(x) / 127.0f, 1e-12f);
-    const float inv_in_scale = 1.0f / in_scale;
-
     Tensor y(Shape{n, spec_.out_channels, oh, ow});
-    std::vector<float> cols_f(static_cast<std::size_t>(krows * spatial));
-    std::vector<std::int8_t> cols_q(cols_f.size());
+    cols_f_.resize(static_cast<std::size_t>(krows * spatial));
+    cols_q_.resize(cols_f_.size());
+    const std::int64_t sample_numel = spec_.in_channels * in_h * in_w;
     for (std::int64_t img = 0; img < n; ++img) {
-      const float* in_base =
-          x.data() + img * spec_.in_channels * in_h * in_w;
+      const float* in_base = x.data() + img * sample_numel;
       float* out_base = y.data() + img * spec_.out_channels * spatial;
+      // Dynamic per-sample activation quantization: the range pass covers
+      // only this image, so a batched forward is bitwise identical to N
+      // single-sample forwards.
+      const float in_scale =
+          std::max(buffer_max_abs(in_base, sample_numel) / 127.0f, 1e-12f);
+      const float inv_in_scale = 1.0f / in_scale;
       for (std::int64_t grp = 0; grp < spec_.groups; ++grp) {
-        im2col(in_base + grp * cin_g * in_h * in_w, g, cols_f.data());
-        quantize_buffer(cols_f.data(),
-                        static_cast<std::int64_t>(cols_f.size()),
-                        inv_in_scale, cols_q.data());
+        im2col(in_base + grp * cin_g * in_h * in_w, g, cols_f_.data());
+        quantize_buffer(cols_f_.data(),
+                        static_cast<std::int64_t>(cols_f_.size()),
+                        inv_in_scale, cols_q_.data());
         for (std::int64_t oc_local = 0; oc_local < cout_g; ++oc_local) {
           const std::int64_t oc = grp * cout_g + oc_local;
           const std::int8_t* wrow = weights_.data() + oc * krows;
@@ -118,7 +119,7 @@ class ConvOp : public Int8Op {
           const float b = bias_[static_cast<std::size_t>(oc)];
           for (std::int64_t s = 0; s < spatial; ++s) {
             std::int32_t acc = 0;
-            const std::int8_t* ccol = cols_q.data() + s;
+            const std::int8_t* ccol = cols_q_.data() + s;
             for (std::int64_t k = 0; k < krows; ++k)
               acc += static_cast<std::int32_t>(wrow[k]) *
                      ccol[k * spatial];
@@ -141,6 +142,9 @@ class ConvOp : public Int8Op {
   std::vector<std::int8_t> weights_;  // [Cout, krows]
   std::vector<float> scales_;         // per output channel
   std::vector<float> bias_;
+  // Per-call scratch, retained across forwards (malloc-free steady state).
+  mutable std::vector<float> cols_f_;
+  mutable std::vector<std::int8_t> cols_q_;
 };
 
 class LinearOp : public Int8Op {
@@ -163,12 +167,15 @@ class LinearOp : public Int8Op {
   Tensor forward(const Tensor& x) const override {
     CQ_CHECK(x.shape().rank() == 2 && x.dim(1) == in_);
     const auto n = x.dim(0);
-    const float in_scale = std::max(tensor_max_abs(x) / 127.0f, 1e-12f);
-    std::vector<std::int8_t> xq(static_cast<std::size_t>(n * in_));
-    quantize_buffer(x.data(), n * in_, 1.0f / in_scale, xq.data());
+    xq_.resize(static_cast<std::size_t>(in_));
     Tensor y(Shape{n, out_});
     for (std::int64_t i = 0; i < n; ++i) {
-      const std::int8_t* xrow = xq.data() + i * in_;
+      const float* xrow_f = x.data() + i * in_;
+      // Per-sample dynamic range (see ConvOp): batch-invariant by design.
+      const float in_scale =
+          std::max(buffer_max_abs(xrow_f, in_) / 127.0f, 1e-12f);
+      quantize_buffer(xrow_f, in_, 1.0f / in_scale, xq_.data());
+      const std::int8_t* xrow = xq_.data();
       for (std::int64_t r = 0; r < out_; ++r) {
         const std::int8_t* wrow = weights_.data() + r * in_;
         std::int32_t acc = 0;
@@ -193,6 +200,7 @@ class LinearOp : public Int8Op {
   std::vector<std::int8_t> weights_;
   std::vector<float> scales_;
   std::vector<float> bias_;
+  mutable std::vector<std::int8_t> xq_;  // per-call scratch
 };
 
 class ReluOp : public Int8Op {
@@ -300,27 +308,8 @@ class ResidualOp : public Int8Op {
   bool relu_after_;
 };
 
-/// Fold a BatchNorm into the preceding conv's weight/bias.
-void fold_bn(const nn::BatchNorm2d& bn, Tensor& weight,
-             std::vector<float>& bias) {
-  const auto cout = weight.dim(0);
-  CQ_CHECK_MSG(bn.channels() == cout, "BN channels != conv out channels");
-  if (bias.empty()) bias.assign(static_cast<std::size_t>(cout), 0.0f);
-  for (std::int64_t c = 0; c < cout; ++c) {
-    const float inv_std =
-        1.0f / std::sqrt(bn.running_var()[c] + bn.eps());
-    const float scale = bn.gamma()[c] * inv_std;
-    for (std::int64_t k = 0; k < weight.dim(1); ++k)
-      weight.at(c, k) *= scale;
-    bias[static_cast<std::size_t>(c)] =
-        bn.beta()[c] +
-        (bias[static_cast<std::size_t>(c)] - bn.running_mean()[c]) * scale;
-  }
-}
-
 std::int64_t compile_into(nn::Sequential& seq,
                           std::vector<std::unique_ptr<Int8Op>>& ops);
-
 /// Compile one child (+ optional following BN); returns how many children
 /// were consumed and adds weight bytes to *bytes.
 std::int64_t compile_child(nn::Sequential& seq, std::size_t index,
@@ -333,7 +322,7 @@ std::int64_t compile_child(nn::Sequential& seq, std::size_t index,
     std::int64_t consumed = 1;
     if (index + 1 < seq.size()) {
       if (auto* bn = dynamic_cast<nn::BatchNorm2d*>(&seq.child(index + 1))) {
-        fold_bn(*bn, weight, bias);
+        fold_batchnorm(*bn, weight, bias);
         consumed = 2;
       }
     }
@@ -356,15 +345,8 @@ std::int64_t compile_child(nn::Sequential& seq, std::size_t index,
     ops.push_back(std::move(op));
     return 1;
   }
-  if (dynamic_cast<nn::ReLU*>(&child) != nullptr) {
-    // ReLU's cap is private; recover ReLU6 by probing.
-    nn::ReLU& relu = static_cast<nn::ReLU&>(child);
-    const auto mode = relu.mode();
-    relu.set_mode(nn::Mode::kEval);
-    Tensor probe(Shape{1}, {100.0f});
-    const float capped = relu.forward(probe)[0];
-    relu.set_mode(mode);
-    ops.push_back(std::make_unique<ReluOp>(capped < 100.0f ? capped : 0.0f));
+  if (auto* relu = dynamic_cast<nn::ReLU*>(&child)) {
+    ops.push_back(std::make_unique<ReluOp>(relu->cap()));
     return 1;
   }
   if (dynamic_cast<quant::ActQuant*>(&child) != nullptr) {
@@ -417,6 +399,23 @@ std::int64_t compile_into(nn::Sequential& seq,
 }
 
 }  // namespace
+
+void fold_batchnorm(const nn::BatchNorm2d& bn, Tensor& weight,
+                    std::vector<float>& bias) {
+  const auto cout = weight.dim(0);
+  CQ_CHECK_MSG(bn.channels() == cout, "BN channels != conv out channels");
+  if (bias.empty()) bias.assign(static_cast<std::size_t>(cout), 0.0f);
+  for (std::int64_t c = 0; c < cout; ++c) {
+    const float inv_std =
+        1.0f / std::sqrt(bn.running_var()[c] + bn.eps());
+    const float scale = bn.gamma()[c] * inv_std;
+    for (std::int64_t k = 0; k < weight.dim(1); ++k)
+      weight.at(c, k) *= scale;
+    bias[static_cast<std::size_t>(c)] =
+        bn.beta()[c] +
+        (bias[static_cast<std::size_t>(c)] - bn.running_mean()[c]) * scale;
+  }
+}
 
 Tensor Int8Network::forward(const Tensor& x) const {
   Tensor h = x;

@@ -8,14 +8,18 @@
 //
 //  * BatchNorm layers are folded into the preceding convolution,
 //  * weights are per-output-channel symmetric int8,
-//  * activations are per-tensor symmetric int8, quantized dynamically at
-//    each op boundary (no calibration pass needed),
+//  * activations are per-SAMPLE symmetric int8, quantized dynamically at
+//    each op boundary (no calibration pass needed). Per-sample (rather than
+//    per-batch) ranges make batched inference bitwise identical to running
+//    each sample alone: requests that share a dynamic batch in the serving
+//    engine cannot perturb each other's quantization grids,
 //  * residual blocks (BasicBlock / InvertedResidual) compile recursively.
 #pragma once
 
 #include <memory>
 #include <vector>
 
+#include "nn/batchnorm.hpp"
 #include "nn/sequential.hpp"
 #include "tensor/tensor.hpp"
 
@@ -33,7 +37,10 @@ QTensor quantize_symmetric(const Tensor& t);
 Tensor dequantize(const QTensor& q);
 
 /// A compiled inference op: fp32 tensor in, fp32 tensor out (integer
-/// arithmetic inside). Ops are stateless after compilation.
+/// arithmetic inside). Weights are immutable after compilation; ops may keep
+/// mutable scratch buffers (re-used across calls so steady-state inference
+/// stops allocating), so forward() is const but NOT concurrently reentrant —
+/// give each serving thread its own compiled network.
 class Int8Op {
  public:
   virtual ~Int8Op() = default;
@@ -41,7 +48,8 @@ class Int8Op {
   virtual const char* name() const = 0;
 };
 
-/// A compiled network: an op pipeline plus bookkeeping.
+/// A compiled network: an op pipeline plus bookkeeping. forward() is const
+/// but not thread-safe (see Int8Op); compile one instance per thread.
 class Int8Network {
  public:
   Tensor forward(const Tensor& x) const;
@@ -65,5 +73,12 @@ class Int8Network {
 /// CheckError on anything else. The source network must be in eval mode
 /// semantics (running BN statistics are what gets folded).
 Int8Network compile_int8(nn::Sequential& net);
+
+/// Fold a BatchNorm's affine transform (running stats + gamma/beta) into the
+/// preceding convolution's weight [Cout, Cin*K*K] and bias. An empty `bias`
+/// is treated as all-zero and resized. Shared by the int8 compiler and the
+/// serving engine's fp32 instance compiler (serve/fp32.cpp).
+void fold_batchnorm(const nn::BatchNorm2d& bn, Tensor& weight,
+                    std::vector<float>& bias);
 
 }  // namespace cq::deploy

@@ -106,6 +106,7 @@ void load_module(const std::string& path, nn::Module& module) {
                  "buffer size mismatch");
     std::copy(values.begin(), values.end(), b->data());
   }
+  r.expect_eof();
 }
 
 }  // namespace cq::models

@@ -11,6 +11,11 @@ class ReLU : public Module {
  public:
   explicit ReLU(float cap = 0.0f) : cap_(cap) {}
 
+  /// Upper clip; <= 0 means plain (unbounded) ReLU. Deployment compilers
+  /// read this to reproduce ReLU6 and to fuse the activation into GEMM
+  /// epilogues.
+  float cap() const { return cap_; }
+
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
   std::size_t pending_caches() const override { return cache_.size(); }

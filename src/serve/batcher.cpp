@@ -1,0 +1,66 @@
+#include "serve/batcher.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace cq::serve {
+
+Batcher::Batcher(Shape sample_shape, std::int64_t feature_dim)
+    : sample_shape_(std::move(sample_shape)),
+      sample_numel_(sample_shape_.numel()),
+      feature_dim_(feature_dim) {
+  CQ_CHECK(sample_shape_.rank() == 3 && feature_dim_ > 0);
+}
+
+std::size_t Batcher::filter_expired(std::vector<Request*>& batch,
+                                    Clock::time_point now) {
+  std::size_t expired = 0;
+  auto keep = batch.begin();
+  for (Request* r : batch) {
+    if (r->deadline < now) {
+      r->complete(Status::kTimeout);
+      ++expired;
+    } else {
+      *keep++ = r;
+    }
+  }
+  batch.erase(keep, batch.end());
+  return expired;
+}
+
+const Tensor& Batcher::collate(const std::vector<Request*>& batch) {
+  const auto n = static_cast<std::int64_t>(batch.size());
+  CQ_CHECK(n > 0);
+  batch_.resize(Shape{n, sample_shape_.dim(0), sample_shape_.dim(1),
+                      sample_shape_.dim(2)});
+  float* dst = batch_.data();
+  for (std::int64_t i = 0; i < n; ++i)
+    std::memcpy(dst + i * sample_numel_,
+                batch[static_cast<std::size_t>(i)]->input,
+                static_cast<std::size_t>(sample_numel_) * sizeof(float));
+  return batch_;
+}
+
+void Batcher::scatter(const Tensor& features,
+                      const std::vector<Request*>& batch) const {
+  CQ_CHECK(features.shape().rank() == 2 &&
+           features.dim(0) == static_cast<std::int64_t>(batch.size()) &&
+           features.dim(1) == feature_dim_);
+  const float* src = features.data();
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    std::memcpy(batch[i]->output,
+                src + static_cast<std::int64_t>(i) * feature_dim_,
+                static_cast<std::size_t>(feature_dim_) * sizeof(float));
+}
+
+const Tensor& Batcher::prewarm(std::size_t max_batch) {
+  const auto n = static_cast<std::int64_t>(std::max<std::size_t>(max_batch, 1));
+  batch_.resize(Shape{n, sample_shape_.dim(0), sample_shape_.dim(1),
+                      sample_shape_.dim(2)});
+  batch_.fill(0.0f);
+  return batch_;
+}
+
+}  // namespace cq::serve

@@ -1,0 +1,51 @@
+// Dynamic micro-batch assembly: collate popped requests into one NCHW
+// tensor, scatter feature rows back, filter expired deadlines.
+//
+// One Batcher per worker. The batch tensor is prewarmed at the engine's
+// max_batch and Tensor::resize keeps capacity, so collating any smaller
+// batch reuses the same buffer — no allocation per batch (DESIGN.md §10).
+#pragma once
+
+#include <vector>
+
+#include "serve/request.hpp"
+#include "tensor/tensor.hpp"
+
+namespace cq::serve {
+
+class Batcher {
+ public:
+  /// `sample_shape` is one input sample's CHW shape; `feature_dim` the
+  /// encoder output width.
+  Batcher(Shape sample_shape, std::int64_t feature_dim);
+
+  /// Drop requests whose deadline has already passed, completing them
+  /// kTimeout without forwarding. Compacts `batch` in place; returns how
+  /// many were expired.
+  std::size_t filter_expired(std::vector<Request*>& batch,
+                             Clock::time_point now);
+
+  /// Pack the requests' inputs into an [N, C, H, W] tensor (N = size).
+  const Tensor& collate(const std::vector<Request*>& batch);
+
+  /// Copy feature row i of `features` ([N, feature_dim]) into request i's
+  /// output buffer. Does NOT complete the requests (the worker does, after
+  /// recording latency).
+  void scatter(const Tensor& features,
+               const std::vector<Request*>& batch) const;
+
+  /// Run one throwaway collate at `max_batch` width so the batch buffer and
+  /// downstream model scratch reach their steady-state capacity.
+  const Tensor& prewarm(std::size_t max_batch);
+
+  std::int64_t sample_numel() const { return sample_numel_; }
+  std::int64_t feature_dim() const { return feature_dim_; }
+
+ private:
+  Shape sample_shape_;  // CHW
+  std::int64_t sample_numel_;
+  std::int64_t feature_dim_;
+  Tensor batch_;
+};
+
+}  // namespace cq::serve

@@ -1,0 +1,205 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+
+#include "core/cq.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace cq::serve {
+
+namespace {
+
+std::uint64_t micros_between(Clock::time_point a, Clock::time_point b) {
+  if (b <= a) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(b - a).count());
+}
+
+}  // namespace
+
+Engine::Engine(const EngineConfig& config)
+    : config_(config), queue_(config.queue_capacity) {
+  CQ_CHECK(config_.max_batch > 0);
+  CQ_CHECK(config_.in_channels > 0 && config_.in_h > 0 && config_.in_w > 0);
+
+  // Load the trained encoder: serving is full precision (the checkpointed
+  // weights ARE the model; fake-quantization noise belongs to training) and
+  // eval mode (running BN statistics — they are what gets folded).
+  Rng rng(1);
+  encoder_ = models::make_encoder(config_.arch, rng);
+  models::load_module(config_.checkpoint, *encoder_.backbone);
+  encoder_.policy->set_full_precision();
+  encoder_.backbone->set_mode(nn::Mode::kEval);
+
+  // Compile every worker's instance on this thread, before any worker
+  // starts: compilation reads the (now frozen) module tree.
+  const Shape sample{config_.in_channels, config_.in_h, config_.in_w};
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    auto w = std::make_unique<Worker>();
+    w->model = make_instance(config_.instance, *encoder_.backbone);
+    w->batcher = std::make_unique<Batcher>(sample, encoder_.feature_dim);
+    workers_.push_back(std::move(w));
+  }
+
+  for (auto& w : workers_)
+    w->thread = std::thread([this, worker = w.get()] { worker_main(*worker); });
+  {
+    std::unique_lock<std::mutex> lock(ready_mu_);
+    ready_cv_.wait(lock,
+                   [this] { return workers_ready_ == workers_.size(); });
+  }
+  start_time_ = Clock::now();
+}
+
+Engine::~Engine() { stop(); }
+
+bool Engine::submit(Request* r) {
+  CQ_CHECK(r != nullptr && r->input != nullptr && r->output != nullptr);
+  if (stopping_.load(std::memory_order_acquire)) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (!queue_.try_push(r)) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void Engine::stop() {
+  std::lock_guard<std::mutex> lock(stop_mu_);
+  if (stopped_) return;
+  stopping_.store(true, std::memory_order_release);
+  queue_.close();
+  for (auto& w : workers_)
+    if (w->thread.joinable()) w->thread.join();
+  // Anything still queued (only possible with zero workers, or requests
+  // raced in just before close) was accepted but can no longer run.
+  std::vector<Request*> leftovers;
+  queue_.drain(leftovers);
+  for (Request* r : leftovers) {
+    shutdown_failed_.fetch_add(1, std::memory_order_relaxed);
+    r->complete(Status::kShutdown);
+  }
+  stopped_ = true;
+}
+
+void Engine::worker_main(Worker& w) {
+  // Warmup: forward once at every batch width. The widest pass grows the
+  // in-place scratch (batch tensor, im2col columns, GEMM packing buffers)
+  // to steady-state capacity; the narrower passes seed the thread pool's
+  // size-class free lists for the handful of buffers that round-trip
+  // through the pool (the pool only reuses within an exact size class).
+  // Allocations before the fence are warmup; after it, steady state must
+  // stay at zero.
+  if (config_.prewarm) {
+    for (std::size_t n = config_.max_batch; n >= 1; --n) {
+      // Three passes per width: pass 1 populates every buffer, and buffers
+      // that stay shared across forwards (COW handles held between
+      // iterations) rotate through a spare that passes 2-3 allocate; after
+      // that the per-width acquire/release cycle is a pure pool round-trip.
+      for (int pass = 0; pass < 3; ++pass) {
+        const Tensor& warm = w.batcher->prewarm(n);
+        (void)w.model->forward(warm);
+      }
+    }
+  }
+  const std::uint64_t warm_allocs = core::AllocTracker::thread_allocs();
+  {
+    std::lock_guard<std::mutex> lock(w.stats_mu);
+    w.stats.warmup_heap_allocs = warm_allocs;
+  }
+  {
+    // Signal readiness: the constructor blocks until every worker has
+    // prewarmed, so the first submitted request never pays warmup latency.
+    std::lock_guard<std::mutex> lock(ready_mu_);
+    ++workers_ready_;
+    ready_cv_.notify_all();
+  }
+
+  std::vector<Request*> batch;
+  batch.reserve(config_.max_batch);
+  // Latency staging, sized once: the steady-state loop must not malloc.
+  std::vector<std::uint64_t> queue_us(config_.max_batch);
+  std::vector<std::uint64_t> total_us(config_.max_batch);
+  for (;;) {
+    const std::size_t popped =
+        queue_.pop_batch(batch, config_.max_batch, config_.max_wait);
+    if (popped == 0) return;  // closed and drained
+
+    const auto dequeue_time = Clock::now();
+    const std::size_t expired = w.batcher->filter_expired(batch, dequeue_time);
+
+    if (!batch.empty()) {
+      const std::uint64_t allocs_before = core::AllocTracker::thread_allocs();
+      const Tensor& input = w.batcher->collate(batch);
+      const Tensor& features = w.model->forward(input);
+      w.batcher->scatter(features, batch);
+      const std::uint64_t allocs_after = core::AllocTracker::thread_allocs();
+
+      // Record latencies and stats BEFORE completing: complete() frees the
+      // client to destroy the request, and a client that has seen wait()
+      // return must observe stats covering its own request.
+      const std::size_t n = batch.size();
+      const auto done = Clock::now();
+      for (std::size_t i = 0; i < n; ++i) {
+        queue_us[i] = micros_between(batch[i]->enqueue_time, dequeue_time);
+        total_us[i] = micros_between(batch[i]->enqueue_time, done);
+      }
+      {
+        std::lock_guard<std::mutex> lock(w.stats_mu);
+        ++w.stats.batches;
+        w.stats.served += n;
+        w.stats.timed_out += expired;
+        w.stats.batch_size_sum += n;
+        w.stats.max_batch_seen =
+            std::max<std::uint64_t>(w.stats.max_batch_seen, n);
+        w.stats.steady_heap_allocs += allocs_after - allocs_before;
+        for (std::size_t i = 0; i < n; ++i) {
+          w.stats.queue_latency.record(queue_us[i]);
+          w.stats.total_latency.record(total_us[i]);
+        }
+      }
+      for (Request* r : batch) r->complete(Status::kOk);
+    } else if (expired > 0) {
+      std::lock_guard<std::mutex> lock(w.stats_mu);
+      w.stats.timed_out += expired;
+    }
+  }
+}
+
+EngineStats Engine::stats() const {
+  EngineStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.rejected_full = rejected_.load(std::memory_order_relaxed);
+  s.shutdown_failed = shutdown_failed_.load(std::memory_order_relaxed);
+  s.queue_depth = queue_.depth();
+  s.queue_peak_depth = queue_.peak_depth();
+  std::uint64_t batch_size_sum = 0;
+  for (const auto& w : workers_) {
+    std::lock_guard<std::mutex> lock(w->stats_mu);
+    s.served += w->stats.served;
+    s.timed_out += w->stats.timed_out;
+    s.batches += w->stats.batches;
+    batch_size_sum += w->stats.batch_size_sum;
+    s.max_batch_seen = std::max(s.max_batch_seen, w->stats.max_batch_seen);
+    s.warmup_heap_allocs += w->stats.warmup_heap_allocs;
+    s.steady_heap_allocs += w->stats.steady_heap_allocs;
+    s.queue_latency.merge(w->stats.queue_latency);
+    s.total_latency.merge(w->stats.total_latency);
+  }
+  s.mean_batch_size = s.batches == 0
+                          ? 0.0
+                          : static_cast<double>(batch_size_sum) /
+                                static_cast<double>(s.batches);
+  s.uptime_seconds =
+      std::chrono::duration<double>(Clock::now() - start_time_).count();
+  s.throughput_rps = s.uptime_seconds > 0.0
+                         ? static_cast<double>(s.served) / s.uptime_seconds
+                         : 0.0;
+  return s;
+}
+
+}  // namespace cq::serve

@@ -1,0 +1,63 @@
+// The serving engine's fp32 fast path: a trained backbone compiled into a
+// flat op pipeline tuned for dynamic batches.
+//
+// Differences from the training-side modules that make batching pay on one
+// core (DESIGN.md §10):
+//  * BatchNorm is folded into the preceding convolution at compile time
+//    (deploy::fold_batchnorm), so inference runs conv+bias only.
+//  * Convolutions lower the WHOLE batch side by side (strided im2col into a
+//    [krows, N*spatial] matrix) and run ONE fused-epilogue GEMM per group.
+//    The packed weight panel is therefore amortized across every request in
+//    the batch — this is where dynamic batching buys throughput, since a
+//    single core gets no parallelism win from batching.
+//  * A ReLU immediately following conv+BN is fused into the GEMM epilogue
+//    (bit-identical to the separate pass, see gemm.hpp).
+//  * Every op writes into retained member scratch, so steady-state forwards
+//    perform zero heap allocations once warmed at the widest batch.
+//
+// Batch invariance: the blocked GEMM accumulates each output element over k
+// in a fixed order independent of the M/N blocking, and the epilogue is
+// per-element, so a batch-N forward is BITWISE identical to N batch-1
+// forwards. The engine's equivalence tests assert this exactly.
+//
+// Like deploy::Int8Op, forward() is const but keeps mutable scratch: one
+// compiled network per serving thread.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/sequential.hpp"
+#include "tensor/tensor.hpp"
+
+namespace cq::serve {
+
+class Fp32Op {
+ public:
+  virtual ~Fp32Op() = default;
+  virtual const Tensor& forward(const Tensor& x) const = 0;
+  virtual const char* name() const = 0;
+};
+
+class Fp32Network {
+ public:
+  /// Forward an [N, C, H, W] batch; returns [N, feature_dim] (or whatever
+  /// the final op produces). The reference stays valid until the next call.
+  const Tensor& forward(const Tensor& x) const;
+
+  std::size_t op_count() const { return ops_.size(); }
+  const Fp32Op& op(std::size_t i) const { return *ops_.at(i); }
+
+ private:
+  friend Fp32Network compile_fp32(nn::Sequential& net);
+  std::vector<std::unique_ptr<Fp32Op>> ops_;
+};
+
+/// Compile a trained backbone (eval-mode semantics: running BN statistics
+/// are folded). Supports the same module set as deploy::compile_int8:
+/// Conv2d (+BatchNorm2d folded, +ReLU fused), Linear, ReLU, MaxPool2d,
+/// GlobalAvgPool, Flatten, ActQuant (dropped), models::BasicBlock,
+/// models::InvertedResidual. Throws CheckError on anything else.
+Fp32Network compile_fp32(nn::Sequential& net);
+
+}  // namespace cq::serve

@@ -1,0 +1,46 @@
+#include "serve/model.hpp"
+
+namespace cq::serve {
+
+namespace {
+
+class Fp32Instance : public ModelInstance {
+ public:
+  explicit Fp32Instance(nn::Sequential& backbone)
+      : net_(compile_fp32(backbone)) {}
+  const Tensor& forward(const Tensor& batch) override {
+    return net_.forward(batch);
+  }
+  const char* kind_name() const override { return "fp32"; }
+
+ private:
+  Fp32Network net_;
+};
+
+class Int8Instance : public ModelInstance {
+ public:
+  explicit Int8Instance(nn::Sequential& backbone)
+      : net_(deploy::compile_int8(backbone)) {}
+  const Tensor& forward(const Tensor& batch) override {
+    // Int8Network returns by value; keeping the handle in a member makes
+    // the buffer round-trip through the pool instead of the heap.
+    out_ = net_.forward(batch);
+    return out_;
+  }
+  const char* kind_name() const override { return "int8"; }
+
+ private:
+  deploy::Int8Network net_;
+  Tensor out_;
+};
+
+}  // namespace
+
+std::unique_ptr<ModelInstance> make_instance(InstanceKind kind,
+                                             nn::Sequential& backbone) {
+  if (kind == InstanceKind::kFp32)
+    return std::make_unique<Fp32Instance>(backbone);
+  return std::make_unique<Int8Instance>(backbone);
+}
+
+}  // namespace cq::serve

@@ -1,0 +1,41 @@
+// Compiled model instances the serving workers run.
+//
+// A ModelInstance wraps one compiled network (fp32 fast path or int8
+// deployment) behind a uniform batched-forward interface. Instances keep
+// mutable scratch and are NOT thread-safe: the engine compiles one instance
+// per worker thread from the same loaded encoder, trading memory for
+// lock-free forwards.
+#pragma once
+
+#include <memory>
+
+#include "deploy/int8.hpp"
+#include "nn/sequential.hpp"
+#include "serve/fp32.hpp"
+
+namespace cq::serve {
+
+enum class InstanceKind : std::uint8_t {
+  kFp32,  // BN-folded, fused-epilogue fp32 (serve/fp32.hpp)
+  kInt8,  // dynamic per-sample int8 (deploy/int8.hpp)
+};
+
+inline const char* instance_kind_name(InstanceKind k) {
+  return k == InstanceKind::kFp32 ? "fp32" : "int8";
+}
+
+class ModelInstance {
+ public:
+  virtual ~ModelInstance() = default;
+  /// Forward an [N, C, H, W] batch to [N, feature_dim]. The reference stays
+  /// valid until the next forward on this instance.
+  virtual const Tensor& forward(const Tensor& batch) = 0;
+  virtual const char* kind_name() const = 0;
+};
+
+/// Compile `backbone` (eval-mode semantics) into a fresh instance. Called
+/// once per worker at engine construction, on the construction thread.
+std::unique_ptr<ModelInstance> make_instance(InstanceKind kind,
+                                             nn::Sequential& backbone);
+
+}  // namespace cq::serve

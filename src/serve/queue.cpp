@@ -1,0 +1,90 @@
+#include "serve/queue.hpp"
+
+#include "util/check.hpp"
+
+namespace cq::serve {
+
+RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity) {
+  CQ_CHECK_MSG(capacity > 0, "queue capacity must be positive");
+  ring_.resize(capacity);
+}
+
+bool RequestQueue::try_push(Request* r) {
+  CQ_CHECK(r != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || count_ == capacity_) return false;
+    r->enqueue_time = Clock::now();
+    ring_[(head_ + count_) % capacity_] = r;
+    ++count_;
+    if (count_ > peak_) peak_ = count_;
+  }
+  cv_.notify_one();
+  return true;
+}
+
+std::size_t RequestQueue::pop_batch(std::vector<Request*>& out,
+                                    std::size_t max_batch,
+                                    std::chrono::microseconds max_wait) {
+  CQ_CHECK(max_batch > 0);
+  out.clear();
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return count_ > 0 || closed_; });
+  if (count_ == 0) return 0;  // closed and drained
+
+  // The batching window opens when the first request is taken: linger up to
+  // `max_wait` for stragglers, but never return an empty batch late.
+  const auto window_end = Clock::now() + max_wait;
+  for (;;) {
+    while (out.size() < max_batch && count_ > 0) {
+      out.push_back(ring_[head_]);
+      head_ = (head_ + 1) % capacity_;
+      --count_;
+    }
+    if (out.size() >= max_batch || closed_) break;
+    if (cv_.wait_until(lock, window_end, [this] {
+          return count_ > 0 || closed_;
+        })) {
+      if (count_ == 0) break;  // woken by close()
+      continue;
+    }
+    break;  // window expired
+  }
+  return out.size();
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t RequestQueue::drain(std::vector<Request*>& out) {
+  out.clear();
+  std::lock_guard<std::mutex> lock(mu_);
+  while (count_ > 0) {
+    out.push_back(ring_[head_]);
+    head_ = (head_ + 1) % capacity_;
+    --count_;
+  }
+  return out.size();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+std::size_t RequestQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+std::size_t RequestQueue::peak_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_;
+}
+
+}  // namespace cq::serve

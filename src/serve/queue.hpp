@@ -1,0 +1,63 @@
+// Bounded MPMC request queue with fail-fast backpressure and deadline-aware
+// batch pops — the admission-control half of the serving engine.
+//
+// Producers call try_push(), which NEVER blocks: a full queue returns false
+// immediately so the client can shed load (the TensorRT/Triton "reject at
+// admission" policy rather than unbounded buffering). Consumers call
+// pop_batch(), which blocks for the FIRST request, then lingers up to
+// `max_wait` gathering more — the dynamic micro-batching window.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace cq::serve {
+
+class RequestQueue {
+ public:
+  /// `capacity` > 0: maximum number of queued (not yet popped) requests.
+  explicit RequestQueue(std::size_t capacity);
+
+  /// Enqueue without blocking. Returns false (and leaves `r` untouched) when
+  /// the queue is full or closed. On success stamps r->enqueue_time; the
+  /// queue mutex release / consumer acquire pair gives the happens-before
+  /// edge that makes the stamp (and the request fields) visible to workers.
+  bool try_push(Request* r);
+
+  /// Pop up to `max_batch` requests into `out` (which is cleared first).
+  /// Blocks until at least one request is available, then waits at most
+  /// `max_wait` past the FIRST request's arrival for the batch to fill.
+  /// Returns the number popped; 0 means the queue is closed AND drained —
+  /// the consumer should exit.
+  std::size_t pop_batch(std::vector<Request*>& out, std::size_t max_batch,
+                        std::chrono::microseconds max_wait);
+
+  /// Reject future pushes and wake all blocked consumers. Already-queued
+  /// requests remain poppable (graceful drain).
+  void close();
+
+  /// Pop everything immediately without waiting (used by Engine::stop() to
+  /// fail leftover requests after the workers exit). Returns count popped.
+  std::size_t drain(std::vector<Request*>& out);
+
+  bool closed() const;
+  std::size_t depth() const;       // current queued count
+  std::size_t peak_depth() const;  // high-water mark since construction
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Request*> ring_;  // fixed-size ring buffer, allocated once
+  std::size_t head_ = 0;        // next pop position
+  std::size_t count_ = 0;
+  std::size_t peak_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace cq::serve

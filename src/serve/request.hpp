@@ -1,0 +1,95 @@
+// A single inference request flowing through the serving engine.
+//
+// Requests are caller-owned: the client allocates the Request plus the input
+// and output buffers, submits a pointer to the engine, and blocks in wait().
+// The engine never copies a Request and never allocates on its behalf — the
+// input is memcpy'd straight into a worker's pre-warmed batch tensor and the
+// feature row is memcpy'd back into `output`. This keeps the steady-state
+// request path free of heap traffic (DESIGN.md §10).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace cq::serve {
+
+using Clock = std::chrono::steady_clock;
+
+/// Terminal states a request can reach. kPending is the in-flight state.
+enum class Status : std::uint8_t {
+  kPending,        // submitted (or not yet submitted); wait() would block
+  kOk,             // forward ran; `output` holds the feature vector
+  kTimeout,        // deadline expired before a worker picked it up
+  kRejectedFull,   // bounded queue was full; request was never enqueued
+  kShutdown,       // engine stopped before the request could run
+};
+
+inline const char* status_name(Status s) {
+  switch (s) {
+    case Status::kPending: return "pending";
+    case Status::kOk: return "ok";
+    case Status::kTimeout: return "timeout";
+    case Status::kRejectedFull: return "rejected_full";
+    case Status::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+/// One request. Not copyable/movable once submitted (the engine holds a raw
+/// pointer to it). Reusable: call reset() between submissions.
+struct Request {
+  /// Caller-owned input image, NCHW single sample, exactly
+  /// Engine::sample_numel() floats. Must stay valid until wait() returns.
+  const float* input = nullptr;
+  /// Caller-owned output buffer, Engine::feature_dim() floats. Written only
+  /// when the final status is kOk.
+  float* output = nullptr;
+  /// Absolute deadline. A request still queued past this instant completes
+  /// kTimeout without ever touching a model. Clock::time_point::max() (the
+  /// default) means "no deadline".
+  Clock::time_point deadline = Clock::time_point::max();
+
+  /// Stamped by Engine::submit(); used for queue-latency accounting.
+  Clock::time_point enqueue_time{};
+
+  /// Block until a terminal status is assigned, then return it.
+  Status wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return status_ != Status::kPending; });
+    return status_;
+  }
+
+  /// Non-blocking peek at the current status.
+  Status status() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return status_;
+  }
+
+  /// Assign a terminal status and wake the waiter. Called exactly once per
+  /// submission, by the engine (or by submit() itself on rejection).
+  void complete(Status s) {
+    std::lock_guard<std::mutex> lock(mu_);
+    status_ = s;
+    // Notify while still holding the lock: the waiter owns this Request and
+    // may destroy (or reset and resubmit) it the moment wait() returns, so
+    // the broadcast must finish before the waiter can re-acquire the mutex
+    // and observe the terminal status. Unlock-then-notify would race the
+    // notify against the Request's destructor.
+    cv_.notify_all();
+  }
+
+  /// Make the request submittable again after wait() has returned.
+  void reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    status_ = Status::kPending;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  Status status_ = Status::kPending;
+};
+
+}  // namespace cq::serve

@@ -18,6 +18,8 @@
 #include <cstring>
 #include <vector>
 
+#include "util/check.hpp"
+
 namespace cq::gemm {
 namespace {
 
@@ -76,6 +78,29 @@ void pack_a(const float* a, Strides s, std::int64_t mc, std::int64_t kc,
 template <bool Q>
 void pack_b_impl(const float* b, Strides s, std::int64_t kc, std::int64_t nc,
                  float* bp, const QuantSpec& q) {
+  if (s.cs != 1) {
+    // Column-strided source (kNT: op(B) columns are contiguous rows of the
+    // stored [N, K] matrix). The generic k-outer order below would read
+    // with stride K on every element; walk source rows instead — contiguous
+    // reads, sliver-strided writes into the (L1-resident) packed buffer.
+    // Same values into the same slots, so results stay bit-identical.
+    for (std::int64_t jr = 0; jr < nc; jr += NR) {
+      const std::int64_t nr = std::min(NR, nc - jr);
+      float* sliver = bp + (jr / NR) * (kc * NR);
+      for (std::int64_t j = 0; j < NR; ++j) {
+        if (j < nr) {
+          const float* src = b + (jr + j) * s.cs;
+          for (std::int64_t p = 0; p < kc; ++p) {
+            const float v = src[p * s.rs];
+            sliver[p * NR + j] = Q ? quantize_value(v, q) : v;
+          }
+        } else {
+          for (std::int64_t p = 0; p < kc; ++p) sliver[p * NR + j] = 0.0f;
+        }
+      }
+    }
+    return;
+  }
   for (std::int64_t jr = 0; jr < nc; jr += NR) {
     const std::int64_t nr = std::min(NR, nc - jr);
     for (std::int64_t p = 0; p < kc; ++p) {
@@ -301,6 +326,52 @@ void gemm(Trans trans, std::int64_t m, std::int64_t n, std::int64_t k,
 void gemm(Trans trans, std::int64_t m, std::int64_t n, std::int64_t k,
           const float* a, const float* b, float* c, bool accumulate) {
   gemm(trans, m, n, k, a, b, c, accumulate, Epilogue{}, nullptr, nullptr);
+}
+
+void gemm_prepacked_b(std::int64_t m, std::int64_t n, std::int64_t k,
+                      const float* a, const float* packed_b, float* c,
+                      bool accumulate, const Epilogue& epilogue,
+                      const QuantSpec* qa) {
+  if (m <= 0 || n <= 0) return;
+  CQ_CHECK(k > 0 && k <= KC);
+  if (qa != nullptr && qa->identity) qa = nullptr;
+  const Epilogue* ep = epilogue.empty() ? nullptr : &epilogue;
+  const float* bias_rows =
+      ep != nullptr && ep->bias_kind == Epilogue::Bias::kPerRow ? ep->bias
+                                                                : nullptr;
+  const float* bias_cols =
+      ep != nullptr && ep->bias_kind == Epilogue::Bias::kPerCol ? ep->bias
+                                                                : nullptr;
+  const Strides as{k, 1};  // row-major A, kNN orientation
+  // Same scratch request as gemm() so the two entry points share one
+  // steady-state buffer instead of ping-ponging its capacity.
+  std::vector<float>& buf =
+      scratch(static_cast<std::size_t>(MC * KC + KC * NC));
+  float* ap = buf.data();
+
+  // Single k-panel: every write-back both completes the sum (epilogue
+  // eligible) and owns the overwrite-vs-accumulate decision. The loop nest
+  // and per-tile traversal mirror gemm() exactly, so element results are
+  // bit-identical; only the source of the packed B slivers differs.
+  for (std::int64_t jc = 0; jc < n; jc += NC) {
+    const std::int64_t nc = std::min(NC, n - jc);
+    for (std::int64_t ic = 0; ic < m; ic += MC) {
+      const std::int64_t mc = std::min(MC, m - ic);
+      pack_a(a + ic * k, as, mc, k, ap, qa);
+      for (std::int64_t jr = 0; jr < nc; jr += NR) {
+        const std::int64_t nr = std::min(NR, nc - jr);
+        const float* bpp = packed_b + ((jc + jr) / NR) * (k * NR);
+        for (std::int64_t ir = 0; ir < mc; ir += MR) {
+          const std::int64_t mr = std::min(MR, mc - ir);
+          const float* app = ap + (ir / MR) * (k * MR);
+          micro_kernel(k, app, bpp, c + (ic + ir) * n + (jc + jr), n, mr, nr,
+                       !accumulate, ep,
+                       bias_rows != nullptr ? bias_rows + ic + ir : nullptr,
+                       bias_cols != nullptr ? bias_cols + jc + jr : nullptr);
+        }
+      }
+    }
+  }
 }
 
 namespace detail {

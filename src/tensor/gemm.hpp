@@ -95,6 +95,22 @@ void gemm(Trans trans, std::int64_t m, std::int64_t n, std::int64_t k,
           const Epilogue& epilogue, const QuantSpec* qa = nullptr,
           const QuantSpec* qb = nullptr);
 
+/// GEMM over a B operand the CALLER already laid out in packed sliver
+/// format: kNR-column slivers left to right, each sliver kc x kNR floats in
+/// k-major order, short trailing slivers zero-padded — i.e. value (p, j) of
+/// op(B) lives at packed_b[(j / kNR) * (k * kNR) + p * kNR + j % kNR].
+/// This is exactly the layout pack_block_b emits, extended across the full
+/// width n, and it lets a producer (e.g. im2col_packed) write B in packed
+/// form directly, deleting the separate pack_b read+write pass. Restricted
+/// to k <= kKC (a single k-panel) so the sliver sequence is unambiguous.
+/// A is row-major [M, K] (kNN orientation). Same micro-kernel, k-order and
+/// epilogue sequencing as gemm(), so results are bit-identical to
+/// gemm(kNN, ...) on the unpacked operand.
+void gemm_prepacked_b(std::int64_t m, std::int64_t n, std::int64_t k,
+                      const float* a, const float* packed_b, float* c,
+                      bool accumulate, const Epilogue& epilogue,
+                      const QuantSpec* qa = nullptr);
+
 namespace reference {
 /// The pre-blocking naive loops, kept verbatim as the golden reference (NT
 /// still accumulates in double). Same contract as gemm::gemm. The only

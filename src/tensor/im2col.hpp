@@ -26,10 +26,43 @@ struct ConvGeometry {
 /// `image` must be the contiguous CHW block (C*H*W floats).
 void im2col(const float* image, const ConvGeometry& g, float* cols);
 
+/// Strided variant: writes row r of the column matrix at
+/// cols[r * col_stride .. r * col_stride + col_cols). With
+/// col_stride > col_cols this lowers one image into a slice of a wider
+/// batched column matrix [col_rows, batch * col_cols] — the serving engine
+/// lowers every image of a dynamic batch side by side and runs ONE GEMM over
+/// all of them, amortizing the weight-packing pass across the batch.
+/// Requires col_stride >= col_cols.
+void im2col(const float* image, const ConvGeometry& g, float* cols,
+            std::int64_t col_stride);
+
 /// Destination-passing variant: resizes `cols` to [col_rows, col_cols]
 /// (reusing its pooled storage when possible) and fully overwrites it.
 /// `image` must not alias `cols`.
 void im2col_into(const float* image, const ConvGeometry& g, Tensor& cols);
+
+/// Lower one image DIRECTLY into gemm packed-B sliver layout (the format
+/// gemm_prepacked_b consumes: kNR-column slivers, k-major within a sliver),
+/// writing columns [col0, col0 + col_cols()) of the full packed matrix that
+/// starts at `packed`. Fusing the lowering with the packing deletes the
+/// separate pack_b read+write pass over the column matrix — on skinny
+/// conv GEMMs (small C_out) that pass is a large share of the forward.
+/// Requires col_rows() <= gemm::kKC (single k-panel; checked). The caller
+/// owns zero-padding of a partial final sliver (alignment is natural when
+/// col0 and the total width are multiples of gemm::kNR).
+void im2col_packed(const float* image, const ConvGeometry& g, float* packed,
+                   std::int64_t col0);
+
+/// Patch-major lowering (im2row): the TRANSPOSE of the im2col matrix,
+/// shape [col_cols, col_rows] — one contiguous (c, kh, kw)-ordered patch
+/// per output pixel, matching the weight row layout. Paired with
+/// gemm::Trans::kNT this is interchangeable with im2col + kNN: the blocked
+/// GEMM shares one micro-kernel and k-panel order across transpose
+/// variants, so the two lowerings give bit-identical outputs.
+/// Worth it when out_h*out_w is small (deep stages on
+/// thumbnail inputs): the row-major walk then degenerates into
+/// per-element bookkeeping, while patch writes stay contiguous.
+void im2row(const float* image, const ConvGeometry& g, float* rows);
 
 /// Scatter-add a column matrix back into a CHW image gradient.
 /// `image_grad` must be zero-initialized by the caller (or hold an existing

@@ -54,16 +54,16 @@ Storage Storage::acquire(std::int64_t numel) {
   if (!list.empty()) {
     h = static_cast<Header*>(list.back());
     list.pop_back();
+    h->refs.store(1, std::memory_order_relaxed);
     ++p.stats.pool_hits;
     p.stats.pooled_bytes -= bytes;
   } else {
-    h = static_cast<Header*>(
-        ::operator new(sizeof(Header) + static_cast<std::size_t>(bytes)));
-    h->capacity = capacity;
+    void* raw =
+        ::operator new(sizeof(Header) + static_cast<std::size_t>(bytes));
+    h = ::new (raw) Header{{1}, capacity};
     ++p.stats.pool_misses;
     ++p.stats.cumulative_allocations;
   }
-  h->refs = 1;
   p.stats.live_bytes += bytes;
   if (p.stats.live_bytes > p.stats.peak_live_bytes)
     p.stats.peak_live_bytes = p.stats.live_bytes;
@@ -72,7 +72,11 @@ Storage Storage::acquire(std::int64_t numel) {
 
 void Storage::release() {
   if (h_ == nullptr) return;
-  if (--h_->refs == 0) {
+  // acq_rel: the last owner must observe every write the other owners made
+  // to the payload before it republishes the block through a free list.
+  if (h_->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Fallback path for cross-thread hand-off: the block parks in the
+    // *releasing* thread's pool, whichever thread that is.
     Pool& p = pool();
     const auto bytes = h_->capacity * static_cast<std::int64_t>(sizeof(float));
     p.stats.live_bytes -= bytes;

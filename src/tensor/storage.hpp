@@ -10,10 +10,22 @@
 // ago. Capacities are rounded up to the next power of two (min 32 floats),
 // which lets differently-shaped tensors of similar size share a bucket.
 //
-// Thread model: the pool and its counters are thread-local (the target
-// machine is single-core; see DESIGN.md Sec. 6). A Storage handle itself uses
-// a plain (non-atomic) refcount and must not be shared across threads; a
-// buffer released on another thread simply parks in that thread's pool.
+// Thread model: the pool and its counters are thread-local, but the refcount
+// is atomic, so Storage handles (and therefore Tensors) may be handed across
+// threads — the serving engine's workers receive batches assembled from
+// client-thread data and free scratch on whichever thread tears the engine
+// down. The rules (audited for src/serve/, see DESIGN.md Sec. 10):
+//   * Hand-off (move or copy of a handle to another thread) is safe: the
+//     atomic refcount makes the last-owner decision race-free.
+//   * Concurrent *mutation* of one Tensor is still the caller's problem —
+//     COW detaching (non-const data()) from two threads at once is a race on
+//     the payload, exactly like any shared buffer.
+//   * A buffer released on a thread other than its allocator parks in the
+//     *releasing* thread's pool (the fallback path: blocks never cross back,
+//     they are simply adopted). Consequence: per-thread byte gauges
+//     (live_bytes / pooled_bytes) are home-thread approximations — a thread
+//     that frees foreign buffers can show live_bytes < 0 while the allocating
+//     thread's stays high. Hit/miss/cumulative counters are exact per thread.
 //
 // Accounting (cq::tensor::alloc_stats()):
 //   pool_hits / pool_misses  — acquires served from a free list vs the heap
@@ -22,14 +34,17 @@
 //   pooled_bytes             — bytes parked in free lists, ready for reuse
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 namespace cq {
 
 namespace detail {
-/// Intrusive block header; the float payload follows immediately.
+/// Intrusive block header; the float payload follows immediately. The
+/// refcount is atomic so handles can be handed across threads; capacity is
+/// immutable after allocation.
 struct StorageHeader {
-  std::uint64_t refs;
+  std::atomic<std::uint64_t> refs;
   std::int64_t capacity;  // floats
 };
 }  // namespace detail
@@ -40,13 +55,13 @@ class Storage {
   ~Storage() { release(); }
 
   Storage(const Storage& other) : h_(other.h_) {
-    if (h_ != nullptr) ++h_->refs;
+    if (h_ != nullptr) h_->refs.fetch_add(1, std::memory_order_relaxed);
   }
   Storage& operator=(const Storage& other) {
     if (this != &other) {
       release();
       h_ = other.h_;
-      if (h_ != nullptr) ++h_->refs;
+      if (h_ != nullptr) h_->refs.fetch_add(1, std::memory_order_relaxed);
     }
     return *this;
   }
@@ -70,8 +85,12 @@ class Storage {
   /// Usable capacity in floats (the bucket size, >= the requested numel).
   std::int64_t capacity() const { return h_ != nullptr ? h_->capacity : 0; }
 
-  std::uint64_t use_count() const { return h_ != nullptr ? h_->refs : 0; }
-  bool unique() const { return h_ != nullptr && h_->refs == 1; }
+  std::uint64_t use_count() const {
+    return h_ != nullptr ? h_->refs.load(std::memory_order_relaxed) : 0;
+  }
+  bool unique() const {
+    return h_ != nullptr && h_->refs.load(std::memory_order_acquire) == 1;
+  }
   explicit operator bool() const { return h_ != nullptr; }
 
   void reset() {

@@ -105,6 +105,11 @@ std::vector<float> BinaryReader::read_f32_array() {
   return v;
 }
 
+void BinaryReader::expect_eof() {
+  require(in_.peek() == std::char_traits<char>::eof(),
+          "trailing bytes after final record");
+}
+
 void write_checkpoint_header(BinaryWriter& w) {
   std::uint32_t magic = 0;
   std::memcpy(&magic, kMagic, 4);

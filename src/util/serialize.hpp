@@ -46,6 +46,13 @@ class BinaryReader {
   std::string read_string();
   std::vector<float> read_f32_array();
 
+  /// Validates that the stream is positioned exactly at end-of-file, i.e.
+  /// every byte of the file was consumed by the records read so far. Throws
+  /// CheckError on trailing bytes — a checkpoint with garbage (or a second
+  /// concatenated checkpoint) after the last record is corrupt, not merely
+  /// over-long. Call after the final expected record.
+  void expect_eof();
+
   /// True when the full header matched and no read has failed.
   bool ok() const { return ok_; }
 

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
 #include "deploy/int8.hpp"
 #include "models/encoder.hpp"
@@ -163,6 +164,42 @@ TEST(CompileInt8, FullResNet18PredictionsMatch) {
   // aside, the backbone is conv-dominated).
   EXPECT_LT(compiled.weight_bytes(),
             enc.backbone->parameter_count() * 4 / 3);
+}
+
+TEST(CompileInt8, BatchedForwardBitwiseEqualsSingleSample) {
+  // Activation scales are computed per sample (per image for conv, per row
+  // for linear), so a batch of N must be BITWISE identical to N independent
+  // single-sample forwards — the property the serving engine's dynamic
+  // batcher relies on.
+  Rng rng(11);
+  auto enc = models::make_encoder("resnet18", rng);
+  enc.backbone->set_mode(nn::Mode::kTrain);
+  for (int i = 0; i < 10; ++i) {
+    enc.forward(Tensor::uniform(Shape{4, 3, 16, 16}, rng));
+    enc.backbone->clear_cache();
+  }
+  enc.backbone->set_mode(nn::Mode::kEval);
+  const auto compiled = deploy::compile_int8(*enc.backbone);
+
+  constexpr std::int64_t kN = 5;
+  std::vector<Tensor> singles;
+  for (std::int64_t i = 0; i < kN; ++i)
+    singles.push_back(
+        Tensor::uniform(Shape{1, 3, 16, 16}, rng, -1.0f, 1.0f));
+  Tensor batch(Shape{kN, 3, 16, 16});
+  const auto per = singles[0].numel();
+  for (std::int64_t i = 0; i < kN; ++i)
+    std::memcpy(batch.data() + i * per, singles[static_cast<std::size_t>(i)].data(),
+                static_cast<std::size_t>(per) * sizeof(float));
+
+  const Tensor f_batch = compiled.forward(batch);
+  ASSERT_EQ(f_batch.dim(0), kN);
+  for (std::int64_t i = 0; i < kN; ++i) {
+    const Tensor f_one = compiled.forward(singles[static_cast<std::size_t>(i)]);
+    for (std::int64_t c = 0; c < f_batch.dim(1); ++c)
+      EXPECT_EQ(f_batch.at(i, c), f_one.at(0, c))
+          << "sample " << i << " feature " << c;
+  }
 }
 
 TEST(CompileInt8, MobileNetV2Compiles) {

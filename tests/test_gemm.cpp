@@ -93,6 +93,80 @@ TEST(GemmFuzz, BlockedMatchesReferenceAcrossShapes) {
   }
 }
 
+// Re-pack a row-major [k, n] matrix into the packed-B sliver layout
+// documented on gemm_prepacked_b: value (p, j) at
+// packed[(j / kNR) * (k * kNR) + p * kNR + j % kNR], ragged tail zeroed.
+// Built from the layout contract, NOT from pack_block_b, so the test pins
+// the documented format itself.
+std::vector<float> sliver_pack(const float* b, std::int64_t k,
+                               std::int64_t n) {
+  const auto NR = gemm::kNR;
+  const auto slivers = (n + NR - 1) / NR;
+  std::vector<float> packed(static_cast<std::size_t>(slivers * k * NR), 0.0f);
+  for (std::int64_t p = 0; p < k; ++p)
+    for (std::int64_t j = 0; j < n; ++j)
+      packed[static_cast<std::size_t>((j / NR) * (k * NR) + p * NR + j % NR)] =
+          b[p * n + j];
+  return packed;
+}
+
+TEST(GemmPrepackedB, BitwiseMatchesGemmKnn) {
+  // gemm_prepacked_b must be bit-identical to gemm(kNN) on the unpacked
+  // operand — callers that pre-lay-out B (im2col_packed) rely on this to
+  // keep batched-vs-serial outputs bitwise equal. Shapes cover ragged n
+  // (zero-padded final sliver), n > kNC (several column blocks), k == kKC
+  // (the single-panel cap), and m > kMC (several A blocks).
+  Rng rng(0xBEEF);
+  const std::vector<std::array<std::int64_t, 3>> shapes = {
+      {8, 64, 72},   {5, 48, 27},  {7, 33, 100},  {1, 1, 1},
+      {3, 1040, 9},  {16, 2048, 72}, {130, 16, 256}, {64, 100, 13},
+  };
+  int idx = 0;
+  for (const auto& [m, n, k] : shapes) {
+    ASSERT_LE(k, gemm::kKC);
+    Tensor a = Tensor::randn(Shape{m * k}, rng);
+    Tensor b = Tensor::randn(Shape{k * n}, rng);
+    Tensor c0 = Tensor::randn(Shape{m * n}, rng);
+    Tensor bias = Tensor::randn(Shape{m}, rng);
+    const bool accumulate = idx % 2 == 0;
+    gemm::Epilogue ep;  // exercised on every other shape
+    if (idx % 3 != 0) {
+      ep.bias = bias.data();
+      ep.bias_kind = gemm::Epilogue::Bias::kPerRow;
+      ep.act = gemm::Epilogue::Act::kRelu;
+    }
+    Tensor c_plain = c0;
+    gemm::gemm(gemm::Trans::kNN, m, n, k, a.data(), b.data(), c_plain.data(),
+               accumulate, ep);
+    const auto packed = sliver_pack(b.data(), k, n);
+    Tensor c_pre = c0;
+    gemm::gemm_prepacked_b(m, n, k, a.data(), packed.data(), c_pre.data(),
+                           accumulate, ep);
+    for (std::int64_t i = 0; i < m * n; ++i)
+      ASSERT_EQ(c_pre[i], c_plain[i])
+          << "m=" << m << " n=" << n << " k=" << k
+          << " accumulate=" << accumulate << " @" << i;
+    ++idx;
+  }
+}
+
+TEST(GemmPrepackedB, PackBlockBEmitsTheDocumentedLayout) {
+  // pack_block_b and the documented sliver formula must agree — this ties
+  // the internal packing routine to the public gemm_prepacked_b contract
+  // (one layout, two producers).
+  Rng rng(0xFACE);
+  for (const auto& [k, n] : std::vector<std::pair<std::int64_t, std::int64_t>>{
+           {72, 64}, {27, 48}, {100, 33}, {256, 16}, {13, 1024}}) {
+    Tensor b = Tensor::randn(Shape{k * n}, rng);
+    const auto expected = sliver_pack(b.data(), k, n);
+    std::vector<float> bp(expected.size(), -1.0f);
+    gemm::detail::pack_block_b(gemm::Trans::kNN, k, n, b.data(), bp.data(),
+                               nullptr);
+    for (std::size_t i = 0; i < expected.size(); ++i)
+      ASSERT_EQ(bp[i], expected[i]) << "k=" << k << " n=" << n << " @" << i;
+  }
+}
+
 TEST(GemmTest, KZeroZeroesOrPreservesC) {
   Rng rng(7);
   Tensor c = Tensor::randn(Shape{12}, rng);

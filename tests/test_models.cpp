@@ -3,6 +3,7 @@
 
 #include <cmath>
 #include <filesystem>
+#include <fstream>
 
 #include "models/encoder.hpp"
 #include "models/heads.hpp"
@@ -135,6 +136,22 @@ TEST(Checkpoint, SaveLoadRoundTrip) {
   Tensor f2 = enc2.forward(x);
   for (std::int64_t i = 0; i < f1.numel(); ++i)
     EXPECT_FLOAT_EQ(f1[i], f2[i]);
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, RejectsTrailingGarbage) {
+  // load_module validates expect_eof(): a checkpoint with extra bytes after
+  // the last parameter (format drift, concatenated files) must not load.
+  Rng rng(8);
+  auto enc = models::make_encoder("resnet18", rng);
+  const std::string path = "test_ckpt_tail.ckpt";
+  models::save_module(path, *enc.backbone);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "junk";
+  }
+  auto enc2 = models::make_encoder("resnet18", rng);
+  EXPECT_THROW(models::load_module(path, *enc2.backbone), CheckError);
   std::filesystem::remove(path);
 }
 

@@ -1,0 +1,402 @@
+// Serving engine: compiled fp32 path, dynamic batching, deadlines,
+// backpressure, graceful shutdown, zero-allocation steady state.
+//
+// The batched-equals-serial assertions are BITWISE (EXPECT_EQ on floats):
+// the blocked GEMM accumulates each output element in a k-order independent
+// of batch position, per-sample int8 quantization sees only its own image,
+// and every other op is per-element or per-plane — so sharing a dynamic
+// batch must not perturb anyone's result by even an ulp.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "models/encoder.hpp"
+#include "serve/engine.hpp"
+#include "serve/fp32.hpp"
+#include "serve/queue.hpp"
+#include "serve/stats.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace cq {
+namespace {
+
+constexpr std::int64_t kH = 12, kW = 12;
+
+/// Train-warm a tiny resnet18 (populated BN running stats), checkpoint it
+/// once, and share the path across tests.
+const std::string& checkpoint_path() {
+  static const std::string path = [] {
+    Rng rng(7);
+    auto enc = models::make_encoder("resnet18", rng);
+    enc.backbone->set_mode(nn::Mode::kTrain);
+    for (int i = 0; i < 8; ++i) {
+      enc.forward(Tensor::uniform(Shape{4, 3, kH, kW}, rng));
+      enc.backbone->clear_cache();
+    }
+    enc.backbone->set_mode(nn::Mode::kEval);
+    std::string p = testing::TempDir() + "cq_serve_ckpt.bin";
+    models::save_module(p, *enc.backbone);
+    return p;
+  }();
+  return path;
+}
+
+/// Fresh encoder loaded from the shared checkpoint (full precision, eval).
+models::Encoder load_reference() {
+  Rng rng(1);
+  auto enc = models::make_encoder("resnet18", rng);
+  models::load_module(checkpoint_path(), *enc.backbone);
+  enc.policy->set_full_precision();
+  enc.backbone->set_mode(nn::Mode::kEval);
+  return enc;
+}
+
+serve::EngineConfig base_config() {
+  serve::EngineConfig cfg;
+  cfg.checkpoint = checkpoint_path();
+  cfg.arch = "resnet18";
+  cfg.in_channels = 3;
+  cfg.in_h = kH;
+  cfg.in_w = kW;
+  return cfg;
+}
+
+std::vector<Tensor> make_inputs(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Tensor> inputs;
+  for (std::size_t i = 0; i < n; ++i)
+    inputs.push_back(Tensor::uniform(Shape{1, 3, kH, kW}, rng, -1.0f, 1.0f));
+  return inputs;
+}
+
+TEST(Fp32Compile, MatchesEvalForwardWithinTolerance) {
+  auto enc = load_reference();
+  Rng rng(11);
+  Tensor x = Tensor::uniform(Shape{3, 3, kH, kW}, rng, -1.0f, 1.0f);
+  const Tensor want = enc.forward(x);
+  auto net = serve::compile_fp32(*enc.backbone);
+  const Tensor& got = net.forward(x);
+  ASSERT_TRUE(want.same_shape(got));
+  float scale = 1e-6f;
+  for (std::int64_t i = 0; i < want.numel(); ++i)
+    scale = std::max(scale, std::fabs(want[i]));
+  for (std::int64_t i = 0; i < want.numel(); ++i)
+    EXPECT_NEAR(want[i], got[i], 1e-3f * scale) << "element " << i;
+}
+
+TEST(Fp32Compile, BatchForwardBitwiseEqualsSingles) {
+  auto enc = load_reference();
+  auto net = serve::compile_fp32(*enc.backbone);
+  const auto inputs = make_inputs(5, 12);
+  Tensor batch(Shape{5, 3, kH, kW});
+  for (std::size_t i = 0; i < inputs.size(); ++i)
+    for (std::int64_t j = 0; j < inputs[i].numel(); ++j)
+      batch[static_cast<std::int64_t>(i) * inputs[i].numel() + j] =
+          inputs[i][j];
+  Tensor batched = net.forward(batch);  // copy before scratch reuse
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const Tensor& single = net.forward(inputs[i]);
+    for (std::int64_t c = 0; c < single.dim(1); ++c)
+      EXPECT_EQ(batched.at(static_cast<std::int64_t>(i), c),
+                single.at(0, c))
+          << "sample " << i << " feature " << c;
+  }
+}
+
+TEST(RequestQueue, FailsFastWhenFull) {
+  serve::RequestQueue q(2);
+  serve::Request a, b, c;
+  EXPECT_TRUE(q.try_push(&a));
+  EXPECT_TRUE(q.try_push(&b));
+  EXPECT_FALSE(q.try_push(&c));  // full: immediate rejection, no block
+  EXPECT_EQ(q.depth(), 2u);
+  EXPECT_EQ(q.peak_depth(), 2u);
+}
+
+TEST(RequestQueue, PopBatchDrainsThenSignalsClose) {
+  serve::RequestQueue q(8);
+  serve::Request a, b;
+  ASSERT_TRUE(q.try_push(&a));
+  ASSERT_TRUE(q.try_push(&b));
+  q.close();
+  EXPECT_FALSE(q.try_push(&a));  // closed: no new admissions
+  std::vector<serve::Request*> out;
+  // Already-queued requests still drain after close.
+  EXPECT_EQ(q.pop_batch(out, 8, std::chrono::microseconds(0)), 2u);
+  EXPECT_EQ(q.pop_batch(out, 8, std::chrono::microseconds(0)), 0u);
+}
+
+TEST(LatencyHistogram, PercentilesAndMerge) {
+  serve::LatencyHistogram h;
+  for (std::uint64_t us = 1; us <= 1000; ++us) h.record(us);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.max_micros(), 1000u);
+  const double p50 = h.percentile(50.0), p99 = h.percentile(99.0);
+  EXPECT_GT(p50, 300.0);   // log buckets: ~19% relative error allowed
+  EXPECT_LT(p50, 700.0);
+  EXPECT_GT(p99, 800.0);
+  EXPECT_LE(p99, 1000.0);
+  EXPECT_GE(p99, p50);
+  serve::LatencyHistogram other;
+  other.record(5000);
+  h.merge(other);
+  EXPECT_EQ(h.count(), 1001u);
+  EXPECT_EQ(h.max_micros(), 5000u);
+}
+
+TEST(Engine, ServesCorrectFeaturesBitwise) {
+  auto cfg = base_config();
+  cfg.workers = 1;
+  cfg.max_batch = 4;
+  serve::Engine engine(cfg);
+  ASSERT_EQ(engine.feature_dim(), 64);
+
+  const auto inputs = make_inputs(6, 13);
+  std::vector<serve::Request> reqs(6);
+  std::vector<std::vector<float>> outs(
+      6, std::vector<float>(static_cast<std::size_t>(engine.feature_dim())));
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    reqs[i].input = inputs[i].data();
+    reqs[i].output = outs[i].data();
+    ASSERT_TRUE(engine.submit(&reqs[i]));
+  }
+  for (auto& r : reqs) EXPECT_EQ(r.wait(), serve::Status::kOk);
+  engine.stop();
+
+  // Ground truth: the same compiled fp32 path, one sample at a time.
+  auto enc = load_reference();
+  auto net = serve::compile_fp32(*enc.backbone);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const Tensor& want = net.forward(inputs[i]);
+    for (std::int64_t c = 0; c < engine.feature_dim(); ++c)
+      EXPECT_EQ(outs[i][static_cast<std::size_t>(c)], want.at(0, c))
+          << "request " << i << " feature " << c;
+  }
+
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.submitted, 6u);
+  EXPECT_EQ(stats.served, 6u);
+  EXPECT_EQ(stats.timed_out, 0u);
+  EXPECT_GE(stats.batches, 1u);
+}
+
+TEST(Engine, DynamicBatchingCoalescesBursts) {
+  auto cfg = base_config();
+  cfg.workers = 1;
+  cfg.max_batch = 8;
+  // Generous window: the whole burst must land in few batches.
+  cfg.max_wait = std::chrono::microseconds(200000);
+  serve::Engine engine(cfg);
+
+  const auto inputs = make_inputs(8, 14);
+  std::vector<serve::Request> reqs(8);
+  std::vector<std::vector<float>> outs(
+      8, std::vector<float>(static_cast<std::size_t>(engine.feature_dim())));
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    reqs[i].input = inputs[i].data();
+    reqs[i].output = outs[i].data();
+    ASSERT_TRUE(engine.submit(&reqs[i]));
+  }
+  for (auto& r : reqs) EXPECT_EQ(r.wait(), serve::Status::kOk);
+  const auto stats = engine.stats();
+  engine.stop();
+
+  // The burst was submitted well inside the batching window, so at least
+  // one multi-request batch must have formed...
+  EXPECT_GE(stats.max_batch_seen, 2u);
+  EXPECT_LE(stats.batches, 7u);
+  // ...and batching must not have changed a single bit of any result.
+  auto enc = load_reference();
+  auto net = serve::compile_fp32(*enc.backbone);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const Tensor& want = net.forward(inputs[i]);
+    for (std::int64_t c = 0; c < engine.feature_dim(); ++c)
+      EXPECT_EQ(outs[i][static_cast<std::size_t>(c)], want.at(0, c));
+  }
+}
+
+TEST(Engine, ExpiredDeadlineTimesOutWithoutForwarding) {
+  auto cfg = base_config();
+  cfg.workers = 1;
+  serve::Engine engine(cfg);
+
+  const auto inputs = make_inputs(1, 15);
+  std::vector<float> out(static_cast<std::size_t>(engine.feature_dim()),
+                         -42.0f);
+  serve::Request r;
+  r.input = inputs[0].data();
+  r.output = out.data();
+  r.deadline = serve::Clock::now() - std::chrono::milliseconds(1);
+  ASSERT_TRUE(engine.submit(&r));
+  EXPECT_EQ(r.wait(), serve::Status::kTimeout);
+  engine.stop();
+
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.timed_out, 1u);
+  EXPECT_EQ(stats.served, 0u);
+  EXPECT_EQ(stats.batches, 0u);  // never reached a model
+  for (float v : out) EXPECT_EQ(v, -42.0f);  // output untouched
+}
+
+TEST(Engine, BackpressureFailsFastAndShutdownDrains) {
+  auto cfg = base_config();
+  cfg.workers = 0;  // nothing consumes: the queue saturates deterministically
+  cfg.queue_capacity = 4;
+  cfg.prewarm = false;
+  serve::Engine engine(cfg);
+
+  const auto inputs = make_inputs(5, 16);
+  std::vector<serve::Request> reqs(5);
+  std::vector<std::vector<float>> outs(
+      5, std::vector<float>(static_cast<std::size_t>(engine.feature_dim())));
+  for (std::size_t i = 0; i < 4; ++i) {
+    reqs[i].input = inputs[i].data();
+    reqs[i].output = outs[i].data();
+    EXPECT_TRUE(engine.submit(&reqs[i]));
+  }
+  reqs[4].input = inputs[4].data();
+  reqs[4].output = outs[4].data();
+  EXPECT_FALSE(engine.submit(&reqs[4]));  // full: fail fast, no completion
+  EXPECT_EQ(reqs[4].status(), serve::Status::kPending);
+
+  engine.stop();  // accepted-but-unrunnable requests fail with kShutdown
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_EQ(reqs[i].wait(), serve::Status::kShutdown);
+  EXPECT_FALSE(engine.submit(&reqs[4]));  // stopped: no new admissions
+
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.submitted, 4u);
+  EXPECT_EQ(stats.rejected_full, 2u);  // the overflow + the post-stop submit
+  EXPECT_EQ(stats.shutdown_failed, 4u);
+  EXPECT_EQ(stats.queue_peak_depth, 4u);
+}
+
+TEST(Engine, ZeroAllocSteadyState) {
+  auto cfg = base_config();
+  cfg.workers = 1;
+  cfg.max_batch = 4;
+  cfg.prewarm = true;
+  serve::Engine engine(cfg);
+
+  const auto inputs = make_inputs(4, 17);
+  std::vector<std::vector<float>> outs(
+      4, std::vector<float>(static_cast<std::size_t>(engine.feature_dim())));
+  for (int burst = 0; burst < 5; ++burst) {
+    std::vector<serve::Request> reqs(4);
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      reqs[i].input = inputs[i].data();
+      reqs[i].output = outs[i].data();
+      ASSERT_TRUE(engine.submit(&reqs[i]));
+    }
+    for (auto& r : reqs) ASSERT_EQ(r.wait(), serve::Status::kOk);
+  }
+  engine.stop();
+
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.served, 20u);
+  // Prewarm paid for every buffer; serving itself must never hit the heap.
+  EXPECT_GT(stats.warmup_heap_allocs, 0u);
+  EXPECT_EQ(stats.steady_heap_allocs, 0u);
+}
+
+TEST(Engine, Int8InstanceServesBitwiseEqualToSingleSample) {
+  auto cfg = base_config();
+  cfg.workers = 1;
+  cfg.instance = serve::InstanceKind::kInt8;
+  cfg.max_batch = 4;
+  serve::Engine engine(cfg);
+
+  const auto inputs = make_inputs(4, 18);
+  std::vector<serve::Request> reqs(4);
+  std::vector<std::vector<float>> outs(
+      4, std::vector<float>(static_cast<std::size_t>(engine.feature_dim())));
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    reqs[i].input = inputs[i].data();
+    reqs[i].output = outs[i].data();
+    ASSERT_TRUE(engine.submit(&reqs[i]));
+  }
+  for (auto& r : reqs) EXPECT_EQ(r.wait(), serve::Status::kOk);
+  engine.stop();
+
+  auto enc = load_reference();
+  const auto net = deploy::compile_int8(*enc.backbone);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const Tensor want = net.forward(inputs[i]);
+    for (std::int64_t c = 0; c < engine.feature_dim(); ++c)
+      EXPECT_EQ(outs[i][static_cast<std::size_t>(c)], want.at(0, c))
+          << "request " << i << " feature " << c;
+  }
+}
+
+TEST(Engine, MultiWorkerServesEveryRequestCorrectly) {
+  auto cfg = base_config();
+  cfg.workers = 2;
+  cfg.max_batch = 4;
+  serve::Engine engine(cfg);
+
+  const auto inputs = make_inputs(12, 19);
+  std::vector<serve::Request> reqs(12);
+  std::vector<std::vector<float>> outs(
+      12, std::vector<float>(static_cast<std::size_t>(engine.feature_dim())));
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    reqs[i].input = inputs[i].data();
+    reqs[i].output = outs[i].data();
+    ASSERT_TRUE(engine.submit(&reqs[i]));
+  }
+  for (auto& r : reqs) EXPECT_EQ(r.wait(), serve::Status::kOk);
+  engine.stop();
+
+  auto enc = load_reference();
+  auto net = serve::compile_fp32(*enc.backbone);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const Tensor& want = net.forward(inputs[i]);
+    for (std::int64_t c = 0; c < engine.feature_dim(); ++c)
+      EXPECT_EQ(outs[i][static_cast<std::size_t>(c)], want.at(0, c))
+          << "request " << i;
+  }
+  EXPECT_EQ(engine.stats().served, 12u);
+}
+
+TEST(Engine, StatsJsonIsWellFormed) {
+  auto cfg = base_config();
+  cfg.workers = 1;
+  serve::Engine engine(cfg);
+
+  const auto inputs = make_inputs(2, 20);
+  std::vector<serve::Request> reqs(2);
+  std::vector<std::vector<float>> outs(
+      2, std::vector<float>(static_cast<std::size_t>(engine.feature_dim())));
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    reqs[i].input = inputs[i].data();
+    reqs[i].output = outs[i].data();
+    ASSERT_TRUE(engine.submit(&reqs[i]));
+  }
+  for (auto& r : reqs) EXPECT_EQ(r.wait(), serve::Status::kOk);
+  engine.stop();
+
+  const std::string json = engine.stats_json();
+  std::int64_t depth = 0;
+  for (char ch : json) {
+    if (ch == '{') ++depth;
+    if (ch == '}') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  for (const char* key :
+       {"\"submitted\"", "\"served\"", "\"throughput_rps\"",
+        "\"queue_latency\"", "\"total_latency\"", "\"p50_us\"", "\"p99_us\"",
+        "\"steady_heap_allocs\"", "\"mean_batch_size\""})
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+}
+
+TEST(Engine, RejectsCorruptCheckpoint) {
+  auto cfg = base_config();
+  cfg.checkpoint = testing::TempDir() + "cq_serve_missing.bin";
+  EXPECT_THROW(serve::Engine engine(cfg), CheckError);
+}
+
+}  // namespace
+}  // namespace cq

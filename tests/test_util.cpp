@@ -219,6 +219,40 @@ TEST(Serialize, RejectsBadMagic) {
   std::filesystem::remove(path);
 }
 
+TEST(Serialize, ExpectEofAcceptsCleanEnd) {
+  const std::string path = "test_ser_eof.bin";
+  {
+    BinaryWriter w(path);
+    write_checkpoint_header(w);
+    w.write_u32(42);
+    w.close();
+  }
+  BinaryReader r(path);
+  read_checkpoint_header(r);
+  EXPECT_EQ(r.read_u32(), 42u);
+  EXPECT_NO_THROW(r.expect_eof());
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, ExpectEofRejectsTrailingBytes) {
+  // An oversized file means the reader's idea of the format disagrees with
+  // the writer's — load must fail loudly, not silently ignore the tail.
+  const std::string path = "test_ser_tail.bin";
+  {
+    BinaryWriter w(path);
+    write_checkpoint_header(w);
+    w.write_u32(42);
+    w.close();
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << '\0';
+  }
+  BinaryReader r(path);
+  read_checkpoint_header(r);
+  EXPECT_EQ(r.read_u32(), 42u);
+  EXPECT_THROW(r.expect_eof(), CheckError);
+  std::filesystem::remove(path);
+}
+
 TEST(Serialize, RejectsTruncatedFile) {
   const std::string path = "test_ser_trunc.bin";
   {
