@@ -8,14 +8,17 @@
 // allocations per iteration once the pool is warm. The headline number is
 // the steady-state reduction vs the cold baseline.
 //
-// Usage: pipeline_alloc [--json=PATH]   (JSON is the BENCH_pipeline.json
-// checked into the repo root; regenerate after touching tensor/nn/quant).
+// Usage: pipeline_alloc [--json=PATH] [--trace=PATH]   (JSON is the
+// BENCH_pipeline.json checked into the repo root; regenerate after touching
+// tensor/nn/quant. --trace enables the scoped-span tracer and writes a
+// chrome://tracing document covering every variant's run.)
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "core/simclr.hpp"
+#include "core/trace.hpp"
 #include "data/synth.hpp"
 #include "tensor/storage.hpp"
 #include "util/table.hpp"
@@ -118,7 +121,9 @@ void write_json(const std::string& path,
         static_cast<unsigned long long>(r.pool_misses),
         i + 1 < results.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  // Aggregate profiler table, cumulative over every variant above: where
+  // the iteration time actually goes (gemm, pack, im2col, augment, ...).
+  std::fprintf(f, "  ],\n  \"profile\": %s\n}\n", prof::json().c_str());
   std::fclose(f);
   std::printf("wrote %s\n", path.c_str());
 }
@@ -126,10 +131,12 @@ void write_json(const std::string& path,
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string json_path;
+  std::string json_path, trace_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) trace_path = argv[i] + 8;
   }
+  if (!trace_path.empty()) trace::enable(true);
 
   auto scfg = data::synth_cifar_config();
   Rng data_rng(scfg.seed);
@@ -153,5 +160,14 @@ int main(int argc, char** argv) {
   }
 
   if (!json_path.empty()) write_json(json_path, results);
+  if (!trace_path.empty()) {
+    trace::enable(false);
+    if (trace_export::chrome(trace_path))
+      std::printf("wrote %s (%zu spans, %llu dropped)\n", trace_path.c_str(),
+                  trace::span_count(),
+                  static_cast<unsigned long long>(trace::dropped()));
+    else
+      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+  }
   return 0;
 }

@@ -14,7 +14,10 @@
 // equal-or-better p99 while doing it (on one core the win comes from
 // amortizing GEMM weight packing and per-call overhead across the batch,
 // not from parallelism). `--json=PATH` writes BENCH_serve.json;
-// `--smoke` runs the equivalence gates plus a short burst (CI, TSan).
+// `--smoke` runs the equivalence gates plus a short burst (CI, TSan);
+// `--trace=PATH` enables the scoped-span tracer and writes a
+// chrome://tracing document covering the whole load (worker threads show as
+// separate tids; forward/collate spans carry the batch width under args.n).
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -24,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/trace.hpp"
 #include "deploy/int8.hpp"
 #include "models/encoder.hpp"
 #include "serve/engine.hpp"
@@ -255,7 +259,10 @@ void write_json(const std::string& path, const KindResult& fp32,
                static_cast<long long>(kH), static_cast<long long>(kW),
                static_cast<unsigned long long>(kClients), kWindow, kRounds);
   emit(fp32, ",");
-  emit(int8, "");
+  emit(int8, ",");
+  // Aggregate profiler table, cumulative over both kinds and all rounds:
+  // per-phase serve-pipeline and kernel wall time.
+  std::fprintf(f, "  \"profile\": %s\n", prof::json().c_str());
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote %s\n", path.c_str());
@@ -285,22 +292,38 @@ int smoke(const std::string& checkpoint) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string json_path;
+  std::string json_path, trace_path;
   bool smoke_only = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) trace_path = argv[i] + 8;
     if (std::strcmp(argv[i], "--smoke") == 0) smoke_only = true;
   }
+  if (!trace_path.empty()) trace::enable(true);
 
   const std::string checkpoint = make_checkpoint();
-  if (smoke_only) return smoke(checkpoint);
+  int rc;
+  if (smoke_only) {
+    rc = smoke(checkpoint);
+  } else {
+    const auto fp32 =
+        bench_kind(checkpoint, serve::InstanceKind::kFp32, kClients, 38);
+    const auto int8 =
+        bench_kind(checkpoint, serve::InstanceKind::kInt8, kClients, 9);
+    rc = fp32.equivalent && int8.equivalent ? 0 : 1;
+    if (rc == 0 && !json_path.empty()) write_json(json_path, fp32, int8);
+  }
 
-  const auto fp32 =
-      bench_kind(checkpoint, serve::InstanceKind::kFp32, kClients, 38);
-  const auto int8 =
-      bench_kind(checkpoint, serve::InstanceKind::kInt8, kClients, 9);
-  if (!fp32.equivalent || !int8.equivalent) return 1;
-
-  if (!json_path.empty()) write_json(json_path, fp32, int8);
-  return 0;
+  if (!trace_path.empty()) {
+    // Export at a quiescent point: every Engine above has been stopped (its
+    // destructor joins the workers), so all rings are complete.
+    trace::enable(false);
+    if (trace_export::chrome(trace_path))
+      std::printf("wrote %s (%zu spans, %llu dropped)\n", trace_path.c_str(),
+                  trace::span_count(),
+                  static_cast<unsigned long long>(trace::dropped()));
+    else
+      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+  }
+  return rc;
 }

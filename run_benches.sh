@@ -7,36 +7,92 @@
 #   BENCH_kernels.json   SIMD kernel layer: fused epilogues, quantize-on-pack
 #   BENCH_serve.json     serving engine: dynamic batching vs serial baseline
 #
-#   ./run_benches.sh          build ./build if needed, run benches + JSONs
-#   ./run_benches.sh --check  correctness sweep instead of benches: substrate
-#                             + kernel tests under ASan+UBSan (`sanitize`
-#                             preset), under the portable scalar kernel
-#                             backend (`scalar` preset, CQ_SCALAR_KERNELS=ON),
-#                             and the serve-labeled threaded tests under
-#                             ThreadSanitizer (`tsan` preset)
+#   ./run_benches.sh            build ./build if needed, run benches + JSONs
+#   ./run_benches.sh --check    correctness sweep instead of benches:
+#                               substrate + kernel tests under ASan+UBSan
+#                               (`sanitize` preset), under the portable scalar
+#                               kernel backend (`scalar` preset,
+#                               CQ_SCALAR_KERNELS=ON), and the serve-labeled
+#                               threaded tests under ThreadSanitizer (`tsan`
+#                               preset). Configures any preset whose build
+#                               tree is missing.
+#   ./run_benches.sh --ci-gate  CI perf gate: run the bench-labeled ctest
+#                               smokes, regenerate the four bench JSONs into
+#                               bench_out/, and compare each against the
+#                               checked-in repo-root baseline with
+#                               tools/bench_check at ±30% on the
+#                               machine-portable metrics. Non-zero exit on
+#                               any smoke failure or regression.
+#
+# Any other flag is an error (exit 2) — CI must not silently fall through to
+# the multi-hour full bench run because of a typo.
 #
 # Scale knobs below trade runtime for statistical polish; unset them for a
 # full-scale run.
 set -u
 cd "$(dirname "$0")"
 
-if [ "${1:-}" = "--check" ]; then
+# Configure a preset only when its build tree has no cache yet, so repeated
+# sweeps skip the cmake re-run and a half-deleted tree self-heals.
+configure_if_missing() { # preset builddir
+  if [ ! -f "$2/CMakeCache.txt" ]; then
+    cmake --preset "$1"
+  fi
+}
+
+case "${1:-}" in
+--check)
   set -e
   echo "=== sanitize preset (ASan+UBSan, substrate + kernel tests) ==="
-  cmake --preset sanitize
+  configure_if_missing sanitize build-sanitize
   cmake --build --preset sanitize -j"$(nproc)"
   ctest --preset sanitize -j"$(nproc)"
   echo "=== scalar preset (CQ_SCALAR_KERNELS=ON, portable backend) ==="
-  cmake --preset scalar
+  configure_if_missing scalar build-scalar
   cmake --build --preset scalar -j"$(nproc)"
   ctest --preset scalar -j"$(nproc)"
   echo "=== tsan preset (ThreadSanitizer, serve-labeled tests) ==="
-  cmake --preset tsan
+  configure_if_missing tsan build-tsan
   cmake --build --preset tsan -j"$(nproc)"
   ctest --preset tsan -j"$(nproc)"
   echo ALL_CHECKS_DONE
   exit 0
-fi
+  ;;
+--ci-gate)
+  set -e
+  configure_if_missing default build
+  cmake --build --preset default -j"$(nproc)"
+  echo "=== bench-labeled ctest smokes ==="
+  ctest --preset default -L bench
+  echo "=== regenerating bench JSONs into bench_out/ ==="
+  mkdir -p bench_out
+  ./build/bench/micro_kernels --gemm_json=bench_out/BENCH_gemm.json \
+    2> bench_out/gemm_json.err
+  ./build/bench/pipeline_alloc --json=bench_out/BENCH_pipeline.json \
+    > bench_out/pipeline_json.txt 2>&1
+  ./build/bench/kernels --json=bench_out/BENCH_kernels.json \
+    2> bench_out/kernels_json.err
+  ./build/bench/serve --json=bench_out/BENCH_serve.json \
+    > bench_out/serve_json.txt 2>&1
+  echo "=== comparing against repo-root baselines ==="
+  status=0
+  for b in gemm pipeline kernels serve; do
+    ./build/src/cq_bench_check "bench_out/BENCH_${b}.json" \
+      "BENCH_${b}.json" || status=1
+  done
+  if [ "$status" -ne 0 ]; then
+    echo "CI_GATE_REGRESSION" >&2
+    exit 1
+  fi
+  echo CI_GATE_OK
+  exit 0
+  ;;
+"") ;;
+*)
+  echo "run_benches.sh: unknown flag '$1' (expected --check or --ci-gate)" >&2
+  exit 2
+  ;;
+esac
 
 export CQ_FT_EPOCHS=${CQ_FT_EPOCHS:-10}
 export CQ_DET_EPOCHS=${CQ_DET_EPOCHS:-20}

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/losses.hpp"
+#include "core/trace.hpp"
 #include "models/heads.hpp"
 #include "optim/schedule.hpp"
 #include "optim/sgd.hpp"
@@ -77,10 +78,15 @@ PretrainStats ByolCqTrainer::train(const data::Dataset& dataset) {
     const auto epoch_iter_start = stats.iterations;
     double epoch_loss = 0.0;
     for (std::int64_t it = 0; it < iters_per_epoch; ++it, ++step) {
+      CQ_TRACE_SCOPE_N("byol.iteration", step);
       sgd.set_lr(schedule.lr_at(step));
       const auto idx = batcher.next();
-      const Tensor v1 = augment.batch(dataset, idx, rng_);
-      const Tensor v2 = augment.batch(dataset, idx, rng_);
+      Tensor v1, v2;
+      {
+        CQ_TRACE_SCOPE("byol.augment");
+        v1 = augment.batch(dataset, idx, rng_);
+        v2 = augment.batch(dataset, idx, rng_);
+      }
 
       std::vector<int> precisions = {quant::kFullPrecisionBits};
       if (quantized) {
@@ -103,6 +109,7 @@ PretrainStats ByolCqTrainer::train(const data::Dataset& dataset) {
       std::vector<Branch> branches;
       std::vector<Tensor> targets;  // matching target projections
       for (int bits : precisions) {
+        CQ_TRACE_SCOPE_N("byol.forward", bits);
         online_.policy->set_bits(bits);
         target_.policy->set_bits(bits);
         for (const Tensor* view : {&v1, &v2}) {
@@ -120,31 +127,40 @@ PretrainStats ByolCqTrainer::train(const data::Dataset& dataset) {
       target_.policy->set_full_precision();
 
       float loss = 0.0f;
-      for (std::size_t k = 0; k < branches.size(); ++k) {
-        PairLoss term = byol_mse(branches[k].z, targets[k]);
-        loss += term.value;
-        branches[k].grad_z.add_(term.grad_a);
-      }
-      if (quantized && branches.size() == 4) {
-        // CQ-C cross-precision consistency: same view, different precision.
-        const std::pair<std::size_t, std::size_t> cross_terms[] = {{0, 2},
-                                                                   {1, 3}};
-        for (const auto& [a, b] : cross_terms) {
-          PairLoss term = symmetric_mse(branches[a].z, branches[b].z);
+      {
+        CQ_TRACE_SCOPE("byol.loss");
+        for (std::size_t k = 0; k < branches.size(); ++k) {
+          PairLoss term = byol_mse(branches[k].z, targets[k]);
           loss += term.value;
-          branches[a].grad_z.add_(term.grad_a);
-          branches[b].grad_z.add_(term.grad_b);
+          branches[k].grad_z.add_(term.grad_a);
+        }
+        if (quantized && branches.size() == 4) {
+          // CQ-C cross-precision consistency: same view, different precision.
+          const std::pair<std::size_t, std::size_t> cross_terms[] = {{0, 2},
+                                                                     {1, 3}};
+          for (const auto& [a, b] : cross_terms) {
+            PairLoss term = symmetric_mse(branches[a].z, branches[b].z);
+            loss += term.value;
+            branches[a].grad_z.add_(term.grad_a);
+            branches[b].grad_z.add_(term.grad_b);
+          }
         }
       }
 
-      for (auto it_b = branches.rbegin(); it_b != branches.rend(); ++it_b) {
-        Tensor g = predictor_->backward(it_b->grad_z);
-        g = proj_online_->backward(g);
-        online_.backbone->backward(g);
+      {
+        CQ_TRACE_SCOPE("byol.backward");
+        for (auto it_b = branches.rbegin(); it_b != branches.rend(); ++it_b) {
+          Tensor g = predictor_->backward(it_b->grad_z);
+          g = proj_online_->backward(g);
+          online_.backbone->backward(g);
+        }
       }
-      sgd.step();
-      nn::ema_update(*online_.backbone, *target_.backbone, config_.byol_ema);
-      nn::ema_update(*proj_online_, *proj_target_, config_.byol_ema);
+      {
+        CQ_TRACE_SCOPE("byol.step");
+        sgd.step();
+        nn::ema_update(*online_.backbone, *target_.backbone, config_.byol_ema);
+        nn::ema_update(*proj_online_, *proj_target_, config_.byol_ema);
+      }
 
       stats.max_grad_norm =
           std::max(stats.max_grad_norm, sgd.last_grad_norm());

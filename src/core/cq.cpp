@@ -3,6 +3,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "core/prof.hpp"
 #include "tensor/storage.hpp"
 #include "util/check.hpp"
 
@@ -44,6 +45,7 @@ void AllocTracker::finish(PretrainStats& stats) const {
     stats.steady_allocs_per_iteration =
         static_cast<double>(epoch_allocs_.back()) /
         static_cast<double>(last_epoch_iterations_);
+  stats.profile_json = prof::json();
 }
 
 std::string variant_name(CqVariant variant) {

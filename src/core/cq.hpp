@@ -98,6 +98,11 @@ struct PretrainStats {
   double steady_allocs_per_iteration = 0.0;
   /// Wall-clock seconds per epoch (for ms/iteration reporting).
   std::vector<double> epoch_seconds;
+
+  /// Aggregate profiler table (core/prof.hpp json()) captured when the run
+  /// finished. Cumulative across the process — callers wanting a per-run
+  /// view call prof::reset() before train().
+  std::string profile_json;
 };
 
 /// Captures tensor::alloc_stats() deltas over a pretraining run so every

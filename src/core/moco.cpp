@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/losses.hpp"
+#include "core/trace.hpp"
 #include "models/heads.hpp"
 #include "optim/schedule.hpp"
 #include "optim/sgd.hpp"
@@ -85,10 +86,15 @@ PretrainStats MocoCqTrainer::train(const data::Dataset& dataset) {
     const auto epoch_iter_start = stats.iterations;
     double epoch_loss = 0.0;
     for (std::int64_t it = 0; it < iters_per_epoch; ++it, ++step) {
+      CQ_TRACE_SCOPE_N("moco.iteration", step);
       sgd.set_lr(schedule.lr_at(step));
       const auto idx = batcher.next();
-      const Tensor v_query = augment.batch(dataset, idx, rng_);
-      const Tensor v_key = augment.batch(dataset, idx, rng_);
+      Tensor v_query, v_key;
+      {
+        CQ_TRACE_SCOPE("moco.augment");
+        v_query = augment.batch(dataset, idx, rng_);
+        v_key = augment.batch(dataset, idx, rng_);
+      }
 
       int q1 = quant::kFullPrecisionBits, q2 = quant::kFullPrecisionBits;
       if (quantized) {
@@ -103,21 +109,36 @@ PretrainStats MocoCqTrainer::train(const data::Dataset& dataset) {
         }
       }
 
-      query_.policy->set_bits(q1);
-      Tensor q = proj_query_->forward(query_.forward(v_query));
-      query_.policy->set_full_precision();
+      Tensor q, k;
+      {
+        CQ_TRACE_SCOPE_N("moco.forward", q1);
+        query_.policy->set_bits(q1);
+        q = proj_query_->forward(query_.forward(v_query));
+        query_.policy->set_full_precision();
+      }
+      {
+        CQ_TRACE_SCOPE_N("moco.forward", q2);
+        key_.policy->set_bits(q2);
+        k = proj_key_->forward(key_.forward(v_key));
+        key_.policy->set_full_precision();
+      }
 
-      key_.policy->set_bits(q2);
-      Tensor k = proj_key_->forward(key_.forward(v_key));
-      key_.policy->set_full_precision();
-
-      PairLoss loss = info_nce_queue(q, k, queue_, config_.tau);
-      query_.backbone->backward(proj_query_->backward(loss.grad_a));
-      sgd.step();
-
-      nn::ema_update(*query_.backbone, *key_.backbone, config_.byol_ema);
-      nn::ema_update(*proj_query_, *proj_key_, config_.byol_ema);
-      enqueue_keys(ops::l2_normalize_rows(k));
+      PairLoss loss;
+      {
+        CQ_TRACE_SCOPE("moco.loss");
+        loss = info_nce_queue(q, k, queue_, config_.tau);
+      }
+      {
+        CQ_TRACE_SCOPE("moco.backward");
+        query_.backbone->backward(proj_query_->backward(loss.grad_a));
+      }
+      {
+        CQ_TRACE_SCOPE("moco.step");
+        sgd.step();
+        nn::ema_update(*query_.backbone, *key_.backbone, config_.byol_ema);
+        nn::ema_update(*proj_query_, *proj_key_, config_.byol_ema);
+        enqueue_keys(ops::l2_normalize_rows(k));
+      }
 
       stats.max_grad_norm =
           std::max(stats.max_grad_norm, sgd.last_grad_norm());

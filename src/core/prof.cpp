@@ -1,0 +1,149 @@
+#include "core/prof.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+
+namespace cq::prof {
+
+struct Counter::Totals {
+  std::atomic<std::uint64_t> calls{0};
+  std::atomic<std::uint64_t> ns{0};
+  std::atomic<std::uint64_t> bytes{0};
+  std::atomic<std::uint64_t> allocs{0};
+};
+
+// Meyers-singleton registry: safe to use from static initializers in other
+// translation units (storage.cpp registers the alloc source that way).
+struct Registry {
+  std::mutex mu;
+  std::deque<Counter> counters;  // deque: stable addresses
+  std::deque<Counter::Totals> totals;
+  std::unordered_map<std::string, Counter*> by_name;
+
+  static Registry& instance() {
+    static Registry r;
+    return r;
+  }
+};
+
+namespace {
+std::atomic<AllocSourceFn> g_alloc_source{nullptr};
+}  // namespace
+
+Counter& Counter::get(const char* name) {
+  Registry& r = Registry::instance();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.by_name.find(name);
+  if (it != r.by_name.end()) return *it->second;
+  r.counters.push_back(Counter(name));
+  r.totals.emplace_back();
+  Counter& c = r.counters.back();
+  c.totals_ = &r.totals.back();
+  r.by_name.emplace(name, &c);
+  return c;
+}
+
+void Counter::record(std::uint64_t ns, std::uint64_t bytes,
+                     std::uint64_t allocs) {
+  totals_->calls.fetch_add(1, std::memory_order_relaxed);
+  totals_->ns.fetch_add(ns, std::memory_order_relaxed);
+  if (bytes != 0) totals_->bytes.fetch_add(bytes, std::memory_order_relaxed);
+  if (allocs != 0)
+    totals_->allocs.fetch_add(allocs, std::memory_order_relaxed);
+}
+
+void Counter::count(std::uint64_t n) {
+  totals_->calls.fetch_add(n, std::memory_order_relaxed);
+}
+
+std::uint64_t Counter::calls() const {
+  return totals_->calls.load(std::memory_order_relaxed);
+}
+std::uint64_t Counter::total_ns() const {
+  return totals_->ns.load(std::memory_order_relaxed);
+}
+std::uint64_t Counter::bytes() const {
+  return totals_->bytes.load(std::memory_order_relaxed);
+}
+std::uint64_t Counter::heap_allocs() const {
+  return totals_->allocs.load(std::memory_order_relaxed);
+}
+
+void set_alloc_source(AllocSourceFn fn) {
+  g_alloc_source.store(fn, std::memory_order_release);
+}
+
+std::uint64_t thread_allocs() {
+  AllocSourceFn fn = g_alloc_source.load(std::memory_order_acquire);
+  return fn != nullptr ? fn() : 0;
+}
+
+void reset() {
+  Registry& r = Registry::instance();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (Counter::Totals& t : r.totals) {
+    t.calls.store(0, std::memory_order_relaxed);
+    t.ns.store(0, std::memory_order_relaxed);
+    t.bytes.store(0, std::memory_order_relaxed);
+    t.allocs.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<CounterSnapshot> snapshot() {
+  Registry& r = Registry::instance();
+  std::vector<CounterSnapshot> out;
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    out.reserve(r.counters.size());
+    for (const Counter& c : r.counters) {
+      if (c.calls() == 0) continue;
+      CounterSnapshot s;
+      s.name = c.name();
+      s.calls = c.calls();
+      s.total_ns = c.total_ns();
+      s.bytes = c.bytes();
+      s.heap_allocs = c.heap_allocs();
+      out.push_back(std::move(s));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CounterSnapshot& a, const CounterSnapshot& b) {
+              return a.total_ns > b.total_ns;
+            });
+  return out;
+}
+
+std::string json() {
+  const auto ops = snapshot();
+  std::ostringstream os;
+  os << "{\"ops\": [";
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const CounterSnapshot& s = ops[i];
+    const double total_ms = static_cast<double>(s.total_ns) / 1e6;
+    const double mean_us =
+        s.calls > 0 ? static_cast<double>(s.total_ns) /
+                          (1e3 * static_cast<double>(s.calls))
+                    : 0.0;
+    if (i) os << ", ";
+    os << "{\"op\": \"" << s.name << "\", \"calls\": " << s.calls
+       << ", \"total_ms\": " << total_ms << ", \"mean_us\": " << mean_us
+       << ", \"bytes\": " << s.bytes << ", \"heap_allocs\": " << s.heap_allocs
+       << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace cq::prof

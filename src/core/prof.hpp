@@ -1,0 +1,111 @@
+// Always-on aggregate profiler: per-op call counts, wall-ns, bytes moved,
+// and heap-allocation deltas, accumulated into named counters.
+//
+// Unlike the scoped-span tracer (core/trace.hpp), the profiler never records
+// individual events — each instrumented scope folds into four relaxed
+// atomic adds on a counter that is resolved ONCE per call site (function-
+// local static), so it stays on in every build and costs two clock reads
+// plus the atomics per scope. Counters are shared across threads; the
+// serving engine's workers therefore aggregate into the same table the
+// training loop writes, and snapshot() needs no merging step.
+//
+// Heap-allocation deltas come from an injected per-thread source
+// (set_alloc_source): tensor/storage.cpp registers its cumulative
+// heap-allocation counter at static-init time, keeping this layer free of
+// upward dependencies. A scope's alloc delta is only meaningful when the
+// scope begins and ends on the same thread — true for every RAII use.
+//
+// Typical use is via the macros in core/trace.hpp (CQ_TRACE_SCOPE and
+// friends), which pair a profiler counter with an optional trace span.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cq::prof {
+
+/// One named counter. Totals are relaxed atomics so any thread may record;
+/// reads (snapshot) are racy-but-monotone, exact at quiescent points.
+class Counter {
+ public:
+  /// Registry lookup (creates on first use). The returned reference is
+  /// stable for the process lifetime — call sites cache it in a static.
+  /// `name` must outlive the process (string literals).
+  static Counter& get(const char* name);
+
+  void record(std::uint64_t ns, std::uint64_t bytes, std::uint64_t allocs);
+  /// Bump the call count alone (instant events: cache hits, evictions).
+  void count(std::uint64_t n = 1);
+
+  const char* name() const { return name_; }
+  std::uint64_t calls() const;
+  std::uint64_t total_ns() const;
+  std::uint64_t bytes() const;
+  std::uint64_t heap_allocs() const;
+
+  /// Atomic total storage, defined in prof.cpp (kept out of the header so
+  /// <atomic> stays out of every instrumented translation unit's hot path).
+  struct Totals;
+
+ private:
+  friend struct Registry;
+  explicit Counter(const char* name) : name_(name) {}
+
+  const char* name_;
+  Totals* totals_ = nullptr;  // owned by the registry, never freed
+};
+
+struct CounterSnapshot {
+  std::string name;
+  std::uint64_t calls = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t heap_allocs = 0;
+};
+
+/// Per-thread cumulative heap-allocation count, e.g. the tensor pool's
+/// miss counter. Returns 0 until a source is registered.
+using AllocSourceFn = std::uint64_t (*)();
+void set_alloc_source(AllocSourceFn fn);
+std::uint64_t thread_allocs();
+
+/// Zero every counter (the registry and cached references stay valid).
+void reset();
+
+/// All counters with calls > 0, sorted by total_ns descending.
+std::vector<CounterSnapshot> snapshot();
+
+/// Aggregate table as JSON: {"ops": [{"op": name, "calls": c,
+/// "total_ms": t, "mean_us": m, "bytes": b, "heap_allocs": a}, ...]},
+/// sorted by total_ms descending. Embedded by the pretraining runners'
+/// stats and the serving engine / bench reports.
+std::string json();
+
+/// Monotonic nanosecond clock shared with the tracer.
+std::uint64_t now_ns();
+
+/// RAII scope accumulating into `c`: wall time, optional bytes, and the
+/// thread's heap-allocation delta. Construct via the CQ_TRACE_* /
+/// CQ_PROF_* macros in core/trace.hpp rather than directly.
+class ScopeTimer {
+ public:
+  explicit ScopeTimer(Counter& c, std::uint64_t bytes = 0)
+      : c_(c), bytes_(bytes), start_ns_(now_ns()), start_allocs_(thread_allocs()) {}
+  ~ScopeTimer() {
+    c_.record(now_ns() - start_ns_, bytes_, thread_allocs() - start_allocs_);
+  }
+  ScopeTimer(const ScopeTimer&) = delete;
+  ScopeTimer& operator=(const ScopeTimer&) = delete;
+
+  void add_bytes(std::uint64_t n) { bytes_ += n; }
+  std::uint64_t start_ns() const { return start_ns_; }
+
+ private:
+  Counter& c_;
+  std::uint64_t bytes_;
+  std::uint64_t start_ns_;
+  std::uint64_t start_allocs_;
+};
+
+}  // namespace cq::prof

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/losses.hpp"
+#include "core/trace.hpp"
 #include "models/heads.hpp"
 #include "optim/schedule.hpp"
 #include "optim/sgd.hpp"
@@ -67,6 +68,7 @@ PretrainStats SimClrCqTrainer::train(const data::Dataset& dataset) {
     const auto epoch_iter_start = stats.iterations;
     double epoch_loss = 0.0;
     for (std::int64_t it = 0; it < iters_per_epoch; ++it, ++step) {
+      CQ_TRACE_SCOPE_N("simclr.iteration", step);
       sgd.set_lr(schedule.lr_at(step));
       const auto idx = batcher.next();
 
@@ -91,8 +93,12 @@ PretrainStats SimClrCqTrainer::train(const data::Dataset& dataset) {
         Tensor grad_z;  // accumulated dL/dz
       };
       std::vector<Branch> branches;
-      const auto v1 = augment.batch(dataset, idx, rng_);
-      const auto v2 = augment.batch(dataset, idx, rng_);
+      Tensor v1, v2;
+      {
+        CQ_TRACE_SCOPE("simclr.augment");
+        v1 = augment.batch(dataset, idx, rng_);
+        v2 = augment.batch(dataset, idx, rng_);
+      }
       switch (config_.variant) {
         case CqVariant::kVanilla:
           branches.push_back({v1, quant::kFullPrecisionBits, {}, {}});
@@ -119,6 +125,7 @@ PretrainStats SimClrCqTrainer::train(const data::Dataset& dataset) {
 
       // Branch forwards (cache stacks build up in order).
       for (auto& branch : branches) {
+        CQ_TRACE_SCOPE_N("simclr.forward", branch.bits);
         encoder_.policy->set_bits(branch.bits);
         branch.z = projection_->forward(encoder_.forward(branch.view));
         branch.grad_z = Tensor::zeros(branch.z.shape());
@@ -134,29 +141,38 @@ PretrainStats SimClrCqTrainer::train(const data::Dataset& dataset) {
         branches[a].grad_z.add_(term.grad_a);
         branches[b].grad_z.add_(term.grad_b);
       };
-      switch (config_.variant) {
-        case CqVariant::kVanilla:
-        case CqVariant::kCqA:
-        case CqVariant::kCqQuant:
-          add_term(0, 1);
-          break;
-        case CqVariant::kCqB:
-          add_term(0, 1);  // NCE(f1, f1+)
-          add_term(2, 3);  // NCE(f2, f2+)
-          break;
-        case CqVariant::kCqC:
-          add_term(0, 1);  // NCE(f1, f1+)
-          add_term(2, 3);  // NCE(f2, f2+)
-          add_term(0, 2);  // NCE(f1, f2)
-          add_term(1, 3);  // NCE(f1+, f2+)
-          break;
+      {
+        CQ_TRACE_SCOPE("simclr.loss");
+        switch (config_.variant) {
+          case CqVariant::kVanilla:
+          case CqVariant::kCqA:
+          case CqVariant::kCqQuant:
+            add_term(0, 1);
+            break;
+          case CqVariant::kCqB:
+            add_term(0, 1);  // NCE(f1, f1+)
+            add_term(2, 3);  // NCE(f2, f2+)
+            break;
+          case CqVariant::kCqC:
+            add_term(0, 1);  // NCE(f1, f1+)
+            add_term(2, 3);  // NCE(f2, f2+)
+            add_term(0, 2);  // NCE(f1, f2)
+            add_term(1, 3);  // NCE(f1+, f2+)
+            break;
+        }
       }
 
       // Branch backwards in reverse order (LIFO cache contract).
-      for (auto it_b = branches.rbegin(); it_b != branches.rend(); ++it_b)
-        encoder_.backbone->backward(projection_->backward(it_b->grad_z));
+      {
+        CQ_TRACE_SCOPE("simclr.backward");
+        for (auto it_b = branches.rbegin(); it_b != branches.rend(); ++it_b)
+          encoder_.backbone->backward(projection_->backward(it_b->grad_z));
+      }
 
-      sgd.step();
+      {
+        CQ_TRACE_SCOPE("simclr.step");
+        sgd.step();
+      }
       stats.max_grad_norm = std::max(stats.max_grad_norm,
                                      sgd.last_grad_norm());
       epoch_loss += loss;

@@ -1,0 +1,209 @@
+#include "core/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+namespace cq::trace {
+
+namespace {
+
+constexpr std::size_t kDefaultRingCapacity = std::size_t{1} << 15;
+
+/// One thread's span ring. The owning thread writes under `mu` (taken only
+/// on the runtime-enabled path); readers (snapshot/export/reset) take the
+/// same mutex, so concurrent export is race-free — it just misses spans
+/// recorded after it passes the ring.
+struct ThreadBuf {
+  std::mutex mu;
+  std::vector<Span> ring;  // preallocated to capacity; slots overwritten
+  std::size_t head = 0;    // next write index
+  std::uint64_t total = 0;  // spans ever written since last reset
+  std::uint32_t depth = 0;  // current nesting depth (owner thread only)
+  std::uint32_t tid = 0;    // 1-based registration order
+};
+
+struct TraceState {
+  std::atomic<bool> enabled{false};
+  std::mutex registry_mu;
+  std::vector<std::shared_ptr<ThreadBuf>> bufs;
+  std::size_t ring_capacity = kDefaultRingCapacity;
+
+  static TraceState& instance() {
+    static TraceState s;
+    return s;
+  }
+};
+
+/// Shared ownership keeps a buffer exportable after its thread exits.
+ThreadBuf& thread_buf() {
+  thread_local std::shared_ptr<ThreadBuf> buf = [] {
+    TraceState& s = TraceState::instance();
+    auto b = std::make_shared<ThreadBuf>();
+    std::lock_guard<std::mutex> lock(s.registry_mu);
+    b->ring.resize(s.ring_capacity);
+    b->tid = static_cast<std::uint32_t>(s.bufs.size() + 1);
+    s.bufs.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+}  // namespace
+
+void enable(bool on) {
+  TraceState::instance().enabled.store(on, std::memory_order_release);
+}
+
+bool enabled() {
+  return TraceState::instance().enabled.load(std::memory_order_acquire);
+}
+
+void reset() {
+  TraceState& s = TraceState::instance();
+  std::lock_guard<std::mutex> lock(s.registry_mu);
+  for (auto& b : s.bufs) {
+    std::lock_guard<std::mutex> bl(b->mu);
+    b->head = 0;
+    b->total = 0;
+  }
+}
+
+void set_ring_capacity(std::size_t spans) {
+  TraceState& s = TraceState::instance();
+  std::lock_guard<std::mutex> lock(s.registry_mu);
+  s.ring_capacity = spans > 0 ? spans : 1;
+  for (auto& b : s.bufs) {
+    std::lock_guard<std::mutex> bl(b->mu);
+    b->ring.assign(s.ring_capacity, Span{});
+    b->head = 0;
+    b->total = 0;
+  }
+}
+
+std::size_t span_count() {
+  TraceState& s = TraceState::instance();
+  std::lock_guard<std::mutex> lock(s.registry_mu);
+  std::size_t n = 0;
+  for (auto& b : s.bufs) {
+    std::lock_guard<std::mutex> bl(b->mu);
+    n += static_cast<std::size_t>(
+        std::min<std::uint64_t>(b->total, b->ring.size()));
+  }
+  return n;
+}
+
+std::uint64_t dropped() {
+  TraceState& s = TraceState::instance();
+  std::lock_guard<std::mutex> lock(s.registry_mu);
+  std::uint64_t n = 0;
+  for (auto& b : s.bufs) {
+    std::lock_guard<std::mutex> bl(b->mu);
+    const auto cap = static_cast<std::uint64_t>(b->ring.size());
+    if (b->total > cap) n += b->total - cap;
+  }
+  return n;
+}
+
+std::vector<Span> snapshot() {
+  TraceState& s = TraceState::instance();
+  std::vector<Span> out;
+  {
+    std::lock_guard<std::mutex> lock(s.registry_mu);
+    for (auto& b : s.bufs) {
+      std::lock_guard<std::mutex> bl(b->mu);
+      const auto cap = static_cast<std::uint64_t>(b->ring.size());
+      const auto n = std::min<std::uint64_t>(b->total, cap);
+      // Oldest surviving span first: when wrapped, head is also the oldest.
+      const std::size_t start = b->total > cap ? b->head : 0;
+      for (std::uint64_t i = 0; i < n; ++i)
+        out.push_back(b->ring[(start + i) % cap]);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Span& a, const Span& b) {
+    if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+    if (a.end_ns != b.end_ns) return a.end_ns > b.end_ns;  // parent first
+    return a.depth < b.depth;
+  });
+  return out;
+}
+
+namespace detail {
+
+void record(const char* name, std::uint64_t start_ns, std::uint64_t end_ns,
+            std::int64_t arg) {
+  ThreadBuf& b = thread_buf();
+  std::lock_guard<std::mutex> lock(b.mu);
+  Span& s = b.ring[b.head];
+  s.name = name;
+  s.start_ns = start_ns;
+  s.end_ns = end_ns;
+  s.depth = b.depth;  // already back at the parent's depth (leave() ran)
+  s.tid = b.tid;
+  s.arg = arg;
+  b.head = (b.head + 1) % b.ring.size();
+  ++b.total;
+}
+
+std::uint32_t enter() { return thread_buf().depth++; }
+
+void leave() { --thread_buf().depth; }
+
+}  // namespace detail
+}  // namespace cq::trace
+
+namespace cq::trace_export {
+
+namespace {
+
+void append_events(std::string& out) {
+  const auto spans = trace::snapshot();
+  std::uint64_t t0 = 0;
+  for (const auto& s : spans)
+    if (t0 == 0 || s.start_ns < t0) t0 = s.start_ns;
+  char line[256];
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const trace::Span& s = spans[i];
+    const double ts = static_cast<double>(s.start_ns - t0) / 1e3;
+    const double dur = static_cast<double>(s.end_ns - s.start_ns) / 1e3;
+    int n;
+    if (s.arg != trace::Span::kNoArg) {
+      n = std::snprintf(line, sizeof(line),
+                        "{\"name\": \"%s\", \"cat\": \"cq\", \"ph\": \"X\", "
+                        "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, "
+                        "\"tid\": %u, \"args\": {\"n\": %lld}}",
+                        s.name, ts, dur, s.tid,
+                        static_cast<long long>(s.arg));
+    } else {
+      n = std::snprintf(line, sizeof(line),
+                        "{\"name\": \"%s\", \"cat\": \"cq\", \"ph\": \"X\", "
+                        "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, "
+                        "\"tid\": %u}",
+                        s.name, ts, dur, s.tid);
+    }
+    if (n < 0) continue;
+    if (i) out += ",\n  ";
+    out += line;
+  }
+}
+
+}  // namespace
+
+std::string chrome_json() {
+  std::string out = "{\"traceEvents\": [\n  ";
+  append_events(out);
+  out += "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return out;
+}
+
+bool chrome(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string doc = chrome_json();
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace cq::trace_export

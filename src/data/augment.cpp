@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/trace.hpp"
 #include "data/image.hpp"
 #include "util/check.hpp"
 
@@ -82,6 +83,7 @@ Tensor AugmentPipeline::operator()(const Tensor& img, Rng& rng) const {
 Tensor AugmentPipeline::batch(const Dataset& ds,
                               std::span<const std::int64_t> indices,
                               Rng& rng) const {
+  CQ_TRACE_SCOPE_N("augment.batch", indices.size());
   CQ_CHECK(!indices.empty());
   std::vector<Tensor> views;
   views.reserve(indices.size());

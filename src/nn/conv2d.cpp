@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "core/trace.hpp"
 #include "nn/init.hpp"
 #include "tensor/gemm.hpp"
 
@@ -37,6 +38,7 @@ ConvGeometry Conv2d::group_geometry(std::int64_t in_h,
 }
 
 Tensor Conv2d::forward(const Tensor& x) {
+  CQ_TRACE_SCOPE_N("nn.conv.fwd", x.dim(0));
   CQ_CHECK_MSG(x.shape().rank() == 4 && x.dim(1) == spec_.in_channels,
                "conv input " << x.shape().str() << " expects [N, "
                              << spec_.in_channels << ", H, W]");
@@ -106,6 +108,7 @@ Tensor Conv2d::forward(const Tensor& x) {
 }
 
 Tensor Conv2d::backward(const Tensor& grad_out) {
+  CQ_TRACE_SCOPE_N("nn.conv.bwd", grad_out.dim(0));
   CQ_CHECK_MSG(!cache_.empty(), "conv backward without matching forward");
   Cache entry = std::move(cache_.back());
   cache_.pop_back();

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <utility>
 
+#include "core/trace.hpp"
 #include "nn/init.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/kernels/kernels.hpp"
@@ -24,6 +25,7 @@ Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng,
 }
 
 Tensor Linear::forward(const Tensor& x) {
+  CQ_TRACE_SCOPE_N("nn.linear.fwd", x.dim(0));
   CQ_CHECK_MSG(x.shape().rank() == 2 && x.dim(1) == in_features_,
                "linear input " << x.shape().str() << " expects [N, "
                                << in_features_ << "]");
@@ -73,6 +75,7 @@ Tensor Linear::forward(const Tensor& x) {
 }
 
 Tensor Linear::backward(const Tensor& grad_out) {
+  CQ_TRACE_SCOPE_N("nn.linear.bwd", grad_out.dim(0));
   CQ_CHECK_MSG(!cache_.empty(), "linear backward without matching forward");
   Cache entry = std::move(cache_.back());
   cache_.pop_back();

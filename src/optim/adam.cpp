@@ -3,6 +3,7 @@
 #include <cmath>
 #include <utility>
 
+#include "core/trace.hpp"
 #include "tensor/kernels/kernels.hpp"
 #include "util/check.hpp"
 
@@ -20,6 +21,7 @@ Adam::Adam(std::vector<nn::Parameter*> params, AdamConfig config)
 }
 
 void Adam::step() {
+  CQ_TRACE_SCOPE("optim.adam.step");
   ++t_;
   const float bc1 =
       1.0f - std::pow(config_.beta1, static_cast<float>(t_));

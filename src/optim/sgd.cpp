@@ -3,6 +3,7 @@
 #include <cmath>
 #include <utility>
 
+#include "core/trace.hpp"
 #include "tensor/kernels/kernels.hpp"
 #include "util/check.hpp"
 
@@ -18,6 +19,7 @@ Sgd::Sgd(std::vector<nn::Parameter*> params, SgdConfig config)
 }
 
 void Sgd::step() {
+  CQ_TRACE_SCOPE("optim.sgd.step");
   // Global grad norm (for diagnostics and optional clipping). Double
   // accumulation kept: the clip threshold comparison is sensitive and this
   // pass is cheap relative to the updates.

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "core/trace.hpp"
 #include "tensor/kernels/kernels.hpp"
 #include "util/check.hpp"
 
@@ -18,10 +19,13 @@ FakeQuantWeight::Slot& FakeQuantWeight::lookup(
     const nn::Parameter& weight) const {
   const int bits = policy_->bits();
   for (Slot& s : slots_) {
-    if (s.param == &weight && s.bits == bits && s.version == weight.version)
+    if (s.param == &weight && s.bits == bits && s.version == weight.version) {
+      CQ_PROF_COUNT("quant.weight.memo_hit");
       return s;
+    }
   }
   // Miss: one range/scale pass over the master weight.
+  CQ_PROF_COUNT("quant.weight.memo_miss");
   ++quantizer_calls_;
   gemm::QuantSpec spec = policy_->quantizer().make_spec(weight.value, bits);
   // Evict the slot whose cached bits match (stale version) or, failing
@@ -50,6 +54,8 @@ std::optional<gemm::QuantSpec> FakeQuantWeight::pack_spec(
 }
 
 Tensor FakeQuantWeight::apply(const nn::Parameter& weight) const {
+  CQ_TRACE_SCOPE_BYTES("quant.weight.apply",
+                       weight.value.numel() * sizeof(float));
   if (!policy_->active()) return weight.value;
   // Stochastic perturbation must stay fresh per branch; bypass the cache.
   if (policy_->quantizer().config().perturb == PerturbMode::kGaussian) {

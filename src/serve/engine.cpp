@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/cq.hpp"
+#include "core/trace.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -55,6 +56,7 @@ Engine::Engine(const EngineConfig& config)
 Engine::~Engine() { stop(); }
 
 bool Engine::submit(Request* r) {
+  CQ_TRACE_SCOPE("serve.enqueue");
   CQ_CHECK(r != nullptr && r->input != nullptr && r->output != nullptr);
   if (stopping_.load(std::memory_order_acquire)) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
@@ -95,6 +97,7 @@ void Engine::worker_main(Worker& w) {
   // Allocations before the fence are warmup; after it, steady state must
   // stay at zero.
   if (config_.prewarm) {
+    CQ_TRACE_SCOPE("serve.prewarm");
     for (std::size_t n = config_.max_batch; n >= 1; --n) {
       // Three passes per width: pass 1 populates every buffer, and buffers
       // that stay shared across forwards (COW handles held between
@@ -125,8 +128,12 @@ void Engine::worker_main(Worker& w) {
   std::vector<std::uint64_t> queue_us(config_.max_batch);
   std::vector<std::uint64_t> total_us(config_.max_batch);
   for (;;) {
-    const std::size_t popped =
-        queue_.pop_batch(batch, config_.max_batch, config_.max_wait);
+    std::size_t popped;
+    {
+      // Includes the bounded wait for the batch to fill (max_wait).
+      CQ_TRACE_SCOPE("serve.batch_form");
+      popped = queue_.pop_batch(batch, config_.max_batch, config_.max_wait);
+    }
     if (popped == 0) return;  // closed and drained
 
     const auto dequeue_time = Clock::now();
@@ -134,9 +141,20 @@ void Engine::worker_main(Worker& w) {
 
     if (!batch.empty()) {
       const std::uint64_t allocs_before = core::AllocTracker::thread_allocs();
-      const Tensor& input = w.batcher->collate(batch);
-      const Tensor& features = w.model->forward(input);
-      w.batcher->scatter(features, batch);
+      const Tensor* input;
+      {
+        CQ_TRACE_SCOPE_N("serve.collate", batch.size());
+        input = &w.batcher->collate(batch);
+      }
+      const Tensor* features;
+      {
+        CQ_TRACE_SCOPE_N("serve.forward", batch.size());
+        features = &w.model->forward(*input);
+      }
+      {
+        CQ_TRACE_SCOPE_N("serve.scatter", batch.size());
+        w.batcher->scatter(*features, batch);
+      }
       const std::uint64_t allocs_after = core::AllocTracker::thread_allocs();
 
       // Record latencies and stats BEFORE completing: complete() frees the
@@ -162,7 +180,10 @@ void Engine::worker_main(Worker& w) {
           w.stats.total_latency.record(total_us[i]);
         }
       }
-      for (Request* r : batch) r->complete(Status::kOk);
+      {
+        CQ_TRACE_SCOPE_N("serve.complete", batch.size());
+        for (Request* r : batch) r->complete(Status::kOk);
+      }
     } else if (expired > 0) {
       std::lock_guard<std::mutex> lock(w.stats_mu);
       w.stats.timed_out += expired;

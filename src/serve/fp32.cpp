@@ -3,6 +3,7 @@
 #include <cstring>
 #include <limits>
 
+#include "core/trace.hpp"
 #include "deploy/int8.hpp"  // fold_batchnorm
 #include "models/mobilenetv2.hpp"
 #include "models/resnet.hpp"
@@ -80,13 +81,16 @@ class ConvOp : public Fp32Op {
     for (std::int64_t grp = 0; grp < spec_.groups; ++grp) {
       // Batched lowering: image i occupies columns [i*spatial, (i+1)*spatial)
       // of the shared column matrix (rows of the patch matrix).
-      for (std::int64_t img = 0; img < n; ++img) {
-        const float* src =
-            x.data() + img * sample_in + grp * cin_g * in_h * in_w;
-        if (patch_major)
-          im2row(src, g, cols_.data() + img * spatial * krows);
-        else
-          im2col(src, g, cols_.data() + img * spatial, cols);
+      {
+        CQ_TRACE_SCOPE_N("serve.lower", n);
+        for (std::int64_t img = 0; img < n; ++img) {
+          const float* src =
+              x.data() + img * sample_in + grp * cin_g * in_h * in_w;
+          if (patch_major)
+            im2row(src, g, cols_.data() + img * spatial * krows);
+          else
+            im2col(src, g, cols_.data() + img * spatial, cols);
+        }
       }
       ep.bias = bias_.data() + grp * cout_g;
       gemm::gemm(patch_major ? gemm::Trans::kNT : gemm::Trans::kNN, cout_g,

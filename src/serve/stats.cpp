@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "core/prof.hpp"
+
 namespace cq::serve {
 
 std::size_t LatencyHistogram::bucket_index(std::uint64_t micros) {
@@ -95,6 +97,9 @@ std::string EngineStats::to_json() const {
   json_latency(os, "queue_latency", queue_latency);
   os << ",\n  ";
   json_latency(os, "total_latency", total_latency);
+  // Aggregate profiler table: per-op wall time over every instrumented
+  // scope the process ran (serve pipeline phases, GEMM, lowering, ...).
+  os << ",\n  \"profile\": " << prof::json();
   os << "\n}";
   return os.str();
 }

@@ -18,6 +18,7 @@
 #include <cstring>
 #include <vector>
 
+#include "core/trace.hpp"
 #include "util/check.hpp"
 
 namespace cq::gemm {
@@ -68,6 +69,7 @@ void pack_a_impl(const float* a, Strides s, std::int64_t mc, std::int64_t kc,
 
 void pack_a(const float* a, Strides s, std::int64_t mc, std::int64_t kc,
             float* ap, const QuantSpec* q) {
+  CQ_TRACE_SCOPE_HOT_BYTES("gemm.pack_a", mc * kc * sizeof(float));
   if (q != nullptr)
     pack_a_impl<true>(a, s, mc, kc, ap, *q);
   else
@@ -115,6 +117,7 @@ void pack_b_impl(const float* b, Strides s, std::int64_t kc, std::int64_t nc,
 
 void pack_b(const float* b, Strides s, std::int64_t kc, std::int64_t nc,
             float* bp, const QuantSpec* q) {
+  CQ_TRACE_SCOPE_HOT_BYTES("gemm.pack_b", kc * nc * sizeof(float));
   if (q != nullptr)
     pack_b_impl<true>(b, s, kc, nc, bp, *q);
   else
@@ -247,6 +250,7 @@ std::vector<float>& scratch(std::size_t need) {
 // values); run the epilogue as a standalone pass with the same formula.
 void apply_epilogue_plain(float* c, std::int64_t m, std::int64_t n,
                           const Epilogue& ep) {
+  CQ_TRACE_SCOPE_HOT_BYTES("gemm.epilogue", m * n * sizeof(float));
   for (std::int64_t i = 0; i < m; ++i) {
     float* crow = c + i * n;
     const float rbias =
@@ -266,6 +270,7 @@ void gemm(Trans trans, std::int64_t m, std::int64_t n, std::int64_t k,
           const float* a, const float* b, float* c, bool accumulate,
           const Epilogue& epilogue, const QuantSpec* qa, const QuantSpec* qb) {
   if (m <= 0 || n <= 0) return;
+  CQ_TRACE_SCOPE_BYTES("gemm", (m * k + k * n + m * n) * sizeof(float));
   // Identity specs (full precision / zero range) pack raw values.
   if (qa != nullptr && qa->identity) qa = nullptr;
   if (qb != nullptr && qb->identity) qb = nullptr;
@@ -305,6 +310,7 @@ void gemm(Trans trans, std::int64_t m, std::int64_t n, std::int64_t k,
       for (std::int64_t ic = 0; ic < m; ic += MC) {
         const std::int64_t mc = std::min(MC, m - ic);
         pack_a(a + ic * as.rs + pc * as.cs, as, mc, kc, ap, qa);
+        CQ_TRACE_SCOPE_HOT("gemm.kernel");
         for (std::int64_t jr = 0; jr < nc; jr += NR) {
           const std::int64_t nr = std::min(NR, nc - jr);
           const float* bpp = bp + (jr / NR) * (kc * NR);
@@ -333,6 +339,8 @@ void gemm_prepacked_b(std::int64_t m, std::int64_t n, std::int64_t k,
                       bool accumulate, const Epilogue& epilogue,
                       const QuantSpec* qa) {
   if (m <= 0 || n <= 0) return;
+  CQ_TRACE_SCOPE_BYTES("gemm.prepacked_b",
+                       (m * k + k * n + m * n) * sizeof(float));
   CQ_CHECK(k > 0 && k <= KC);
   if (qa != nullptr && qa->identity) qa = nullptr;
   const Epilogue* ep = epilogue.empty() ? nullptr : &epilogue;
@@ -358,6 +366,7 @@ void gemm_prepacked_b(std::int64_t m, std::int64_t n, std::int64_t k,
     for (std::int64_t ic = 0; ic < m; ic += MC) {
       const std::int64_t mc = std::min(MC, m - ic);
       pack_a(a + ic * k, as, mc, k, ap, qa);
+      CQ_TRACE_SCOPE_HOT("gemm.kernel");
       for (std::int64_t jr = 0; jr < nc; jr += NR) {
         const std::int64_t nr = std::min(NR, nc - jr);
         const float* bpp = packed_b + ((jc + jr) / NR) * (k * NR);

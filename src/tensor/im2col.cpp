@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "core/trace.hpp"
 #include "tensor/gemm.hpp"
 
 namespace cq {
@@ -14,6 +15,7 @@ void im2col(const float* image, const ConvGeometry& g, float* cols) {
 void im2col(const float* image, const ConvGeometry& g, float* cols,
             std::int64_t col_stride) {
   const auto oh = g.out_h(), ow = g.out_w();
+  CQ_TRACE_SCOPE_BYTES("im2col", g.col_rows() * oh * ow * sizeof(float));
   CQ_DCHECK(col_stride >= oh * ow);
   std::int64_t row = 0;
   for (std::int64_t c = 0; c < g.in_channels; ++c) {
@@ -85,6 +87,8 @@ void im2col_into(const float* image, const ConvGeometry& g, Tensor& cols) {
 void im2col_packed(const float* image, const ConvGeometry& g, float* packed,
                    std::int64_t col0) {
   const auto oh = g.out_h(), ow = g.out_w();
+  CQ_TRACE_SCOPE_BYTES("im2col.packed",
+                       g.col_rows() * oh * ow * sizeof(float));
   const auto spatial = oh * ow;
   const auto kc = g.col_rows();
   CQ_CHECK(kc <= gemm::kKC);
@@ -153,6 +157,7 @@ void im2col_packed(const float* image, const ConvGeometry& g, float* packed,
 
 void im2row(const float* image, const ConvGeometry& g, float* rows) {
   const auto oh = g.out_h(), ow = g.out_w();
+  CQ_TRACE_SCOPE_BYTES("im2row", g.col_rows() * oh * ow * sizeof(float));
   float* dst = rows;
   for (std::int64_t y = 0; y < oh; ++y) {
     for (std::int64_t x = 0; x < ow; ++x) {
@@ -185,6 +190,7 @@ void im2row(const float* image, const ConvGeometry& g, float* rows) {
 
 void col2im(const float* cols, const ConvGeometry& g, float* image_grad) {
   const auto oh = g.out_h(), ow = g.out_w();
+  CQ_TRACE_SCOPE_BYTES("col2im", g.col_rows() * oh * ow * sizeof(float));
   std::int64_t row = 0;
   for (std::int64_t c = 0; c < g.in_channels; ++c) {
     float* chan = image_grad + c * g.in_h * g.in_w;

@@ -12,6 +12,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "core/trace.hpp"
 #include "tensor/kernels/simd.hpp"
 
 namespace cq::kernels {
@@ -419,30 +420,39 @@ void row_sum(const float* x, std::int64_t rows, std::int64_t cols,
   row_sum_t<VecF>(x, rows, cols, out);
 }
 void softmax_rows(float* x, std::int64_t rows, std::int64_t cols) {
+  CQ_TRACE_SCOPE_BYTES("kernels.softmax_rows", rows * cols * sizeof(float));
   softmax_rows_t<VecF>(x, rows, cols);
 }
 void log_softmax_rows(float* x, std::int64_t rows, std::int64_t cols) {
+  CQ_TRACE_SCOPE_BYTES("kernels.log_softmax_rows",
+                       rows * cols * sizeof(float));
   log_softmax_rows_t<VecF>(x, rows, cols);
 }
 void l2_normalize_rows(float* x, std::int64_t rows, std::int64_t cols,
                        float* norms, float eps) {
+  CQ_TRACE_SCOPE_BYTES("kernels.l2_normalize_rows",
+                       rows * cols * sizeof(float));
   l2_normalize_rows_t<VecF>(x, rows, cols, norms, eps);
 }
 void quantize(const float* x, float* y, std::int64_t n,
               const gemm::QuantSpec& q) {
+  CQ_TRACE_SCOPE_BYTES("kernels.quantize", 2 * n * sizeof(float));
   quantize_t<VecF>(x, y, n, q);
 }
 void quantize_masked(const float* x, float* y, std::int64_t n,
                      const gemm::QuantSpec& q, std::uint8_t* mask) {
+  CQ_TRACE_SCOPE_BYTES("kernels.quantize", 2 * n * sizeof(float));
   quantize_masked_t<VecF>(x, y, n, q, mask);
 }
 void sgd_update(float* p, const float* g, float* v, std::int64_t n, float lr,
                 float momentum, float wd, float grad_scale) {
+  CQ_TRACE_SCOPE_BYTES("kernels.sgd_update", 3 * n * sizeof(float));
   sgd_update_t<VecF>(p, g, v, n, lr, momentum, wd, grad_scale);
 }
 void adam_update(float* p, const float* g, float* m, float* v, std::int64_t n,
                  float lr, float beta1, float beta2, float eps, float wd,
                  float bc1, float bc2) {
+  CQ_TRACE_SCOPE_BYTES("kernels.adam_update", 4 * n * sizeof(float));
   adam_update_t<VecF>(p, g, m, v, n, lr, beta1, beta2, eps, wd, bc1, bc2);
 }
 void add_rows(const float* src, std::int64_t rows, std::int64_t cols,

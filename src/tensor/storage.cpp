@@ -1,14 +1,26 @@
 #include "tensor/storage.hpp"
 
 #include <bit>
+#include <mutex>
 #include <new>
 #include <vector>
 
+#include "core/prof.hpp"
 #include "util/check.hpp"
 
 namespace cq {
 
 namespace {
+
+// Feed the aggregate profiler's per-scope heap-allocation deltas from this
+// thread's pool-miss counter (prof lives below the tensor layer and cannot
+// call alloc_stats() itself). Static-init registration: prof's registry is a
+// Meyers singleton, so the order is safe.
+const bool kProfAllocSourceRegistered = [] {
+  prof::set_alloc_source(
+      [] { return tensor::alloc_stats().cumulative_allocations; });
+  return true;
+}();
 
 /// Smallest bucket, in floats. Sub-32-element tensors (scalars, per-channel
 /// vectors) all share one size class.
@@ -32,11 +44,30 @@ struct Pool {
 };
 
 // Heap-allocated and intentionally never destroyed: Storage handles may
-// legally outlive normal thread_local destruction order (e.g. statics), and
-// the block stays reachable through the TLS pointer so LeakSanitizer does
-// not flag it. tensor::trim_pool() exists for explicit release.
+// legally outlive normal thread_local destruction order (e.g. statics).
+// Every pool is anchored in a global registry — a TLS pointer alone stops
+// being a reachability root once its thread exits, and the profiler's
+// alloc-source hook (above) means any thread that records a span owns a
+// pool, so exited short-lived threads would otherwise read as leaks under
+// LeakSanitizer. The registry itself leaks by design for the same reason.
+// tensor::trim_pool() exists for explicit release of parked blocks.
+std::mutex& pool_registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::vector<Pool*>& pool_registry() {
+  static std::vector<Pool*>* r = new std::vector<Pool*>();
+  return *r;
+}
+
 Pool& pool() {
-  thread_local Pool* p = new Pool;
+  thread_local Pool* p = [] {
+    auto* fresh = new Pool;
+    std::lock_guard<std::mutex> lock(pool_registry_mutex());
+    pool_registry().push_back(fresh);
+    return fresh;
+  }();
   return *p;
 }
 

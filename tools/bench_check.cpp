@@ -1,0 +1,478 @@
+// CI bench gate: compares a freshly generated bench JSON against the
+// checked-in repo-root baseline and fails (exit 1) on regression.
+//
+//   bench_check CANDIDATE.json BASELINE.json [--tolerance=0.30] [--absolute]
+//   bench_check --selftest
+//
+// Both documents are flattened to path -> number entries
+// ("cases[0].speedup", "fp32.batched.steady_heap_allocs", ...; booleans
+// become 0/1) and every gated metric present in the BASELINE is compared
+// against the candidate. By default only machine-portable metrics are
+// gated — ratios and allocation counts that hold across hosts and shared
+// CI runners:
+//
+//   speedup, reduction_pct        higher is better
+//   steady_allocs_per_iter,
+//   steady_heap_allocs            lower is better (zero must stay ~zero)
+//   bitwise_equivalent            must stay true
+//
+// --absolute additionally gates the machine-dependent throughput/latency
+// numbers (*_gflops, *_gbps, rps higher-better; *_us lower-better) — useful
+// on a quiet dedicated host, too noisy for shared CI.
+//
+// A metric only fails when it moves beyond the tolerance in the WORSE
+// direction; improvements are reported but never fail. A gated baseline
+// metric missing from the candidate fails (schema drift), and matching
+// zero gated metrics overall fails too, so a renamed key cannot silently
+// disable the gate.
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Metric {
+  std::string path;
+  double value;
+};
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON reader that flattens numbers (and booleans
+// as 0/1) into path -> value entries. Strings and nulls are parsed and
+// dropped. Not a validator: accepts every valid document these benches
+// write; on malformed input it reports the byte offset and gives up.
+// ---------------------------------------------------------------------------
+class Flattener {
+ public:
+  explicit Flattener(const char* text) : p_(text), begin_(text) {}
+
+  bool run(std::vector<Metric>& out) {
+    out_ = &out;
+    skip_ws();
+    if (!value("")) return false;
+    skip_ws();
+    if (*p_ != '\0') return fail("trailing content");
+    return true;
+  }
+
+  std::string error() const { return error_; }
+
+ private:
+  bool fail(const char* what) {
+    if (error_.empty())
+      error_ = std::string(what) + " at byte " + std::to_string(p_ - begin_);
+    return false;
+  }
+
+  void skip_ws() {
+    while (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r') ++p_;
+  }
+
+  bool string_lit(std::string* out) {
+    if (*p_ != '"') return fail("expected string");
+    ++p_;
+    while (*p_ != '"') {
+      if (*p_ == '\0') return fail("unterminated string");
+      if (*p_ == '\\') {
+        ++p_;
+        if (*p_ == '\0') return fail("unterminated escape");
+        // Content of escapes is irrelevant for key paths we gate on; keep
+        // the raw characters so paths stay unique.
+        if (out) out->push_back(*p_);
+        ++p_;
+        continue;
+      }
+      if (out) out->push_back(*p_);
+      ++p_;
+    }
+    ++p_;
+    return true;
+  }
+
+  bool value(const std::string& path) {
+    skip_ws();
+    switch (*p_) {
+      case '{':
+        return object(path);
+      case '[':
+        return array(path);
+      case '"':
+        return string_lit(nullptr);
+      case 't':
+        if (std::strncmp(p_, "true", 4) != 0) return fail("bad literal");
+        p_ += 4;
+        out_->push_back({path, 1.0});
+        return true;
+      case 'f':
+        if (std::strncmp(p_, "false", 5) != 0) return fail("bad literal");
+        p_ += 5;
+        out_->push_back({path, 0.0});
+        return true;
+      case 'n':
+        if (std::strncmp(p_, "null", 4) != 0) return fail("bad literal");
+        p_ += 4;
+        return true;
+      default: {
+        char* end = nullptr;
+        const double v = std::strtod(p_, &end);
+        if (end == p_) return fail("expected value");
+        p_ = end;
+        out_->push_back({path, v});
+        return true;
+      }
+    }
+  }
+
+  bool object(const std::string& path) {
+    ++p_;  // '{'
+    skip_ws();
+    if (*p_ == '}') {
+      ++p_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!string_lit(&key)) return false;
+      skip_ws();
+      if (*p_ != ':') return fail("expected ':'");
+      ++p_;
+      if (!value(path.empty() ? key : path + "." + key)) return false;
+      skip_ws();
+      if (*p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (*p_ == '}') {
+        ++p_;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool array(const std::string& path) {
+    ++p_;  // '['
+    skip_ws();
+    if (*p_ == ']') {
+      ++p_;
+      return true;
+    }
+    for (std::size_t i = 0;; ++i) {
+      if (!value(path + "[" + std::to_string(i) + "]")) return false;
+      skip_ws();
+      if (*p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (*p_ == ']') {
+        ++p_;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  const char* p_;
+  const char* begin_;
+  std::vector<Metric>* out_ = nullptr;
+  std::string error_;
+};
+
+bool read_file(const char* path, std::string& out) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) return false;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Gating policy.
+// ---------------------------------------------------------------------------
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+std::string leaf_of(const std::string& path) {
+  const auto dot = path.rfind('.');
+  return dot == std::string::npos ? path : path.substr(dot + 1);
+}
+
+enum class Direction { kHigherBetter, kLowerBetter, kUngated };
+
+Direction classify(const std::string& leaf, bool absolute) {
+  if (leaf == "speedup" || leaf == "reduction_pct" ||
+      leaf == "bitwise_equivalent")
+    return Direction::kHigherBetter;
+  if (leaf == "steady_allocs_per_iter" || leaf == "steady_heap_allocs")
+    return Direction::kLowerBetter;
+  if (absolute) {
+    if (ends_with(leaf, "_gflops") || ends_with(leaf, "_gbps") ||
+        leaf == "rps")
+      return Direction::kHigherBetter;
+    if (ends_with(leaf, "_us")) return Direction::kLowerBetter;
+  }
+  return Direction::kUngated;
+}
+
+struct GateResult {
+  int gated = 0;
+  int failed = 0;
+  int improved = 0;
+};
+
+// When a lower-is-better baseline is exactly zero (the pool's steady-state
+// allocation counts), a relative band is meaningless; allow only rounding
+// noise above zero.
+constexpr double kZeroSlack = 0.5;
+
+GateResult gate(const std::vector<Metric>& candidate,
+                const std::vector<Metric>& baseline, double tolerance,
+                bool absolute, bool verbose) {
+  GateResult r;
+  for (const auto& base : baseline) {
+    const auto dir = classify(leaf_of(base.path), absolute);
+    if (dir == Direction::kUngated) continue;
+    ++r.gated;
+
+    const Metric* cand = nullptr;
+    for (const auto& c : candidate)
+      if (c.path == base.path) {
+        cand = &c;
+        break;
+      }
+    if (cand == nullptr) {
+      ++r.failed;
+      std::printf("FAIL %-55s missing from candidate (baseline %.4g)\n",
+                  base.path.c_str(), base.value);
+      continue;
+    }
+
+    bool bad = false;
+    bool better = false;
+    if (dir == Direction::kHigherBetter) {
+      bad = cand->value < base.value * (1.0 - tolerance);
+      better = cand->value > base.value * (1.0 + tolerance);
+    } else {
+      bad = base.value == 0.0 ? cand->value > kZeroSlack
+                              : cand->value > base.value * (1.0 + tolerance);
+      better = base.value != 0.0 &&
+               cand->value < base.value * (1.0 - tolerance);
+    }
+
+    if (bad) {
+      ++r.failed;
+      std::printf("FAIL %-55s %.4g -> %.4g (%s, tol %.0f%%)\n",
+                  base.path.c_str(), base.value, cand->value,
+                  dir == Direction::kHigherBetter ? "higher is better"
+                                                  : "lower is better",
+                  tolerance * 100.0);
+    } else if (better) {
+      ++r.improved;
+      std::printf("  ok %-55s %.4g -> %.4g (improved)\n", base.path.c_str(),
+                  base.value, cand->value);
+    } else if (verbose) {
+      std::printf("  ok %-55s %.4g -> %.4g\n", base.path.c_str(), base.value,
+                  cand->value);
+    }
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Selftest: parser + gating policy, no files needed. Run by ctest as
+// bench_check_selftest.
+// ---------------------------------------------------------------------------
+
+int selftest() {
+  int failures = 0;
+  auto expect = [&](bool cond, const char* what) {
+    if (!cond) {
+      ++failures;
+      std::printf("selftest FAIL: %s\n", what);
+    }
+  };
+
+  {
+    std::vector<Metric> m;
+    Flattener fl(
+        "{\"a\": {\"speedup\": 2.5, \"name\": \"x\\\"y\"}, "
+        "\"cases\": [{\"rps\": 1e3}, {\"rps\": 2000}], "
+        "\"flag\": true, \"none\": null, \"empty\": [], \"eo\": {}}");
+    expect(fl.run(m), "parse nested document");
+    expect(m.size() == 4, "flattened entry count");
+    expect(m[0].path == "a.speedup" && m[0].value == 2.5, "object path");
+    expect(m[1].path == "cases[0].rps" && m[1].value == 1000.0,
+           "array path + exponent");
+    expect(m[2].path == "cases[1].rps" && m[2].value == 2000.0,
+           "second array element");
+    expect(m[3].path == "flag" && m[3].value == 1.0, "bool -> 1");
+  }
+  {
+    std::vector<Metric> m;
+    Flattener fl("{\"a\": }");
+    expect(!fl.run(m), "malformed document rejected");
+    expect(!fl.error().empty(), "malformed document carries an error");
+  }
+
+  const auto flatten = [](const char* text) {
+    std::vector<Metric> m;
+    Flattener fl(text);
+    if (!fl.run(m)) std::abort();
+    return m;
+  };
+
+  // Portable-metric gating at the default 30%.
+  const auto base = flatten(
+      "{\"speedup\": 2.0, \"reduction_pct\": 100.0,"
+      " \"steady_heap_allocs\": 0, \"bitwise_equivalent\": true,"
+      " \"rps\": 1000.0}");
+  {
+    // Identical candidate: all pass, rps not gated without --absolute.
+    const auto r = gate(base, base, 0.30, false, false);
+    expect(r.gated == 4 && r.failed == 0, "identical candidate passes");
+  }
+  {
+    const auto r = gate(base, base, 0.30, true, false);
+    expect(r.gated == 5, "--absolute gates rps too");
+  }
+  {
+    // Speedup collapsed beyond 30%: regression.
+    const auto cand = flatten(
+        "{\"speedup\": 1.3, \"reduction_pct\": 100.0,"
+        " \"steady_heap_allocs\": 0, \"bitwise_equivalent\": true}");
+    const auto r = gate(cand, base, 0.30, false, false);
+    expect(r.failed == 1, "speedup drop fails");
+  }
+  {
+    // Speedup improved: never a failure.
+    const auto cand = flatten(
+        "{\"speedup\": 4.0, \"reduction_pct\": 100.0,"
+        " \"steady_heap_allocs\": 0, \"bitwise_equivalent\": true}");
+    const auto r = gate(cand, base, 0.30, false, false);
+    expect(r.failed == 0 && r.improved == 1, "improvement passes");
+  }
+  {
+    // Zero-baseline alloc count regressing to 3/iter: caught despite the
+    // relative band being meaningless at zero.
+    const auto cand = flatten(
+        "{\"speedup\": 2.0, \"reduction_pct\": 100.0,"
+        " \"steady_heap_allocs\": 3, \"bitwise_equivalent\": true}");
+    const auto r = gate(cand, base, 0.30, false, false);
+    expect(r.failed == 1, "zero-baseline alloc regression fails");
+  }
+  {
+    // Equivalence gate flipping to false: caught.
+    const auto cand = flatten(
+        "{\"speedup\": 2.0, \"reduction_pct\": 100.0,"
+        " \"steady_heap_allocs\": 0, \"bitwise_equivalent\": false}");
+    const auto r = gate(cand, base, 0.30, false, false);
+    expect(r.failed == 1, "bitwise_equivalent=false fails");
+  }
+  {
+    // Gated key missing from the candidate: schema drift fails.
+    const auto cand = flatten(
+        "{\"reduction_pct\": 100.0, \"steady_heap_allocs\": 0,"
+        " \"bitwise_equivalent\": true}");
+    const auto r = gate(cand, base, 0.30, false, false);
+    expect(r.failed == 1, "missing gated key fails");
+  }
+
+  if (failures == 0) std::printf("BENCH_CHECK_SELFTEST_OK\n");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double tolerance = 0.30;
+  bool absolute = false;
+  bool verbose = false;
+  std::vector<const char*> files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--selftest") == 0) return selftest();
+    if (std::strncmp(argv[i], "--tolerance=", 12) == 0) {
+      tolerance = std::strtod(argv[i] + 12, nullptr);
+      if (!(tolerance > 0.0 && tolerance < 10.0)) {
+        std::fprintf(stderr, "bench_check: bad --tolerance '%s'\n", argv[i]);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--absolute") == 0) {
+      absolute = true;
+    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+      verbose = true;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr,
+                   "bench_check: unknown flag '%s'\nusage: bench_check "
+                   "CANDIDATE.json BASELINE.json [--tolerance=0.30] "
+                   "[--absolute] [--verbose] | --selftest\n",
+                   argv[i]);
+      return 2;
+    } else {
+      files.push_back(argv[i]);
+    }
+  }
+  if (files.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: bench_check CANDIDATE.json BASELINE.json "
+                 "[--tolerance=0.30] [--absolute] [--verbose] | --selftest\n");
+    return 2;
+  }
+
+  std::string cand_text, base_text;
+  if (!read_file(files[0], cand_text)) {
+    std::fprintf(stderr, "bench_check: cannot read %s\n", files[0]);
+    return 2;
+  }
+  if (!read_file(files[1], base_text)) {
+    std::fprintf(stderr, "bench_check: cannot read %s\n", files[1]);
+    return 2;
+  }
+
+  std::vector<Metric> cand, base;
+  {
+    Flattener fl(cand_text.c_str());
+    if (!fl.run(cand)) {
+      std::fprintf(stderr, "bench_check: %s: %s\n", files[0],
+                   fl.error().c_str());
+      return 2;
+    }
+  }
+  {
+    Flattener fl(base_text.c_str());
+    if (!fl.run(base)) {
+      std::fprintf(stderr, "bench_check: %s: %s\n", files[1],
+                   fl.error().c_str());
+      return 2;
+    }
+  }
+
+  std::printf("bench_check: %s vs baseline %s (tol %.0f%%%s)\n", files[0],
+              files[1], tolerance * 100.0,
+              absolute ? ", absolute metrics gated" : "");
+  const auto r = gate(cand, base, tolerance, absolute, verbose);
+  if (r.gated == 0) {
+    std::fprintf(stderr,
+                 "bench_check: no gated metrics found in baseline %s — "
+                 "schema drift?\n",
+                 files[1]);
+    return 1;
+  }
+  std::printf("bench_check: %d metric(s) gated, %d failed, %d improved\n",
+              r.gated, r.failed, r.improved);
+  if (r.failed > 0) {
+    std::printf("BENCH_CHECK_REGRESSION\n");
+    return 1;
+  }
+  std::printf("BENCH_CHECK_OK\n");
+  return 0;
+}
