@@ -18,6 +18,7 @@
 // `--trace=PATH` enables the scoped-span tracer and writes a
 // chrome://tracing document covering the whole load (worker threads show as
 // separate tids; forward/collate spans carry the batch width under args.n).
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -202,11 +203,27 @@ KindResult bench_kind(const std::string& checkpoint, serve::InstanceKind kind,
   batched_cfg.max_batch = 32;
   batched_cfg.max_wait = std::chrono::microseconds(2000);
 
+  // Best-per-METRIC selection across rounds, not best-round: on a shared
+  // host, the round with the best throughput is not necessarily the round
+  // with the clean tail — p99 under closed-loop saturation is the noisiest
+  // number here, and taking its own minimum keeps the checked-in baseline
+  // (and the CI gate comparing against it) near the uncontended machine.
+  auto merge = [](LoadResult& best, const LoadResult& r, bool first) {
+    if (first || r.rps > best.rps) {
+      const double p50 = best.p50_us, p99 = best.p99_us;
+      best = r;
+      if (!first) {
+        best.p50_us = std::min(p50, r.p50_us);
+        best.p99_us = std::min(p99, r.p99_us);
+      }
+    } else {
+      best.p50_us = std::min(best.p50_us, r.p50_us);
+      best.p99_us = std::min(best.p99_us, r.p99_us);
+    }
+  };
   for (int round = 0; round < kRounds; ++round) {
-    const auto s = run_load(serial_cfg, clients, per_client);
-    const auto b = run_load(batched_cfg, clients, per_client);
-    if (round == 0 || s.rps > res.serial.rps) res.serial = s;
-    if (round == 0 || b.rps > res.batched.rps) res.batched = b;
+    merge(res.serial, run_load(serial_cfg, clients, per_client), round == 0);
+    merge(res.batched, run_load(batched_cfg, clients, per_client), round == 0);
   }
 
   res.speedup = res.serial.rps > 0.0 ? res.batched.rps / res.serial.rps : 0.0;
@@ -252,8 +269,9 @@ void write_json(const std::string& path, const KindResult& fp32,
                "\"3x%lldx%lld\", \"workers\": 1, \"clients\": %llu, "
                "\"client_window\": %d, \"max_batch\": 32, "
                "\"max_wait_us\": 2000, \"rounds\": %d, \"selection\": "
-               "\"best-throughput round per mode, rounds alternated "
-               "(shared-host interference is additive)\", \"note\": "
+               "\"best value per metric across rounds (throughput round for "
+               "rps, min latency), rounds alternated — shared-host "
+               "interference is additive\", \"note\": "
                "\"single-core host: speedup comes from batched GEMM "
                "amortization, not thread parallelism\"},\n",
                static_cast<long long>(kH), static_cast<long long>(kW),
@@ -306,10 +324,12 @@ int main(int argc, char** argv) {
   if (smoke_only) {
     rc = smoke(checkpoint);
   } else {
+    // Same load for both kinds: the int8 GEMM path serves at fp32-or-better
+    // throughput, so it no longer needs a shorter run to finish on time.
     const auto fp32 =
         bench_kind(checkpoint, serve::InstanceKind::kFp32, kClients, 38);
     const auto int8 =
-        bench_kind(checkpoint, serve::InstanceKind::kInt8, kClients, 9);
+        bench_kind(checkpoint, serve::InstanceKind::kInt8, kClients, 38);
     rc = fp32.equivalent && int8.equivalent ? 0 : 1;
     if (rc == 0 && !json_path.empty()) write_json(json_path, fp32, int8);
   }

@@ -21,7 +21,10 @@
 #                               bench_out/, and compare each against the
 #                               checked-in repo-root baseline with
 #                               tools/bench_check at ±30% on the
-#                               machine-portable metrics. Non-zero exit on
+#                               machine-portable metrics plus the int8 serve
+#                               rps/p99 (the int8 compute path's headline
+#                               numbers gate by default; fp32 throughput
+#                               only under --absolute). Non-zero exit on
 #                               any smoke failure or regression.
 #
 # Any other flag is an error (exit 2) — CI must not silently fall through to

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 
 #include "models/mobilenetv2.hpp"
@@ -13,6 +14,8 @@
 #include "nn/pooling.hpp"
 #include "quant/actquant.hpp"
 #include "tensor/im2col.hpp"
+#include "tensor/kernels/igemm.hpp"
+#include "tensor/kernels/kernels.hpp"
 #include "util/check.hpp"
 
 namespace cq::deploy {
@@ -49,10 +52,14 @@ void quantize_buffer(const float* src, std::int64_t n, float inv_scale,
         std::clamp<long>(std::lround(src[i] * inv_scale), -127L, 127L));
 }
 
-float buffer_max_abs(const float* src, std::int64_t n) {
-  float m = 0.0f;
-  for (std::int64_t i = 0; i < n; ++i) m = std::max(m, std::fabs(src[i]));
-  return m;
+/// Per-sample symmetric activation scale: the range pass covers only this
+/// sample, so a batched forward is bitwise identical to N single-sample
+/// forwards (the property the serving engine's dynamic batcher relies on).
+float sample_scale(const float* src, std::int64_t n) {
+  float lo, hi;
+  kernels::minmax(src, n, &lo, &hi);
+  const float max_abs = std::max(std::fabs(lo), std::fabs(hi));
+  return std::max(max_abs / 127.0f, 1e-12f);
 }
 
 class ConvOp : public Int8Op {
@@ -60,11 +67,16 @@ class ConvOp : public Int8Op {
   ConvOp(const nn::Conv2dSpec& spec, const Tensor& weight,
          std::vector<float> bias)
       : spec_(spec), bias_(std::move(bias)) {
-    // Per-output-channel symmetric int8 weights.
+    // Per-output-channel symmetric int8 weights, prepacked per group into
+    // the igemm A layout (row sums included — the epilogue's offset
+    // correction), so forward never touches raw weight bytes again.
     const auto cout = weight.dim(0);
     const auto krows = weight.dim(1);
-    weights_.resize(static_cast<std::size_t>(cout * krows));
+    const auto cout_g = cout / spec_.groups;
+    bytes_ = cout * krows;
     scales_.resize(static_cast<std::size_t>(cout));
+    rowsum_.resize(static_cast<std::size_t>(cout));
+    std::vector<std::int8_t> wq(static_cast<std::size_t>(cout * krows));
     for (std::int64_t oc = 0; oc < cout; ++oc) {
       float max_abs = 0.0f;
       for (std::int64_t k = 0; k < krows; ++k)
@@ -72,8 +84,14 @@ class ConvOp : public Int8Op {
       const float scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
       scales_[static_cast<std::size_t>(oc)] = scale;
       quantize_buffer(weight.data() + oc * krows, krows, 1.0f / scale,
-                      weights_.data() + oc * krows);
+                      wq.data() + oc * krows);
     }
+    pa_group_ = igemm::packed_a_bytes(cout_g, krows);
+    packed_a_.resize(static_cast<std::size_t>(spec_.groups * pa_group_));
+    for (std::int64_t grp = 0; grp < spec_.groups; ++grp)
+      igemm::pack_a_s8(wq.data() + grp * cout_g * krows, cout_g, krows,
+                       packed_a_.data() + grp * pa_group_,
+                       rowsum_.data() + grp * cout_g);
   }
 
   Tensor forward(const Tensor& x) const override {
@@ -91,40 +109,62 @@ class ConvOp : public Int8Op {
     const auto krows = g.col_rows();
     const auto cout_g = spec_.out_channels / spec_.groups;
     const auto cin_g = g.in_channels;
+    const auto cols = n * spatial;  // all images side by side
 
     Tensor y(Shape{n, spec_.out_channels, oh, ow});
-    cols_f_.resize(static_cast<std::size_t>(krows * spatial));
-    cols_q_.resize(cols_f_.size());
+    cols_f_.resize(static_cast<std::size_t>(krows * cols));
+    bp_.resize(static_cast<std::size_t>(igemm::packed_b_bytes(krows, cols)));
+    gout_.resize(static_cast<std::size_t>(cout_g * cols));
+    col_scale_.resize(static_cast<std::size_t>(cols));
+    col_inv_.resize(static_cast<std::size_t>(cols));
+
+    // Image i owns columns [i*spatial, (i+1)*spatial): every one of its
+    // columns quantizes with that image's scale, whatever the batch width.
     const std::int64_t sample_numel = spec_.in_channels * in_h * in_w;
     for (std::int64_t img = 0; img < n; ++img) {
-      const float* in_base = x.data() + img * sample_numel;
-      float* out_base = y.data() + img * spec_.out_channels * spatial;
-      // Dynamic per-sample activation quantization: the range pass covers
-      // only this image, so a batched forward is bitwise identical to N
-      // single-sample forwards.
-      const float in_scale =
-          std::max(buffer_max_abs(in_base, sample_numel) / 127.0f, 1e-12f);
-      const float inv_in_scale = 1.0f / in_scale;
-      for (std::int64_t grp = 0; grp < spec_.groups; ++grp) {
-        im2col(in_base + grp * cin_g * in_h * in_w, g, cols_f_.data());
-        quantize_buffer(cols_f_.data(),
-                        static_cast<std::int64_t>(cols_f_.size()),
-                        inv_in_scale, cols_q_.data());
+      const float in_scale = sample_scale(x.data() + img * sample_numel,
+                                          sample_numel);
+      const float inv = 1.0f / in_scale;
+      for (std::int64_t s = 0; s < spatial; ++s) {
+        col_scale_[static_cast<std::size_t>(img * spatial + s)] = in_scale;
+        col_inv_[static_cast<std::size_t>(img * spatial + s)] = inv;
+      }
+    }
+
+    igemm::Epilogue ep;
+    ep.col_scale = col_scale_.data();
+    for (std::int64_t grp = 0; grp < spec_.groups; ++grp) {
+      // Batched lowering (the serve fp32 pipeline's shape): one shared
+      // [krows, n*spatial] column matrix per group, quantized on pack, one
+      // integer GEMM over the whole batch against the prepacked weights.
+      im2col_batched(x.data() + grp * cin_g * in_h * in_w, n, sample_numel,
+                     g, cols_f_.data(), cols);
+      igemm::pack_b_quantized(cols_f_.data(), /*rs=*/cols, /*cs=*/1, krows,
+                              cols, col_inv_.data(), bp_.data());
+      ep.row_scale = scales_.data() + grp * cout_g;
+      ep.bias = bias_.data() + grp * cout_g;
+      igemm::gemm(cout_g, cols, krows,
+                  packed_a_.data() + grp * pa_group_,
+                  rowsum_.data() + grp * cout_g, bp_.data(), gout_.data(),
+                  /*ldc=*/cols, ep);
+      // GEMM output is channel-major over the whole batch; scatter each
+      // (channel, image) plane back to NCHW. One-pixel planes are a plain
+      // [cout_g, n] transpose — skip the per-plane memcpy machinery.
+      if (spatial == 1) {
         for (std::int64_t oc_local = 0; oc_local < cout_g; ++oc_local) {
+          const float* src = gout_.data() + oc_local * cols;
           const std::int64_t oc = grp * cout_g + oc_local;
-          const std::int8_t* wrow = weights_.data() + oc * krows;
-          float* orow = out_base + oc * spatial;
-          const float out_scale =
-              in_scale * scales_[static_cast<std::size_t>(oc)];
-          const float b = bias_[static_cast<std::size_t>(oc)];
-          for (std::int64_t s = 0; s < spatial; ++s) {
-            std::int32_t acc = 0;
-            const std::int8_t* ccol = cols_q_.data() + s;
-            for (std::int64_t k = 0; k < krows; ++k)
-              acc += static_cast<std::int32_t>(wrow[k]) *
-                     ccol[k * spatial];
-            orow[s] = static_cast<float>(acc) * out_scale + b;
-          }
+          for (std::int64_t img = 0; img < n; ++img)
+            y.data()[img * spec_.out_channels + oc] = src[img];
+        }
+      } else {
+        for (std::int64_t oc_local = 0; oc_local < cout_g; ++oc_local) {
+          const float* src = gout_.data() + oc_local * cols;
+          const std::int64_t oc = grp * cout_g + oc_local;
+          for (std::int64_t img = 0; img < n; ++img)
+            std::memcpy(y.data() + (img * spec_.out_channels + oc) * spatial,
+                        src + img * spatial,
+                        static_cast<std::size_t>(spatial) * sizeof(float));
         }
       }
     }
@@ -133,26 +173,29 @@ class ConvOp : public Int8Op {
 
   const char* name() const override { return "int8_conv"; }
 
-  std::int64_t bytes() const {
-    return static_cast<std::int64_t>(weights_.size());
-  }
+  std::int64_t bytes() const { return bytes_; }
 
  private:
   nn::Conv2dSpec spec_;
-  std::vector<std::int8_t> weights_;  // [Cout, krows]
-  std::vector<float> scales_;         // per output channel
+  std::vector<std::int8_t> packed_a_;  // igemm layout, groups side by side
+  std::int64_t pa_group_ = 0;          // packed bytes per group
+  std::vector<std::int32_t> rowsum_;   // per output channel
+  std::vector<float> scales_;          // per output channel
   std::vector<float> bias_;
+  std::int64_t bytes_ = 0;
   // Per-call scratch, retained across forwards (malloc-free steady state).
-  mutable std::vector<float> cols_f_;
-  mutable std::vector<std::int8_t> cols_q_;
+  mutable std::vector<float> cols_f_, gout_, col_scale_, col_inv_;
+  mutable std::vector<std::uint8_t> bp_;
 };
 
 class LinearOp : public Int8Op {
  public:
   LinearOp(const Tensor& weight, std::vector<float> bias)
       : out_(weight.dim(0)), in_(weight.dim(1)), bias_(std::move(bias)) {
-    weights_.resize(static_cast<std::size_t>(out_ * in_));
+    bytes_ = out_ * in_;
     scales_.resize(static_cast<std::size_t>(out_));
+    rowsum_.resize(static_cast<std::size_t>(out_));
+    std::vector<std::int8_t> wq(static_cast<std::size_t>(out_ * in_));
     for (std::int64_t r = 0; r < out_; ++r) {
       float max_abs = 0.0f;
       for (std::int64_t c = 0; c < in_; ++c)
@@ -160,58 +203,69 @@ class LinearOp : public Int8Op {
       const float scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
       scales_[static_cast<std::size_t>(r)] = scale;
       quantize_buffer(weight.data() + r * in_, in_, 1.0f / scale,
-                      weights_.data() + r * in_);
+                      wq.data() + r * in_);
     }
+    packed_a_.resize(static_cast<std::size_t>(igemm::packed_a_bytes(out_, in_)));
+    igemm::pack_a_s8(wq.data(), out_, in_, packed_a_.data(), rowsum_.data());
   }
 
   Tensor forward(const Tensor& x) const override {
     CQ_CHECK(x.shape().rank() == 2 && x.dim(1) == in_);
     const auto n = x.dim(0);
-    xq_.resize(static_cast<std::size_t>(in_));
-    Tensor y(Shape{n, out_});
+    // Per-sample dynamic range (see ConvOp): batch-invariant by design.
+    // Samples are GEMM columns here; op(B)(p, j) reads x[j, p] transposed.
+    in_scale_.resize(static_cast<std::size_t>(n));
+    in_inv_.resize(static_cast<std::size_t>(n));
     for (std::int64_t i = 0; i < n; ++i) {
-      const float* xrow_f = x.data() + i * in_;
-      // Per-sample dynamic range (see ConvOp): batch-invariant by design.
-      const float in_scale =
-          std::max(buffer_max_abs(xrow_f, in_) / 127.0f, 1e-12f);
-      quantize_buffer(xrow_f, in_, 1.0f / in_scale, xq_.data());
-      const std::int8_t* xrow = xq_.data();
-      for (std::int64_t r = 0; r < out_; ++r) {
-        const std::int8_t* wrow = weights_.data() + r * in_;
-        std::int32_t acc = 0;
-        for (std::int64_t c = 0; c < in_; ++c)
-          acc += static_cast<std::int32_t>(xrow[c]) * wrow[c];
-        y.at(i, r) = static_cast<float>(acc) * in_scale *
-                         scales_[static_cast<std::size_t>(r)] +
-                     bias_[static_cast<std::size_t>(r)];
-      }
+      in_scale_[static_cast<std::size_t>(i)] =
+          sample_scale(x.data() + i * in_, in_);
+      in_inv_[static_cast<std::size_t>(i)] =
+          1.0f / in_scale_[static_cast<std::size_t>(i)];
     }
+    bp_.resize(static_cast<std::size_t>(igemm::packed_b_bytes(in_, n)));
+    igemm::pack_b_quantized(x.data(), /*rs=*/1, /*cs=*/in_, in_, n,
+                            in_inv_.data(), bp_.data());
+    igemm::Epilogue ep;
+    ep.row_scale = scales_.data();
+    ep.col_scale = in_scale_.data();
+    ep.bias = bias_.data();
+    gout_.resize(static_cast<std::size_t>(out_ * n));
+    igemm::gemm(out_, n, in_, packed_a_.data(), rowsum_.data(), bp_.data(),
+                gout_.data(), /*ldc=*/n, ep);
+    Tensor y(Shape{n, out_});  // transpose the [out, n] GEMM result
+    for (std::int64_t i = 0; i < n; ++i)
+      for (std::int64_t r = 0; r < out_; ++r)
+        y.data()[i * out_ + r] = gout_[static_cast<std::size_t>(r * n + i)];
     return y;
   }
 
   const char* name() const override { return "int8_linear"; }
 
-  std::int64_t bytes() const {
-    return static_cast<std::int64_t>(weights_.size());
-  }
+  std::int64_t bytes() const { return bytes_; }
 
  private:
   std::int64_t out_, in_;
-  std::vector<std::int8_t> weights_;
+  std::vector<std::int8_t> packed_a_;
+  std::vector<std::int32_t> rowsum_;
   std::vector<float> scales_;
   std::vector<float> bias_;
-  mutable std::vector<std::int8_t> xq_;  // per-call scratch
+  std::int64_t bytes_ = 0;
+  // Per-call scratch, retained across forwards (malloc-free steady state).
+  mutable std::vector<float> in_scale_, in_inv_, gout_;
+  mutable std::vector<std::uint8_t> bp_;
 };
 
 class ReluOp : public Int8Op {
  public:
   explicit ReluOp(float cap) : cap_(cap) {}
   Tensor forward(const Tensor& x) const override {
-    Tensor y = x;
-    for (std::int64_t i = 0; i < y.numel(); ++i) {
-      y[i] = y[i] > 0.0f ? y[i] : 0.0f;
-      if (cap_ > 0.0f && y[i] > cap_) y[i] = cap_;
-    }
+    // x.like() skips the copy-on-write detach a `Tensor y = x` would pay;
+    // the kernel overwrites every element.
+    Tensor y = x.like();
+    if (cap_ > 0.0f)
+      kernels::relu_cap(x.data(), y.data(), x.numel(), cap_);
+    else
+      kernels::relu(x.data(), y.data(), x.numel());
     return y;
   }
   const char* name() const override { return "relu"; }
@@ -228,7 +282,8 @@ class MaxPoolOp : public Int8Op {
     const auto n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
     const auto oh = (h + 2 * pad_ - kernel_) / stride_ + 1;
     const auto ow = (w + 2 * pad_ - kernel_) / stride_ + 1;
-    Tensor y(Shape{n, c, oh, ow});
+    Tensor y = Tensor::empty(Shape{n, c, oh, ow});
+    float* out = y.data();  // hoisted: operator[] re-checks CoW per element
     std::int64_t o = 0;
     for (std::int64_t img = 0; img < n; ++img)
       for (std::int64_t ch = 0; ch < c; ++ch) {
@@ -243,7 +298,7 @@ class MaxPoolOp : public Int8Op {
                 if (iy < 0 || iy >= h || ix < 0 || ix >= w) continue;
                 best = std::max(best, plane[iy * w + ix]);
               }
-            y[o] = best;
+            out[o] = best;
           }
       }
     return y;
@@ -258,13 +313,14 @@ class GlobalAvgPoolOp : public Int8Op {
  public:
   Tensor forward(const Tensor& x) const override {
     const auto n = x.dim(0), c = x.dim(1), spatial = x.dim(2) * x.dim(3);
-    Tensor y(Shape{n, c});
+    Tensor y = Tensor::empty(Shape{n, c});
+    float* out = y.data();
     for (std::int64_t img = 0; img < n; ++img)
       for (std::int64_t ch = 0; ch < c; ++ch) {
         const float* plane = x.data() + (img * c + ch) * spatial;
         double s = 0.0;
         for (std::int64_t i = 0; i < spatial; ++i) s += plane[i];
-        y.at(img, ch) = static_cast<float>(s / spatial);
+        out[img * c + ch] = static_cast<float>(s / spatial);
       }
     return y;
   }
@@ -295,9 +351,10 @@ class ResidualOp : public Int8Op {
     for (const auto& op : shortcut_) skip = op->forward(skip);
     CQ_CHECK(main.same_shape(skip));
     main.add_(skip);
-    if (relu_after_)
-      for (std::int64_t i = 0; i < main.numel(); ++i)
-        if (main[i] < 0.0f) main[i] = 0.0f;
+    if (relu_after_) {
+      float* d = main.data();
+      kernels::relu(d, d, main.numel());
+    }
     return main;
   }
   const char* name() const override { return "residual"; }

@@ -13,7 +13,12 @@
 //    per-batch) ranges make batched inference bitwise identical to running
 //    each sample alone: requests that share a dynamic batch in the serving
 //    engine cannot perturb each other's quantization grids,
-//  * residual blocks (BasicBlock / InvertedResidual) compile recursively.
+//  * residual blocks (BasicBlock / InvertedResidual) compile recursively,
+//  * conv/linear forwards run on the int8 GEMM micro-kernels
+//    (tensor/kernels/igemm.hpp): weights prepacked at compile time, the
+//    whole batch lowered into one column matrix per group (the serve fp32
+//    pipeline's shape), activations quantized as they are packed, int32
+//    accumulation, and the scales folded back to fp32 at write-back.
 #pragma once
 
 #include <memory>

@@ -79,6 +79,75 @@ void im2col(const float* image, const ConvGeometry& g, float* cols,
   }
 }
 
+void im2col_batched(const float* images, std::int64_t n,
+                    std::int64_t sample_stride, const ConvGeometry& g,
+                    float* cols, std::int64_t col_stride) {
+  const auto oh = g.out_h(), ow = g.out_w();
+  const auto spatial = oh * ow;
+  CQ_TRACE_SCOPE_BYTES("im2col",
+                       g.col_rows() * n * spatial * sizeof(float));
+  CQ_DCHECK(col_stride >= n * spatial);
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.in_channels; ++c) {
+    const std::int64_t chan_off = c * g.in_h * g.in_w;
+    for (std::int64_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (std::int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+        // Identical range hoist to the strided single-image overload above
+        // (same copy/fill structure, so the bytes match bit for bit) —
+        // computed once per patch row here instead of once per (row, image).
+        const std::int64_t off = kw - g.pad;
+        std::int64_t x0 = off < 0 ? (-off + g.stride - 1) / g.stride : 0;
+        std::int64_t x1 =
+            off < g.in_w ? (g.in_w - 1 - off) / g.stride : -1;
+        x0 = std::min(x0, ow);
+        x1 = std::min(x1, ow - 1);
+        const std::int64_t yoff = kh - g.pad;
+        std::int64_t y0 = yoff < 0 ? (-yoff + g.stride - 1) / g.stride : 0;
+        std::int64_t y1 = yoff < g.in_h ? (g.in_h - 1 - yoff) / g.stride : -1;
+        y0 = std::min(y0, oh);
+        y1 = std::min(y1, oh - 1);
+        const bool contiguous =
+            g.stride == 1 && ow == g.in_w && y1 >= y0 && x1 >= x0;
+        for (std::int64_t img = 0; img < n; ++img) {
+          const float* chan = images + img * sample_stride + chan_off;
+          float* out_row = cols + row * col_stride + img * spatial;
+          std::fill(out_row, out_row + y0 * ow, 0.0f);
+          std::fill(out_row + (y1 + 1) * ow, out_row + oh * ow, 0.0f);
+          if (contiguous) {
+            std::memcpy(out_row + y0 * ow + x0,
+                        chan + (y0 + yoff) * g.in_w + off + x0,
+                        static_cast<std::size_t>((y1 - y0) * ow + x1 - x0 +
+                                                 1) *
+                            sizeof(float));
+            for (std::int64_t y = y0; y <= y1; ++y) {
+              float* dst = out_row + y * ow;
+              for (std::int64_t x = 0; x < x0; ++x) dst[x] = 0.0f;
+              for (std::int64_t x = x1 + 1; x < ow; ++x) dst[x] = 0.0f;
+            }
+            continue;
+          }
+          for (std::int64_t y = y0; y <= y1; ++y) {
+            const std::int64_t iy = y * g.stride + yoff;
+            float* dst = out_row + y * ow;
+            const float* src = chan + iy * g.in_w + off;
+            std::fill(dst, dst + x0, 0.0f);
+            if (g.stride == 1) {
+              if (x1 >= x0)
+                std::memcpy(dst + x0, src + x0,
+                            static_cast<std::size_t>(x1 - x0 + 1) *
+                                sizeof(float));
+            } else {
+              for (std::int64_t x = x0; x <= x1; ++x)
+                dst[x] = src[x * g.stride];
+            }
+            if (x1 + 1 < ow) std::fill(dst + x1 + 1, dst + ow, 0.0f);
+          }
+        }
+      }
+    }
+  }
+}
+
 void im2col_into(const float* image, const ConvGeometry& g, Tensor& cols) {
   cols.resize(Shape{g.col_rows(), g.col_cols()});
   im2col(image, g, cols.data());

@@ -36,6 +36,18 @@ void im2col(const float* image, const ConvGeometry& g, float* cols);
 void im2col(const float* image, const ConvGeometry& g, float* cols,
             std::int64_t col_stride);
 
+/// Batched lowering: lowers `n` images (spaced `sample_stride` floats
+/// apart) side by side into a [col_rows, n * col_cols] column matrix with
+/// row stride `col_stride` (>= n * col_cols); image i owns columns
+/// [i * col_cols, (i+1) * col_cols). Bit-identical to n strided im2col
+/// calls, but the per-row source-range geometry (several integer divisions
+/// per patch row) is computed once and reused for every image — on
+/// thumbnail inputs that bookkeeping rivals the copies themselves, which is
+/// exactly the regime the serving engine's dynamic batches live in.
+void im2col_batched(const float* images, std::int64_t n,
+                    std::int64_t sample_stride, const ConvGeometry& g,
+                    float* cols, std::int64_t col_stride);
+
 /// Destination-passing variant: resizes `cols` to [col_rows, col_cols]
 /// (reusing its pooled storage when possible) and fully overwrites it.
 /// `image` must not alias `cols`.

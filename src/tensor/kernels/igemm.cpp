@@ -1,0 +1,342 @@
+// int8 GEMM micro-kernels. Like tensor/gemm.cpp this TU is compiled with
+// -march=native -ffp-contract=off (see src/CMakeLists.txt): the packing and
+// epilogue float math must not be contracted to FMA, and the integer core
+// wants the widest SIMD available. Under CQ_FORCE_SCALAR the default
+// namespace collapses onto the portable loops — bit-identical results, per
+// the determinism contract in igemm.hpp.
+//
+// There is no KC/NC cache blocking here on purpose: serving-shape operands
+// are 4x smaller than fp32 (int8 vs float), the whole packed A is prepacked
+// once at network-compile time, and the full-k register accumulation is what
+// guarantees "no intermediate rounding" without an int32 C scratch. A B
+// sliver is kNR * padded_k bytes — L1/L2-resident for every shape the
+// deploy path produces (k <= kMaxK keeps even the worst case ~0.5 MB).
+#include "tensor/kernels/igemm.hpp"
+
+#include <cmath>
+
+#include "core/trace.hpp"
+#include "util/check.hpp"
+
+#if !defined(CQ_FORCE_SCALAR) && defined(__AVX512F__) && \
+    defined(__AVX512BW__) && defined(__AVX512VNNI__)
+#define CQ_IGEMM_VNNI 1
+#include <immintrin.h>
+#else
+#define CQ_IGEMM_VNNI 0
+#endif
+
+namespace cq::igemm {
+namespace {
+
+constexpr std::int64_t MR = kMR;
+constexpr std::int64_t NR = kNR;
+constexpr std::int64_t KU = kKU;
+
+// ---------------------------------------------------------------------------
+// Portable implementations. These ARE igemm::scalar, and also the default
+// backend when the build has no VNNI.
+// ---------------------------------------------------------------------------
+
+// One shared quantize formula (igemm.hpp documents it); the VNNI pack path
+// below reproduces it lane-for-lane with max/min/cvtps, which share x86's
+// NaN-takes-the-second-operand and round-half-even semantics.
+std::int32_t quantize_impl(float v, float inv_scale) {
+  float t = v * inv_scale;
+  t = t > -127.0f ? t : -127.0f;  // NaN compares false -> clamps to -127
+  t = t < 127.0f ? t : 127.0f;
+  return static_cast<std::int32_t>(std::nearbyintf(t));
+}
+
+void pack_b_scalar(const float* b, std::int64_t rs, std::int64_t cs,
+                   std::int64_t k, std::int64_t n, const float* col_inv_scale,
+                   std::uint8_t* bp) {
+  const std::int64_t kp = padded_k(k);
+  for (std::int64_t jr = 0; jr < n; jr += NR) {
+    const std::int64_t nr = std::min(NR, n - jr);
+    std::uint8_t* sliver = bp + (jr / NR) * (kp * NR);
+    // Byte slot for (k-index p, sliver column j): quad-grouped per
+    // igemm.hpp — (p / KU) * (NR * KU) + j * KU + p % KU.
+    if (cs == 1) {
+      // Row-major source (im2col output): k-outer order reads each source
+      // row once, contiguously.
+      for (std::int64_t p = 0; p < kp; ++p) {
+        const float* src = p < k ? b + p * rs + jr : b;  // pad rows unread
+        std::uint8_t* dst = sliver + (p / KU) * (NR * KU) + p % KU;
+        for (std::int64_t j = 0; j < NR; ++j) {
+          const bool live = j < nr && p < k;
+          const std::int32_t q =
+              live ? quantize_impl(src[j], col_inv_scale[jr + j]) : 0;
+          dst[j * KU] = static_cast<std::uint8_t>(q + 128);
+        }
+      }
+    } else {
+      // Column-strided source (linear layer reading x[n, k] transposed):
+      // each logical column is a contiguous source row, so walk j-outer.
+      // Same bytes into the same slots as the k-outer order above.
+      for (std::int64_t j = 0; j < NR; ++j) {
+        const float* src = j < nr ? b + (jr + j) * cs : b;  // pad cols unread
+        const float inv = j < nr ? col_inv_scale[jr + j] : 0.0f;
+        for (std::int64_t p = 0; p < kp; ++p) {
+          const std::int32_t q =
+              (j < nr && p < k) ? quantize_impl(src[p * rs], inv) : 0;
+          sliver[(p / KU) * (NR * KU) + j * KU + p % KU] =
+              static_cast<std::uint8_t>(q + 128);
+        }
+      }
+    }
+  }
+}
+
+// Per-tile write-back shared by both portable paths: fold the offset
+// correction and scales exactly as documented in igemm.hpp. `acc` holds the
+// raw u8*s8 sums for tile rows [ir, ir+mr) x columns [jr, jr+nr).
+void write_back_scalar(const std::int32_t acc[MR][NR], std::int64_t ir,
+                       std::int64_t jr, std::int64_t mr, std::int64_t nr,
+                       const std::int32_t* rowsum, float* c, std::int64_t ldc,
+                       const Epilogue& ep) {
+  for (std::int64_t i = 0; i < mr; ++i) {
+    float* crow = c + (ir + i) * ldc + jr;
+    const float rscale = ep.row_scale[ir + i];
+    const float bias = ep.bias != nullptr ? ep.bias[ir + i] : 0.0f;
+    for (std::int64_t j = 0; j < nr; ++j) {
+      const std::int32_t off =
+          128 + (ep.col_zp != nullptr ? ep.col_zp[jr + j] : 0);
+      const std::int32_t eff = acc[i][j] - off * rowsum[ir + i];
+      crow[j] = detail::epilogue_value(eff, rscale, ep.col_scale[jr + j], bias);
+    }
+  }
+}
+
+void gemm_scalar(std::int64_t m, std::int64_t n, std::int64_t k,
+                 const std::int8_t* ap, const std::int32_t* rowsum,
+                 const std::uint8_t* bp, float* c, std::int64_t ldc,
+                 const Epilogue& ep) {
+  const std::int64_t kp = padded_k(k);
+  const std::int64_t k4 = kp / KU;
+  for (std::int64_t jr = 0; jr < n; jr += NR) {
+    const std::int64_t nr = std::min(NR, n - jr);
+    const std::uint8_t* bpp = bp + (jr / NR) * (kp * NR);
+    for (std::int64_t ir = 0; ir < m; ir += MR) {
+      const std::int64_t mr = std::min(MR, m - ir);
+      const std::int8_t* app = ap + (ir / MR) * (kp * MR);
+      std::int32_t acc[MR][NR] = {};
+      for (std::int64_t p = 0; p < k4; ++p) {
+        const std::int8_t* aq = app + p * MR * KU;
+        const std::uint8_t* bq = bpp + p * NR * KU;
+        for (std::int64_t i = 0; i < MR; ++i) {
+          for (std::int64_t u = 0; u < KU; ++u) {
+            const std::int32_t av = aq[i * KU + u];
+            if (av == 0) continue;  // zero A bytes (incl. all pads) are inert
+            const std::uint8_t* bu = bq + u;
+            for (std::int64_t j = 0; j < NR; ++j)
+              acc[i][j] += av * static_cast<std::int32_t>(bu[j * KU]);
+          }
+        }
+      }
+      write_back_scalar(acc, ir, jr, mr, nr, rowsum, c, ldc, ep);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AVX-512 VNNI backend.
+// ---------------------------------------------------------------------------
+#if CQ_IGEMM_VNNI
+
+// Quantize one 16-wide row slice to offset-binary int32 lanes ([1, 255]).
+// Masked-off lanes read v = 0 with inv = 0 and produce the pad byte 128 —
+// identical to what pack_b_scalar writes, so packed buffers match bitwise.
+inline __m512i quantize_row(const float* src, __mmask16 mask, __m512 inv) {
+  __m512 t = _mm512_mul_ps(_mm512_maskz_loadu_ps(mask, src), inv);
+  t = _mm512_max_ps(t, _mm512_set1_ps(-127.0f));  // NaN -> -127, like scalar
+  t = _mm512_min_ps(t, _mm512_set1_ps(127.0f));
+  return _mm512_add_epi32(_mm512_cvtps_epi32(t), _mm512_set1_epi32(128));
+}
+
+void pack_b_vnni(const float* b, std::int64_t rs, std::int64_t cs,
+                 std::int64_t k, std::int64_t n, const float* col_inv_scale,
+                 std::uint8_t* bp) {
+  if (cs != 1) {  // strided gather: the scalar walk is already column-local
+    pack_b_scalar(b, rs, cs, k, n, col_inv_scale, bp);
+    return;
+  }
+  const std::int64_t kp = padded_k(k);
+  const __m512i zero128 = _mm512_set1_epi32(128);
+  for (std::int64_t jr = 0; jr < n; jr += NR) {
+    const std::int64_t nr = std::min(NR, n - jr);
+    const __mmask16 mask =
+        nr == NR ? static_cast<__mmask16>(0xFFFF)
+                 : static_cast<__mmask16>((1u << nr) - 1u);
+    const __m512 inv = _mm512_maskz_loadu_ps(mask, col_inv_scale + jr);
+    std::uint8_t* sliver = bp + (jr / NR) * (kp * NR);
+    for (std::int64_t p = 0; p < kp; p += KU) {
+      // Four k-rows -> one 64-byte quad block. Each offset-binary value
+      // fits in 8 bits, so shift-and-or assembles the bytes exactly.
+      __m512i q[KU];
+      for (std::int64_t u = 0; u < KU; ++u)
+        q[u] = p + u < k ? quantize_row(b + (p + u) * rs + jr, mask, inv)
+                         : zero128;  // k pad: the offset-binary zero byte
+      const __m512i lo =
+          _mm512_or_si512(q[0], _mm512_slli_epi32(q[1], 8));
+      const __m512i hi =
+          _mm512_or_si512(_mm512_slli_epi32(q[2], 16),
+                          _mm512_slli_epi32(q[3], 24));
+      _mm512_storeu_si512(sliver + (p / KU) * (NR * KU),
+                          _mm512_or_si512(lo, hi));
+    }
+  }
+}
+
+void gemm_vnni(std::int64_t m, std::int64_t n, std::int64_t k,
+               const std::int8_t* ap, const std::int32_t* rowsum,
+               const std::uint8_t* bp, float* c, std::int64_t ldc,
+               const Epilogue& ep) {
+  const std::int64_t kp = padded_k(k);
+  const std::int64_t k4 = kp / KU;
+  for (std::int64_t jr = 0; jr < n; jr += NR) {
+    const std::int64_t nr = std::min(NR, n - jr);
+    const __mmask16 mask =
+        nr == NR ? static_cast<__mmask16>(0xFFFF)
+                 : static_cast<__mmask16>((1u << nr) - 1u);
+    const std::uint8_t* bpp = bp + (jr / NR) * (kp * NR);
+    // Per-column epilogue operands for this tile, loaded once. Masked-off
+    // lanes are zero; they are never stored.
+    const __m512i zpv =
+        ep.col_zp != nullptr
+            ? _mm512_maskz_loadu_epi32(mask, ep.col_zp + jr)
+            : _mm512_setzero_si512();
+    const __m512i offv = _mm512_add_epi32(zpv, _mm512_set1_epi32(128));
+    const __m512 csv = _mm512_maskz_loadu_ps(mask, ep.col_scale + jr);
+    for (std::int64_t ir = 0; ir < m; ir += MR) {
+      const std::int64_t mr = std::min(MR, m - ir);
+      const std::int8_t* app = ap + (ir / MR) * (kp * MR);
+      __m512i acc[MR] = {};
+      for (std::int64_t p = 0; p < k4; ++p) {
+        // One zmm of B (16 columns x 4 k-values) against a broadcast dword
+        // (4 k-values of one A row): vpdpbusd accumulates the u8*s8 quad
+        // products straight into the int32 lanes.
+        const __m512i bv = _mm512_loadu_si512(bpp + p * NR * KU);
+        const std::int8_t* aq = app + p * MR * KU;
+        for (std::int64_t i = 0; i < MR; ++i) {
+          std::int32_t adw;
+          __builtin_memcpy(&adw, aq + i * KU, sizeof(adw));
+          acc[i] = _mm512_dpbusd_epi32(acc[i], bv, _mm512_set1_epi32(adw));
+        }
+      }
+      for (std::int64_t i = 0; i < mr; ++i) {
+        // eff = acc - (128 + zp_j) * rowsum_i, then the two-step float fold
+        // (mul, add — explicit intrinsics, never contracted) matching
+        // detail::epilogue_value lane-for-lane.
+        const __m512i corr =
+            _mm512_mullo_epi32(offv, _mm512_set1_epi32(rowsum[ir + i]));
+        const __m512i eff = _mm512_sub_epi32(acc[i], corr);
+        const __m512 sv =
+            _mm512_mul_ps(_mm512_set1_ps(ep.row_scale[ir + i]), csv);
+        const __m512 out = _mm512_add_ps(
+            _mm512_mul_ps(_mm512_cvtepi32_ps(eff), sv),
+            _mm512_set1_ps(ep.bias != nullptr ? ep.bias[ir + i] : 0.0f));
+        _mm512_mask_storeu_ps(c + (ir + i) * ldc + jr, mask, out);
+      }
+    }
+  }
+}
+
+#endif  // CQ_IGEMM_VNNI
+
+}  // namespace
+
+const char* backend() {
+#if CQ_IGEMM_VNNI
+  return "avx512-vnni";
+#else
+  return "scalar";
+#endif
+}
+
+void pack_a_s8(const std::int8_t* a, std::int64_t m, std::int64_t k,
+               std::int8_t* ap, std::int32_t* rowsum) {
+  CQ_TRACE_SCOPE_HOT_BYTES("igemm.pack_a", m * k);
+  const std::int64_t kp = padded_k(k);
+  for (std::int64_t ir = 0; ir < m; ir += MR) {
+    const std::int64_t mr = std::min(MR, m - ir);
+    std::int8_t* sliver = ap + (ir / MR) * (kp * MR);
+    for (std::int64_t i = 0; i < MR; ++i) {
+      const std::int8_t* src = a + (ir + i) * k;
+      std::int32_t sum = 0;
+      for (std::int64_t p = 0; p < kp; ++p) {
+        const std::int8_t v = (i < mr && p < k) ? src[p] : std::int8_t{0};
+        sliver[(p / KU) * (MR * KU) + i * KU + (p % KU)] = v;
+        sum += v;
+      }
+      if (i < mr) rowsum[ir + i] = sum;
+    }
+  }
+}
+
+void pack_b_quantized(const float* b, std::int64_t rs, std::int64_t cs,
+                      std::int64_t k, std::int64_t n,
+                      const float* col_inv_scale, std::uint8_t* bp) {
+  CQ_TRACE_SCOPE_HOT_BYTES("igemm.pack_b", k * n * sizeof(float));
+#if CQ_IGEMM_VNNI
+  pack_b_vnni(b, rs, cs, k, n, col_inv_scale, bp);
+#else
+  pack_b_scalar(b, rs, cs, k, n, col_inv_scale, bp);
+#endif
+}
+
+void gemm(std::int64_t m, std::int64_t n, std::int64_t k,
+          const std::int8_t* ap, const std::int32_t* rowsum,
+          const std::uint8_t* bp, float* c, std::int64_t ldc,
+          const Epilogue& ep) {
+  if (m <= 0 || n <= 0) return;
+  CQ_TRACE_SCOPE_BYTES("igemm", m * k + k * n + m * n * sizeof(float));
+  CQ_CHECK(k >= 0 && k <= kMaxK);
+  CQ_CHECK(ldc >= n);
+  CQ_CHECK(ep.row_scale != nullptr && ep.col_scale != nullptr);
+#if CQ_IGEMM_VNNI
+  gemm_vnni(m, n, k, ap, rowsum, bp, c, ldc, ep);
+#else
+  gemm_scalar(m, n, k, ap, rowsum, bp, c, ldc, ep);
+#endif
+}
+
+namespace detail {
+
+float epilogue_value(std::int32_t eff, float row_scale, float col_scale,
+                     float bias) {
+  // Exactly two float roundings after the one int->float conversion:
+  // (1) the folded scale product, (2) the multiply; the add is the third.
+  // This TU builds with -ffp-contract=off, so mul+add never fuses — the
+  // sequence is what the VNNI epilogue performs per lane with explicit
+  // mul_ps/add_ps intrinsics.
+  return static_cast<float>(eff) * (row_scale * col_scale) + bias;
+}
+
+std::int32_t quantize_value(float v, float inv_scale) {
+  return quantize_impl(v, inv_scale);
+}
+
+}  // namespace detail
+
+namespace scalar {
+
+void pack_b_quantized(const float* b, std::int64_t rs, std::int64_t cs,
+                      std::int64_t k, std::int64_t n,
+                      const float* col_inv_scale, std::uint8_t* bp) {
+  pack_b_scalar(b, rs, cs, k, n, col_inv_scale, bp);
+}
+
+void gemm(std::int64_t m, std::int64_t n, std::int64_t k,
+          const std::int8_t* ap, const std::int32_t* rowsum,
+          const std::uint8_t* bp, float* c, std::int64_t ldc,
+          const Epilogue& ep) {
+  if (m <= 0 || n <= 0) return;
+  CQ_CHECK(k >= 0 && k <= kMaxK);
+  CQ_CHECK(ldc >= n);
+  CQ_CHECK(ep.row_scale != nullptr && ep.col_scale != nullptr);
+  gemm_scalar(m, n, k, ap, rowsum, bp, c, ldc, ep);
+}
+
+}  // namespace scalar
+}  // namespace cq::igemm

@@ -1,6 +1,7 @@
 // Int8 deployment: symmetric quantization, BN folding, compiled networks.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 
@@ -11,6 +12,7 @@
 #include "nn/conv2d.hpp"
 #include "nn/linear.hpp"
 #include "nn/pooling.hpp"
+#include "tensor/kernels/igemm.hpp"
 #include "tensor/ops.hpp"
 #include "util/check.hpp"
 
@@ -217,6 +219,84 @@ TEST(CompileInt8, MobileNetV2Compiles) {
   const Tensor f_q = compiled.forward(x);
   ASSERT_TRUE(f_fp.same_shape(f_q));
   EXPECT_LT(max_rel_err(f_fp, f_q), 0.25f);  // deeper nets accumulate error
+}
+
+TEST(Int8Accumulators, WideReductionDoesNotWrapInt16) {
+  // All-ones weights and input over in=2048: each int8 product is 127*127
+  // and the effective reduction reaches 2048 * 127 * 127 = 33,032,192 —
+  // an int16 accumulator (max 32767) would have wrapped ~1000 times over
+  // and produced garbage. The near-exact answer pins int32 accumulation in
+  // the GEMM core.
+  Rng rng(20);
+  const std::int64_t in = 2048, out = 3;
+  nn::Sequential net;
+  auto& fc = net.emplace<nn::Linear>(in, out, rng, false, "fc");
+  for (std::int64_t i = 0; i < fc.weight().value.numel(); ++i)
+    fc.weight().value[i] = 1.0f;
+  net.set_mode(nn::Mode::kEval);
+  const auto compiled = deploy::compile_int8(net);
+  Tensor x(Shape{1, in});
+  for (std::int64_t i = 0; i < in; ++i) x[i] = 1.0f;
+  const Tensor y = compiled.forward(x);
+  for (std::int64_t r = 0; r < out; ++r)
+    EXPECT_NEAR(y.at(0, r), 2048.0f, 0.01f) << "row " << r;
+}
+
+TEST(Int8Accumulators, PerChannelScaleEpilogueMatchesMaterializedDequant) {
+  // Weight rows spanning five orders of magnitude: a per-TENSOR scale would
+  // crush the small rows to zero bits. The compiled op must match the
+  // materialized pipeline — dequantize the per-channel int8 weights and the
+  // per-sample int8 activations back to fp32, then do an exact (double)
+  // GEMM — to float-rounding precision, pinning the epilogue's per-channel
+  // scale folding.
+  Rng rng(21);
+  const std::int64_t in = 32, out = 6, n = 4;
+  nn::Sequential net;
+  auto& fc = net.emplace<nn::Linear>(in, out, rng, true, "fc");
+  Tensor& w = fc.weight().value;
+  for (std::int64_t r = 0; r < out; ++r) {
+    const float mag = std::pow(10.0f, static_cast<float>(r) - 3.0f);
+    for (std::int64_t c = 0; c < in; ++c)
+      w.at(r, c) = mag * (0.2f + 0.8f * static_cast<float>((c * 7 + r) % 11) /
+                                     10.0f) *
+                   ((c + r) % 2 == 0 ? 1.0f : -1.0f);
+  }
+  net.set_mode(nn::Mode::kEval);
+  const auto compiled = deploy::compile_int8(net);
+  Tensor x = Tensor::uniform(Shape{n, in}, rng, -1.0f, 1.0f);
+  const Tensor y = compiled.forward(x);
+
+  // Materialize: per-output-channel weight quantization (the compiler's
+  // round-half-away formula), per-sample activation quantization (the
+  // igemm pack formula), dequantize both, exact double GEMM.
+  for (std::int64_t i = 0; i < n; ++i) {
+    float xmax = 0.0f;
+    for (std::int64_t c = 0; c < in; ++c)
+      xmax = std::max(xmax, std::fabs(x.at(i, c)));
+    const float xscale = std::max(xmax / 127.0f, 1e-12f);
+    for (std::int64_t r = 0; r < out; ++r) {
+      float wmax = 0.0f;
+      for (std::int64_t c = 0; c < in; ++c)
+        wmax = std::max(wmax, std::fabs(w.at(r, c)));
+      const float wscale = wmax > 0.0f ? wmax / 127.0f : 1.0f;
+      double acc = 0.0;
+      for (std::int64_t c = 0; c < in; ++c) {
+        const double wd =
+            static_cast<double>(std::clamp<long>(
+                std::lround(w.at(r, c) / wscale), -127L, 127L)) *
+            wscale;
+        const double xd = static_cast<double>(igemm::detail::quantize_value(
+                              x.at(i, c), 1.0f / xscale)) *
+                          xscale;
+        acc += wd * xd;
+      }
+      acc += fc.bias()->value[r];
+      const float ref = static_cast<float>(acc);
+      EXPECT_NEAR(y.at(i, r), ref,
+                  1e-4f * std::max(1.0f, std::fabs(ref)))
+          << "sample " << i << " channel " << r;
+    }
+  }
 }
 
 TEST(CompileInt8, RejectsUnsupportedModules) {

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -324,6 +325,77 @@ TEST(Engine, Int8InstanceServesBitwiseEqualToSingleSample) {
   auto enc = load_reference();
   const auto net = deploy::compile_int8(*enc.backbone);
   for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const Tensor want = net.forward(inputs[i]);
+    for (std::int64_t c = 0; c < engine.feature_dim(); ++c)
+      EXPECT_EQ(outs[i][static_cast<std::size_t>(c)], want.at(0, c))
+          << "request " << i << " feature " << c;
+  }
+}
+
+TEST(Engine, Int8BatchedBitwiseEqualsSerialAcrossWidths) {
+  // The int8 GEMM path accumulates each output element in int32 over the
+  // full k independently of batch position, and activation scales are
+  // per-sample — so every batch width from 1 to max_batch must reproduce
+  // the serial results exactly, bit for bit.
+  constexpr std::int64_t kMaxBatch = 8;
+  auto enc = load_reference();
+  const auto net = deploy::compile_int8(*enc.backbone);
+  const auto inputs = make_inputs(kMaxBatch, 21);
+  std::vector<Tensor> serial;
+  for (const auto& in : inputs) serial.push_back(net.forward(in));
+  const auto per = inputs[0].numel();
+  for (std::int64_t width = 1; width <= kMaxBatch; ++width) {
+    Tensor batch(Shape{width, 3, kH, kW});
+    for (std::int64_t i = 0; i < width; ++i)
+      std::memcpy(batch.data() + i * per,
+                  inputs[static_cast<std::size_t>(i)].data(),
+                  static_cast<std::size_t>(per) * sizeof(float));
+    const Tensor got = net.forward(batch);
+    ASSERT_EQ(got.dim(0), width);
+    for (std::int64_t i = 0; i < width; ++i)
+      for (std::int64_t c = 0; c < got.dim(1); ++c)
+        EXPECT_EQ(got.at(i, c), serial[static_cast<std::size_t>(i)].at(0, c))
+            << "width " << width << " sample " << i << " feature " << c;
+  }
+}
+
+TEST(Engine, Int8DeadlineUnderLoad) {
+  // A request whose deadline has already expired must time out without ever
+  // reaching the int8 model — its output untouched — while the live
+  // requests sharing the queue are served bitwise-correctly.
+  auto cfg = base_config();
+  cfg.workers = 1;
+  cfg.instance = serve::InstanceKind::kInt8;
+  cfg.max_batch = 4;
+  serve::Engine engine(cfg);
+
+  const auto inputs = make_inputs(7, 22);
+  std::vector<serve::Request> reqs(7);
+  std::vector<std::vector<float>> outs(
+      7, std::vector<float>(static_cast<std::size_t>(engine.feature_dim()),
+                            -42.0f));
+  const std::size_t kExpired = 3;
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    reqs[i].input = inputs[i].data();
+    reqs[i].output = outs[i].data();
+    if (i == kExpired)
+      reqs[i].deadline = serve::Clock::now() - std::chrono::milliseconds(1);
+    ASSERT_TRUE(engine.submit(&reqs[i]));
+  }
+  for (std::size_t i = 0; i < reqs.size(); ++i)
+    EXPECT_EQ(reqs[i].wait(), i == kExpired ? serve::Status::kTimeout
+                                            : serve::Status::kOk);
+  engine.stop();
+
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.timed_out, 1u);
+  EXPECT_EQ(stats.served, 6u);
+  for (float v : outs[kExpired]) EXPECT_EQ(v, -42.0f);  // never forwarded
+
+  auto enc = load_reference();
+  const auto net = deploy::compile_int8(*enc.backbone);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    if (i == kExpired) continue;
     const Tensor want = net.forward(inputs[i]);
     for (std::int64_t c = 0; c < engine.feature_dim(); ++c)
       EXPECT_EQ(outs[i][static_cast<std::size_t>(c)], want.at(0, c))
