@@ -1,0 +1,217 @@
+// Graph-compiler bench: compile time, planned-vs-naive arena footprint, and
+// compiled-vs-eager forward latency for both serving precisions
+// (regenerates the repo-root BENCH_compile.json).
+//
+// Protocol per precision:
+//  1. Equivalence gate: the compiled plan's batch forward must be BITWISE
+//     equal to the eager twin (serve::Fp32Network / deploy::Int8Network).
+//     A mismatch aborts the bench — latency for a wrong answer is noise.
+//  2. Compile time: median of a few trace->passes->plan->prepack runs.
+//  3. Latency: best per-forward time over alternating eager/compiled rounds
+//     (shared host; the minimum estimates the uncontended machine).
+//
+// Gated metrics (tools/bench_check defaults): reduction_pct and speedup
+// (higher better) plus bitwise_equivalent. compile_ms and the raw *_bytes
+// stay ungated — compile time is machine weather and the byte counts are
+// exact, deterministic facts better eyeballed in review diffs.
+//
+// `--json=PATH` writes the JSON; `--smoke` runs the equivalence gates plus
+// one timing iteration (CI).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "deploy/int8.hpp"
+#include "graph/executor.hpp"
+#include "models/encoder.hpp"
+#include "serve/fp32.hpp"
+#include "util/rng.hpp"
+
+using namespace cq;
+
+namespace {
+
+constexpr std::int64_t kH = 8, kW = 8, kBatch = 8;
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+std::string make_checkpoint() {
+  Rng rng(7);
+  auto enc = models::make_encoder("resnet18", rng);
+  enc.backbone->set_mode(nn::Mode::kTrain);
+  for (int i = 0; i < 10; ++i) {
+    enc.forward(Tensor::uniform(Shape{4, 3, kH, kW}, rng));
+    enc.backbone->clear_cache();
+  }
+  enc.backbone->set_mode(nn::Mode::kEval);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "cq_bench_compile_ckpt.bin")
+          .string();
+  models::save_module(path, *enc.backbone);
+  return path;
+}
+
+models::Encoder load_encoder(const std::string& checkpoint) {
+  Rng rng(1);
+  auto enc = models::make_encoder("resnet18", rng);
+  models::load_module(checkpoint, *enc.backbone);
+  enc.policy->set_full_precision();
+  enc.backbone->set_mode(nn::Mode::kEval);
+  return enc;
+}
+
+struct PrecisionResult {
+  const char* name = "";
+  bool equivalent = false;
+  double compile_ms = 0.0;
+  long long arena_bytes = 0;
+  long long naive_bytes = 0;
+  double reduction_pct = 0.0;
+  double eager_us = 0.0;
+  double compiled_us = 0.0;
+  double speedup = 0.0;
+};
+
+template <typename EagerForward>
+PrecisionResult bench_precision(const std::string& checkpoint,
+                                graph::Precision precision, const char* name,
+                                EagerForward eager_forward, bool smoke) {
+  PrecisionResult res;
+  res.name = name;
+  auto enc = load_encoder(checkpoint);
+
+  // Compile time: median of repeated full compiles (trace, passes, plan,
+  // prepack). Reported but NOT gated — pure machine weather.
+  const graph::CompileOptions opts{kBatch, precision, /*run_passes=*/true};
+  std::vector<double> compile_times;
+  const int compile_reps = smoke ? 1 : 5;
+  for (int i = 0; i < compile_reps; ++i) {
+    const auto t0 = Clock::now();
+    auto m = graph::compile(*enc.backbone, Shape{3, kH, kW}, opts);
+    compile_times.push_back(ms_since(t0));
+  }
+  std::sort(compile_times.begin(), compile_times.end());
+  res.compile_ms = compile_times[compile_times.size() / 2];
+
+  auto model = graph::compile(*enc.backbone, Shape{3, kH, kW}, opts);
+  res.arena_bytes = static_cast<long long>(model.plan().arena_bytes);
+  res.naive_bytes = static_cast<long long>(model.plan().naive_bytes);
+  res.reduction_pct =
+      res.naive_bytes > 0
+          ? 100.0 * (1.0 - static_cast<double>(res.arena_bytes) /
+                               static_cast<double>(res.naive_bytes))
+          : 0.0;
+
+  Rng rng(21);
+  const Tensor batch =
+      Tensor::uniform(Shape{kBatch, 3, kH, kW}, rng, -1.0f, 1.0f);
+
+  // Equivalence gate before any timing.
+  const Tensor eager_out = eager_forward(batch);
+  const Tensor& compiled_out = model.forward(batch);
+  std::uint64_t mismatches = 0;
+  for (std::int64_t i = 0; i < eager_out.numel(); ++i)
+    if (eager_out.data()[i] != compiled_out.data()[i]) ++mismatches;
+  res.equivalent = mismatches == 0;
+  if (!res.equivalent) {
+    std::fprintf(stderr, "EQUIVALENCE FAILURE (%s): %llu mismatched values\n",
+                 name, static_cast<unsigned long long>(mismatches));
+    return res;
+  }
+
+  // Alternating rounds, best per path.
+  const int rounds = smoke ? 1 : 3;
+  const int iters = smoke ? 2 : 20;
+  double best_eager = 0.0, best_compiled = 0.0;
+  for (int round = 0; round < rounds; ++round) {
+    auto t0 = Clock::now();
+    for (int i = 0; i < iters; ++i) (void)eager_forward(batch);
+    const double eager_us = ms_since(t0) * 1000.0 / iters;
+    t0 = Clock::now();
+    for (int i = 0; i < iters; ++i) (void)model.forward(batch);
+    const double compiled_us = ms_since(t0) * 1000.0 / iters;
+    if (round == 0 || eager_us < best_eager) best_eager = eager_us;
+    if (round == 0 || compiled_us < best_compiled) best_compiled = compiled_us;
+  }
+  res.eager_us = best_eager;
+  res.compiled_us = best_compiled;
+  res.speedup = best_compiled > 0.0 ? best_eager / best_compiled : 0.0;
+
+  std::printf(
+      "%-5s compile %6.1f ms | arena %lld / naive %lld bytes (-%.1f%%) | "
+      "eager %7.0f us vs compiled %7.0f us | speedup %.2fx\n",
+      name, res.compile_ms, res.arena_bytes, res.naive_bytes,
+      res.reduction_pct, res.eager_us, res.compiled_us, res.speedup);
+  return res;
+}
+
+void write_json(const std::string& path, const PrecisionResult& fp32,
+                const PrecisionResult& int8) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return;
+  }
+  auto emit = [f](const PrecisionResult& r, const char* trailing) {
+    std::fprintf(
+        f,
+        "  \"%s\": {\"bitwise_equivalent\": %s, \"compile_ms\": %.2f, "
+        "\"arena_bytes\": %lld, \"naive_bytes\": %lld, "
+        "\"reduction_pct\": %.1f, \"eager_batch_forward_us\": %.1f, "
+        "\"compiled_batch_forward_us\": %.1f, \"speedup\": %.2f}%s\n",
+        r.name, r.equivalent ? "true" : "false", r.compile_ms, r.arena_bytes,
+        r.naive_bytes, r.reduction_pct, r.eager_us, r.compiled_us, r.speedup,
+        trailing);
+  };
+  std::fprintf(f, "{\n  \"model\": \"resnet18\", \"in_h\": %lld, "
+                  "\"in_w\": %lld, \"max_batch\": %lld,\n",
+               static_cast<long long>(kH), static_cast<long long>(kW),
+               static_cast<long long>(kBatch));
+  emit(fp32, ",");
+  emit(int8, "");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      std::fprintf(stderr, "usage: compile [--smoke] [--json=PATH]\n");
+      return 2;
+    }
+  }
+
+  const std::string checkpoint = make_checkpoint();
+  // The eager nets may reference the encoder's parameter storage — keep
+  // each encoder alive for the whole measurement.
+  auto enc_fp32 = load_encoder(checkpoint);
+  serve::Fp32Network fp32_net = serve::compile_fp32(*enc_fp32.backbone);
+  const auto fp32 = bench_precision(
+      checkpoint, graph::Precision::kF32, "fp32",
+      [&](const Tensor& x) -> Tensor { return fp32_net.forward(x); }, smoke);
+  auto enc_int8 = load_encoder(checkpoint);
+  deploy::Int8Network int8_net = deploy::compile_int8(*enc_int8.backbone);
+  const auto int8 = bench_precision(
+      checkpoint, graph::Precision::kInt8, "int8",
+      [&](const Tensor& x) -> Tensor { return int8_net.forward(x); }, smoke);
+
+  if (!json_path.empty()) write_json(json_path, fp32, int8);
+  if (!fp32.equivalent || !int8.equivalent) return 1;
+  std::puts("COMPILE_BENCH_OK");
+  return 0;
+}

@@ -99,7 +99,8 @@ Tensor collate(const std::vector<Tensor>& inputs) {
 /// every feature of every sample matches exactly.
 bool equivalence_gate(const std::string& checkpoint, serve::InstanceKind kind) {
   auto enc = load_encoder(checkpoint);
-  auto instance = serve::make_instance(kind, *enc.backbone);
+  auto instance =
+      serve::make_instance(kind, *enc.backbone, Shape{3, kH, kW}, 8);
   const auto inputs = make_inputs(8, 21);
   const Tensor batch = collate(inputs);
   Tensor batched = instance->forward(batch);  // copy: scratch is reused below

@@ -6,6 +6,7 @@
 #   BENCH_pipeline.json  steady-state allocation accounting
 #   BENCH_kernels.json   SIMD kernel layer: fused epilogues, quantize-on-pack
 #   BENCH_serve.json     serving engine: dynamic batching vs serial baseline
+#   BENCH_compile.json   graph compiler: arena footprint, compiled-vs-eager
 #
 #   ./run_benches.sh            build ./build if needed, run benches + JSONs
 #   ./run_benches.sh --check    correctness sweep instead of benches:
@@ -14,10 +15,13 @@
 #                               kernel backend (`scalar` preset,
 #                               CQ_SCALAR_KERNELS=ON), and the serve-labeled
 #                               threaded tests under ThreadSanitizer (`tsan`
-#                               preset). Configures any preset whose build
-#                               tree is missing.
+#                               preset). Always reconfigures each preset:
+#                               their build presets name explicit test
+#                               targets, and a tree configured before a
+#                               target was added fails with "No rule to
+#                               make target" instead of self-regenerating.
 #   ./run_benches.sh --ci-gate  CI perf gate: run the bench-labeled ctest
-#                               smokes, regenerate the four bench JSONs into
+#                               smokes, regenerate the five bench JSONs into
 #                               bench_out/, and compare each against the
 #                               checked-in repo-root baseline with
 #                               tools/bench_check at ±30% on the
@@ -47,15 +51,15 @@ case "${1:-}" in
 --check)
   set -e
   echo "=== sanitize preset (ASan+UBSan, substrate + kernel tests) ==="
-  configure_if_missing sanitize build-sanitize
+  cmake --preset sanitize
   cmake --build --preset sanitize -j"$(nproc)"
   ctest --preset sanitize -j"$(nproc)"
   echo "=== scalar preset (CQ_SCALAR_KERNELS=ON, portable backend) ==="
-  configure_if_missing scalar build-scalar
+  cmake --preset scalar
   cmake --build --preset scalar -j"$(nproc)"
   ctest --preset scalar -j"$(nproc)"
   echo "=== tsan preset (ThreadSanitizer, serve-labeled tests) ==="
-  configure_if_missing tsan build-tsan
+  cmake --preset tsan
   cmake --build --preset tsan -j"$(nproc)"
   ctest --preset tsan -j"$(nproc)"
   echo ALL_CHECKS_DONE
@@ -77,9 +81,20 @@ case "${1:-}" in
     2> bench_out/kernels_json.err
   ./build/bench/serve --json=bench_out/BENCH_serve.json \
     > bench_out/serve_json.txt 2>&1
+  ./build/bench/compile --json=bench_out/BENCH_compile.json \
+    > bench_out/compile_json.txt 2>&1
   echo "=== comparing against repo-root baselines ==="
   status=0
-  for b in gemm pipeline kernels serve; do
+  for b in gemm pipeline kernels serve compile; do
+    # Fail fast on a missing baseline: cq_bench_check would only see the
+    # unreadable-file error, and a bench added without its checked-in
+    # baseline must not look like a perf regression (or worse, pass).
+    if [ ! -f "BENCH_${b}.json" ]; then
+      echo "run_benches.sh: baseline BENCH_${b}.json missing from repo" \
+        "root — run ./run_benches.sh once and commit the generated file" >&2
+      echo "CI_GATE_MISSING_BASELINE" >&2
+      exit 1
+    fi
     ./build/src/cq_bench_check "bench_out/BENCH_${b}.json" \
       "BENCH_${b}.json" || status=1
   done
@@ -143,4 +158,7 @@ echo "=== RUNNING json baselines ==="
 ./build/bench/serve --json=BENCH_serve.json \
   > bench_out/serve_json.txt 2>&1 && echo "done BENCH_serve.json" \
   || echo "FAILED BENCH_serve.json (see bench_out/serve_json.txt)"
+./build/bench/compile --json=BENCH_compile.json \
+  > bench_out/compile_json.txt 2>&1 && echo "done BENCH_compile.json" \
+  || echo "FAILED BENCH_compile.json (see bench_out/compile_json.txt)"
 echo ALL_BENCHES_DONE

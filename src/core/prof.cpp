@@ -23,6 +23,7 @@ struct Registry {
   std::mutex mu;
   std::deque<Counter> counters;  // deque: stable addresses
   std::deque<Counter::Totals> totals;
+  std::deque<std::string> names;  // interned runtime names (stable c_str)
   std::unordered_map<std::string, Counter*> by_name;
 
   static Registry& instance() {
@@ -45,6 +46,20 @@ Counter& Counter::get(const char* name) {
   Counter& c = r.counters.back();
   c.totals_ = &r.totals.back();
   r.by_name.emplace(name, &c);
+  return c;
+}
+
+Counter& Counter::intern(const std::string& name) {
+  Registry& r = Registry::instance();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.by_name.find(name);
+  if (it != r.by_name.end()) return *it->second;
+  r.names.push_back(name);  // deque: the c_str below stays valid forever
+  r.counters.push_back(Counter(r.names.back().c_str()));
+  r.totals.emplace_back();
+  Counter& c = r.counters.back();
+  c.totals_ = &r.totals.back();
+  r.by_name.emplace(r.names.back(), &c);
   return c;
 }
 

@@ -34,6 +34,13 @@ class Counter {
   /// `name` must outlive the process (string literals).
   static Counter& get(const char* name);
 
+  /// Registry lookup for a RUNTIME-BUILT name ("graph.pass.fold_batchnorm",
+  /// per-node executor spans, ...). The registry copies the string into
+  /// process-lifetime storage, so the returned counter — and its name() —
+  /// are as stable as get()'s. Use with trace::Scope(counter,
+  /// counter.name()) where the macros' literal requirement doesn't fit.
+  static Counter& intern(const std::string& name);
+
   void record(std::uint64_t ns, std::uint64_t bytes, std::uint64_t allocs);
   /// Bump the call count alone (instant events: cache hits, evictions).
   void count(std::uint64_t n = 1);

@@ -42,9 +42,8 @@ Tensor dequantize(const QTensor& q) {
   return t;
 }
 
-namespace {
+namespace detail {
 
-/// Quantize an arbitrary fp32 buffer with a fixed scale.
 void quantize_buffer(const float* src, std::int64_t n, float inv_scale,
                      std::int8_t* dst) {
   for (std::int64_t i = 0; i < n; ++i)
@@ -52,15 +51,19 @@ void quantize_buffer(const float* src, std::int64_t n, float inv_scale,
         std::clamp<long>(std::lround(src[i] * inv_scale), -127L, 127L));
 }
 
-/// Per-sample symmetric activation scale: the range pass covers only this
-/// sample, so a batched forward is bitwise identical to N single-sample
-/// forwards (the property the serving engine's dynamic batcher relies on).
 float sample_scale(const float* src, std::int64_t n) {
   float lo, hi;
   kernels::minmax(src, n, &lo, &hi);
   const float max_abs = std::max(std::fabs(lo), std::fabs(hi));
   return std::max(max_abs / 127.0f, 1e-12f);
 }
+
+}  // namespace detail
+
+namespace {
+
+using detail::quantize_buffer;
+using detail::sample_scale;
 
 class ConvOp : public Int8Op {
  public:
@@ -459,18 +462,25 @@ std::int64_t compile_into(nn::Sequential& seq,
 
 void fold_batchnorm(const nn::BatchNorm2d& bn, Tensor& weight,
                     std::vector<float>& bias) {
+  CQ_CHECK_MSG(bn.channels() == weight.dim(0),
+               "BN channels != conv out channels");
+  fold_batchnorm_arrays(bn.gamma().data(), bn.beta().data(),
+                        bn.running_mean().data(), bn.running_var().data(),
+                        bn.eps(), weight, bias);
+}
+
+void fold_batchnorm_arrays(const float* gamma, const float* beta,
+                           const float* running_mean, const float* running_var,
+                           float eps, Tensor& weight, std::vector<float>& bias) {
   const auto cout = weight.dim(0);
-  CQ_CHECK_MSG(bn.channels() == cout, "BN channels != conv out channels");
   if (bias.empty()) bias.assign(static_cast<std::size_t>(cout), 0.0f);
   for (std::int64_t c = 0; c < cout; ++c) {
-    const float inv_std =
-        1.0f / std::sqrt(bn.running_var()[c] + bn.eps());
-    const float scale = bn.gamma()[c] * inv_std;
+    const float inv_std = 1.0f / std::sqrt(running_var[c] + eps);
+    const float scale = gamma[c] * inv_std;
     for (std::int64_t k = 0; k < weight.dim(1); ++k)
       weight.at(c, k) *= scale;
     bias[static_cast<std::size_t>(c)] =
-        bn.beta()[c] +
-        (bias[static_cast<std::size_t>(c)] - bn.running_mean()[c]) * scale;
+        beta[c] + (bias[static_cast<std::size_t>(c)] - running_mean[c]) * scale;
   }
 }
 

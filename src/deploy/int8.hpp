@@ -86,4 +86,27 @@ Int8Network compile_int8(nn::Sequential& net);
 void fold_batchnorm(const nn::BatchNorm2d& bn, Tensor& weight,
                     std::vector<float>& bias);
 
+/// Array form of fold_batchnorm for callers that hold BN constants outside a
+/// module (the graph compiler's fold pass owns copies on its nodes). All
+/// arrays are length weight.dim(0). fold_batchnorm delegates here so the two
+/// paths cannot drift numerically.
+void fold_batchnorm_arrays(const float* gamma, const float* beta,
+                           const float* running_mean, const float* running_var,
+                           float eps, Tensor& weight, std::vector<float>& bias);
+
+namespace detail {
+
+/// Quantize an arbitrary fp32 buffer with a fixed scale:
+/// dst[i] = clamp(round(src[i] * inv_scale), -127, 127).
+void quantize_buffer(const float* src, std::int64_t n, float inv_scale,
+                     std::int8_t* dst);
+
+/// Per-sample symmetric activation scale max(max|x| / 127, 1e-12): the range
+/// pass covers only this sample, so a batched forward is bitwise identical
+/// to N single-sample forwards. Shared by the eager Int8Network ops and the
+/// graph executor's int8 node bodies.
+float sample_scale(const float* src, std::int64_t n);
+
+}  // namespace detail
+
 }  // namespace cq::deploy

@@ -1,0 +1,398 @@
+#include "graph/executor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "core/trace.hpp"
+#include "deploy/int8.hpp"
+#include "graph/tracer.hpp"
+#include "tensor/im2col.hpp"
+#include "tensor/kernels/igemm.hpp"
+#include "tensor/kernels/kernels.hpp"
+#include "util/check.hpp"
+
+namespace cq::graph {
+
+namespace {
+
+ConvGeometry conv_geometry(const Node& n, const Shape& in) {
+  ConvGeometry g;
+  g.in_channels = n.conv.in_channels / n.conv.groups;
+  g.in_h = in.dim(1);
+  g.in_w = in.dim(2);
+  g.kernel_h = g.kernel_w = n.conv.kernel;
+  g.stride = n.conv.stride;
+  g.pad = n.conv.pad;
+  return g;
+}
+
+bool is_int8(const Graph& g) {
+  for (const Node& n : g.nodes)
+    if ((n.op == Op::kConv2d || n.op == Op::kLinear) &&
+        n.precision == Precision::kInt8)
+      return true;
+  return false;
+}
+
+}  // namespace
+
+CompiledModel::CompiledModel(Graph g, std::int64_t max_batch)
+    : graph_(std::move(g)), max_batch_(max_batch) {
+  CQ_CHECK(max_batch_ >= 1);
+  for (const Node& n : graph_.nodes)
+    CQ_CHECK_MSG(n.op != Op::kBatchNorm && n.op != Op::kIdentity &&
+                     n.op != Op::kFlatten,
+                 "CompiledModel: graph still contains " << op_name(n.op)
+                     << " (" << n.label << ") — run the pass pipeline first");
+  plan_ = plan_arena(graph_, max_batch_);
+  arena_.resize(static_cast<std::size_t>(plan_.arena_bytes + kArenaAlign));
+  base_ = arena_.data();
+  const auto misalign =
+      reinterpret_cast<std::uintptr_t>(base_) % kArenaAlign;
+  if (misalign != 0) base_ += kArenaAlign - misalign;
+
+  // Prepack weights: the compiled plan never touches raw weight bytes on
+  // the forward path (fp32 conv weights stay row-major — gemm packs them
+  // per cache block internally, amortized across the whole batch).
+  state_.resize(graph_.nodes.size());
+  for (std::size_t i = 0; i < graph_.nodes.size(); ++i) {
+    const Node& node = graph_.nodes[i];
+    NodeState& st = state_[i];
+    if (node.op != Op::kConv2d && node.op != Op::kLinear) continue;
+    const Tensor& w = node.weight;
+    const std::int64_t rows = w.dim(0), cols = w.dim(1);
+    st.bias = node.bias;
+    if (st.bias.empty()) st.bias.assign(static_cast<std::size_t>(rows), 0.0f);
+
+    if (node.precision == Precision::kInt8) {
+      // Verbatim the deploy::Int8Network ctor recipe: per-output-channel
+      // symmetric weights, igemm-packed per group with row sums.
+      const std::int64_t groups = node.op == Op::kConv2d ? node.conv.groups : 1;
+      const std::int64_t rows_g = rows / groups;
+      st.scales.resize(static_cast<std::size_t>(rows));
+      st.rowsum.resize(static_cast<std::size_t>(rows));
+      std::vector<std::int8_t> wq(static_cast<std::size_t>(rows * cols));
+      for (std::int64_t r = 0; r < rows; ++r) {
+        float max_abs = 0.0f;
+        for (std::int64_t c = 0; c < cols; ++c)
+          max_abs = std::max(max_abs, std::fabs(w.data()[r * cols + c]));
+        const float scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+        st.scales[static_cast<std::size_t>(r)] = scale;
+        deploy::detail::quantize_buffer(w.data() + r * cols, cols,
+                                        1.0f / scale, wq.data() + r * cols);
+      }
+      st.pa_group = igemm::packed_a_bytes(rows_g, cols);
+      st.packed_a.resize(static_cast<std::size_t>(groups * st.pa_group));
+      for (std::int64_t grp = 0; grp < groups; ++grp)
+        igemm::pack_a_s8(wq.data() + grp * rows_g * cols, rows_g, cols,
+                         st.packed_a.data() + grp * st.pa_group,
+                         st.rowsum.data() + grp * rows_g);
+    } else if (node.op == Op::kLinear) {
+      // Single-k-panel shapes prepack into gemm's sliver layout once;
+      // gemm_prepacked_b is bit-identical to gemm(kNT) on the raw weight.
+      if (cols <= gemm::kKC && rows <= gemm::kNC) {
+        st.packed_b.resize(
+            static_cast<std::size_t>(gemm::packed_b_floats(cols, rows)));
+        gemm::detail::pack_block_b(gemm::Trans::kNT, cols, rows, w.data(),
+                                   st.packed_b.data(), nullptr);
+      }
+    }
+  }
+}
+
+const float* CompiledModel::in_ptr(ValueId id, const Tensor& x) const {
+  if (id == graph_.input) return x.data();
+  if (id == graph_.output) return out_.data();
+  const std::int64_t off = plan_.value_offset[static_cast<std::size_t>(id)];
+  CQ_CHECK_MSG(off != kExternalOffset,
+               "unplanned value %" << id << " read by the executor");
+  return reinterpret_cast<const float*>(base_ + off);
+}
+
+float* CompiledModel::out_value_ptr(ValueId id) {
+  if (id == graph_.output) return out_.data();
+  const std::int64_t off = plan_.value_offset[static_cast<std::size_t>(id)];
+  CQ_CHECK_MSG(off != kExternalOffset,
+               "unplanned value %" << id << " written by the executor");
+  return arena_ptr(off);
+}
+
+const Tensor& CompiledModel::forward(const Tensor& x) {
+  const std::int64_t n = x.dim(0);
+  CQ_CHECK_MSG(n >= 1 && n <= max_batch_,
+               "compiled plan built for max_batch " << max_batch_
+                   << ", got batch " << n);
+  CQ_CHECK(x.numel() == n * graph_.value(graph_.input).shape.numel());
+  CQ_TRACE_SCOPE_N("graph.forward", n);
+
+  {
+    const Shape& os = graph_.value(graph_.output).shape;
+    std::vector<std::int64_t> dims;
+    dims.reserve(os.rank() + 1);
+    dims.push_back(n);
+    for (std::size_t d = 0; d < os.rank(); ++d)
+      dims.push_back(os.dim(static_cast<std::int64_t>(d)));
+    out_.resize(Shape{std::move(dims)});
+  }
+  const bool int8_plan = is_int8(graph_);
+
+  for (std::size_t i = 0; i < graph_.nodes.size(); ++i) {
+    const Node& node = graph_.nodes[i];
+    const NodeState& st = state_[i];
+    const auto& scratch = plan_.scratch_offset[i];
+    const Shape& ishape = graph_.value(node.inputs[0]).shape;
+    const float* in_p = in_ptr(node.inputs[0], x);
+    float* out_p = out_value_ptr(node.output);
+
+    switch (node.op) {
+      case Op::kConv2d: {
+        const ConvGeometry geo = conv_geometry(node, ishape);
+        const auto oh = geo.out_h(), ow = geo.out_w();
+        const auto spatial = oh * ow;
+        const auto krows = geo.col_rows();
+        const auto cout_g = node.conv.out_channels / node.conv.groups;
+        const auto cin_g = geo.in_channels;
+        const auto cols = n * spatial;
+        const auto in_h = geo.in_h, in_w = geo.in_w;
+        const std::int64_t sample_in = node.conv.in_channels * in_h * in_w;
+
+        if (node.precision == Precision::kInt8) {
+          CQ_TRACE_SCOPE_N("graph.node.conv_int8", n);
+          float* cols_f = arena_ptr(scratch[0]);
+          float* gout = arena_ptr(scratch[1]);
+          float* col_scale = arena_ptr(scratch[2]);
+          float* col_inv = arena_ptr(scratch[3]);
+          auto* bp = reinterpret_cast<std::uint8_t*>(base_ + scratch[4]);
+
+          // Image i owns columns [i*spatial, (i+1)*spatial): every one of
+          // its columns quantizes with that image's scale, whatever the
+          // batch width (deploy/int8.cpp's batch-invariance contract).
+          for (std::int64_t img = 0; img < n; ++img) {
+            const float in_scale = deploy::detail::sample_scale(
+                in_p + img * sample_in, sample_in);
+            const float inv = 1.0f / in_scale;
+            for (std::int64_t s = 0; s < spatial; ++s) {
+              col_scale[img * spatial + s] = in_scale;
+              col_inv[img * spatial + s] = inv;
+            }
+          }
+          igemm::Epilogue ep;
+          ep.col_scale = col_scale;
+          for (std::int64_t grp = 0; grp < node.conv.groups; ++grp) {
+            im2col_batched(in_p + grp * cin_g * in_h * in_w, n, sample_in,
+                           geo, cols_f, cols);
+            igemm::pack_b_quantized(cols_f, /*rs=*/cols, /*cs=*/1, krows,
+                                    cols, col_inv, bp);
+            ep.row_scale = st.scales.data() + grp * cout_g;
+            ep.bias = st.bias.data() + grp * cout_g;
+            igemm::gemm(cout_g, cols, krows,
+                        st.packed_a.data() + grp * st.pa_group,
+                        st.rowsum.data() + grp * cout_g, bp, gout,
+                        /*ldc=*/cols, ep);
+            if (spatial == 1) {
+              for (std::int64_t oc_local = 0; oc_local < cout_g; ++oc_local) {
+                const float* src = gout + oc_local * cols;
+                const std::int64_t oc = grp * cout_g + oc_local;
+                for (std::int64_t img = 0; img < n; ++img)
+                  out_p[img * node.conv.out_channels + oc] = src[img];
+              }
+            } else {
+              for (std::int64_t oc_local = 0; oc_local < cout_g; ++oc_local) {
+                const float* src = gout + oc_local * cols;
+                const std::int64_t oc = grp * cout_g + oc_local;
+                for (std::int64_t img = 0; img < n; ++img)
+                  std::memcpy(
+                      out_p + (img * node.conv.out_channels + oc) * spatial,
+                      src + img * spatial,
+                      static_cast<std::size_t>(spatial) * sizeof(float));
+              }
+            }
+          }
+          break;
+        }
+
+        CQ_TRACE_SCOPE_N("graph.node.conv", n);
+        const bool patch_major = node.lowering == ConvLowering::kIm2row;
+        float* cols_buf = arena_ptr(scratch[0]);
+        float* gout = arena_ptr(scratch[1]);
+        gemm::Epilogue ep;
+        ep.bias_kind = gemm::Epilogue::Bias::kPerRow;
+        ep.act = node.act;
+        ep.cap = node.act_cap;
+        for (std::int64_t grp = 0; grp < node.conv.groups; ++grp) {
+          {
+            CQ_TRACE_SCOPE_N("serve.lower", n);
+            for (std::int64_t img = 0; img < n; ++img) {
+              const float* src =
+                  in_p + img * sample_in + grp * cin_g * in_h * in_w;
+              if (patch_major)
+                im2row(src, geo, cols_buf + img * spatial * krows);
+              else
+                im2col(src, geo, cols_buf + img * spatial, cols);
+            }
+          }
+          ep.bias = st.bias.data() + grp * cout_g;
+          gemm::gemm(patch_major ? gemm::Trans::kNT : gemm::Trans::kNN,
+                     cout_g, cols, krows,
+                     node.weight.data() + grp * cout_g * krows, cols_buf,
+                     gout, /*accumulate=*/false, ep);
+          if (spatial == 1) {
+            for (std::int64_t oc_local = 0; oc_local < cout_g; ++oc_local) {
+              const float* src = gout + oc_local * cols;
+              const std::int64_t oc = grp * cout_g + oc_local;
+              for (std::int64_t img = 0; img < n; ++img)
+                out_p[img * node.conv.out_channels + oc] = src[img];
+            }
+          } else {
+            for (std::int64_t oc_local = 0; oc_local < cout_g; ++oc_local) {
+              const float* src = gout + oc_local * cols;
+              const std::int64_t oc = grp * cout_g + oc_local;
+              for (std::int64_t img = 0; img < n; ++img)
+                std::memcpy(
+                    out_p + (img * node.conv.out_channels + oc) * spatial,
+                    src + img * spatial,
+                    static_cast<std::size_t>(spatial) * sizeof(float));
+            }
+          }
+        }
+        break;
+      }
+
+      case Op::kLinear: {
+        const std::int64_t in = node.weight.dim(1), out = node.weight.dim(0);
+        if (node.precision == Precision::kInt8) {
+          CQ_TRACE_SCOPE_N("graph.node.linear_int8", n);
+          float* in_scale = arena_ptr(scratch[0]);
+          float* in_inv = arena_ptr(scratch[1]);
+          float* gout = arena_ptr(scratch[2]);
+          auto* bp = reinterpret_cast<std::uint8_t*>(base_ + scratch[3]);
+          for (std::int64_t s = 0; s < n; ++s) {
+            in_scale[s] = deploy::detail::sample_scale(in_p + s * in, in);
+            in_inv[s] = 1.0f / in_scale[s];
+          }
+          igemm::pack_b_quantized(in_p, /*rs=*/1, /*cs=*/in, in, n, in_inv,
+                                  bp);
+          igemm::Epilogue ep;
+          ep.row_scale = st.scales.data();
+          ep.col_scale = in_scale;
+          ep.bias = st.bias.data();
+          igemm::gemm(out, n, in, st.packed_a.data(), st.rowsum.data(), bp,
+                      gout, /*ldc=*/n, ep);
+          for (std::int64_t s = 0; s < n; ++s)  // transpose [out, n]
+            for (std::int64_t r = 0; r < out; ++r)
+              out_p[s * out + r] = gout[r * n + s];
+          break;
+        }
+        CQ_TRACE_SCOPE_N("graph.node.linear", n);
+        gemm::Epilogue ep;
+        ep.bias = st.bias.data();
+        ep.bias_kind = gemm::Epilogue::Bias::kPerCol;
+        ep.act = node.act;
+        ep.cap = node.act_cap;
+        if (!st.packed_b.empty())
+          gemm::gemm_prepacked_b(n, out, in, in_p, st.packed_b.data(), out_p,
+                                 /*accumulate=*/false, ep);
+        else
+          gemm::gemm(gemm::Trans::kNT, n, out, in, in_p, node.weight.data(),
+                     out_p, /*accumulate=*/false, ep);
+        break;
+      }
+
+      case Op::kRelu: {
+        CQ_TRACE_SCOPE_N("graph.node.relu", n);
+        const std::int64_t count = n * ishape.numel();
+        if (int8_plan) {  // eager Int8Network runs the kernels:: pass
+          if (node.relu_cap > 0.0f)
+            kernels::relu_cap(in_p, out_p, count, node.relu_cap);
+          else
+            kernels::relu(in_p, out_p, count);
+        } else {  // eager Fp32Network's plain clipping loop
+          for (std::int64_t j = 0; j < count; ++j) {
+            float v = in_p[j] > 0.0f ? in_p[j] : 0.0f;
+            if (node.relu_cap > 0.0f && v > node.relu_cap) v = node.relu_cap;
+            out_p[j] = v;
+          }
+        }
+        break;
+      }
+
+      case Op::kMaxPool: {
+        CQ_TRACE_SCOPE_N("graph.node.maxpool", n);
+        const auto c = ishape.dim(0), h = ishape.dim(1), w = ishape.dim(2);
+        const auto k = node.pool_kernel, stride = node.pool_stride,
+                   pad = node.pool_pad;
+        const auto oh = (h + 2 * pad - k) / stride + 1;
+        const auto ow = (w + 2 * pad - k) / stride + 1;
+        std::int64_t o = 0;
+        for (std::int64_t img = 0; img < n; ++img)
+          for (std::int64_t ch = 0; ch < c; ++ch) {
+            const float* plane = in_p + (img * c + ch) * h * w;
+            for (std::int64_t oy = 0; oy < oh; ++oy)
+              for (std::int64_t ox = 0; ox < ow; ++ox, ++o) {
+                float best = -std::numeric_limits<float>::infinity();
+                for (std::int64_t ky = 0; ky < k; ++ky)
+                  for (std::int64_t kx = 0; kx < k; ++kx) {
+                    const auto iy = oy * stride + ky - pad;
+                    const auto ix = ox * stride + kx - pad;
+                    if (iy < 0 || iy >= h || ix < 0 || ix >= w) continue;
+                    best = std::max(best, plane[iy * w + ix]);
+                  }
+                out_p[o] = best;
+              }
+          }
+        break;
+      }
+
+      case Op::kGlobalAvgPool: {
+        CQ_TRACE_SCOPE_N("graph.node.gap", n);
+        const auto c = ishape.dim(0), spatial = ishape.dim(1) * ishape.dim(2);
+        for (std::int64_t img = 0; img < n; ++img)
+          for (std::int64_t ch = 0; ch < c; ++ch) {
+            const float* plane = in_p + (img * c + ch) * spatial;
+            double s = 0.0;
+            for (std::int64_t j = 0; j < spatial; ++j) s += plane[j];
+            out_p[img * c + ch] = static_cast<float>(s / spatial);
+          }
+        break;
+      }
+
+      case Op::kAdd: {
+        CQ_TRACE_SCOPE_N("graph.node.add", n);
+        const float* a = in_p;
+        const float* b = in_ptr(node.inputs[1], x);
+        const std::int64_t count = n * ishape.numel();
+        if (int8_plan) {  // eager residual: in-place add_, then kernels relu
+          for (std::int64_t j = 0; j < count; ++j) out_p[j] = a[j] + b[j];
+          if (node.add_relu) kernels::relu(out_p, out_p, count);
+        } else if (node.add_relu) {
+          for (std::int64_t j = 0; j < count; ++j) {
+            const float v = a[j] + b[j];
+            out_p[j] = v > 0.0f ? v : 0.0f;
+          }
+        } else {
+          for (std::int64_t j = 0; j < count; ++j) out_p[j] = a[j] + b[j];
+        }
+        break;
+      }
+
+      default:
+        CQ_CHECK_MSG(false, "executor: unexpected op " << op_name(node.op));
+    }
+  }
+  return out_;
+}
+
+CompiledModel compile(nn::Sequential& net, const Shape& sample_shape,
+                      const CompileOptions& opts) {
+  CQ_TRACE_SCOPE("graph.compile");
+  Graph g = trace(net, sample_shape);
+  std::vector<PassResult> log;
+  if (opts.run_passes) log = run_default_passes(g, opts.precision);
+  CompiledModel model(std::move(g), opts.max_batch);
+  model.pass_log_ = std::move(log);
+  return model;
+}
+
+}  // namespace cq::graph

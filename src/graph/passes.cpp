@@ -1,0 +1,151 @@
+#include "graph/passes.hpp"
+
+#include <string>
+
+#include "core/trace.hpp"
+#include "deploy/int8.hpp"
+#include "util/check.hpp"
+
+namespace cq::graph {
+
+std::size_t eliminate_identities(Graph& g) {
+  std::vector<bool> dead(g.nodes.size(), false);
+  std::size_t removed = 0;
+  // In-order walk: rewiring node i's consumers before visiting them means a
+  // chain identity(identity(x)) collapses in one pass.
+  for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+    Node& n = g.nodes[i];
+    if (n.op != Op::kIdentity && n.op != Op::kFlatten) continue;
+    g.replace_uses(n.output, n.inputs[0]);
+    dead[i] = true;
+    ++removed;
+  }
+  g.erase_nodes(dead);
+  return removed;
+}
+
+std::size_t fold_batchnorm(Graph& g) {
+  std::vector<bool> dead(g.nodes.size(), false);
+  std::size_t folded = 0;
+  for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+    Node& bn = g.nodes[i];
+    if (bn.op != Op::kBatchNorm) continue;
+    const ValueId in = bn.inputs[0];
+    const std::int64_t p = g.producer(in);
+    // Fold only when this BN is the conv's sole consumer: another reader of
+    // the raw conv output would otherwise see folded values.
+    if (p < 0 || g.nodes[static_cast<std::size_t>(p)].op != Op::kConv2d ||
+        dead[static_cast<std::size_t>(p)] || g.use_count(in) != 1)
+      continue;
+    Node& conv = g.nodes[static_cast<std::size_t>(p)];
+    CQ_CHECK_MSG(conv.weight.dim(0) == bn.bn_gamma.numel(),
+                 "fold_batchnorm: channel mismatch at " << bn.label);
+    deploy::fold_batchnorm_arrays(bn.bn_gamma.data(), bn.bn_beta.data(),
+                                  bn.bn_mean.data(), bn.bn_var.data(),
+                                  bn.bn_eps, conv.weight, conv.bias);
+    g.replace_uses(bn.output, conv.output);
+    dead[i] = true;
+    ++folded;
+  }
+  g.erase_nodes(dead);
+  return folded;
+}
+
+std::size_t lower_int8(Graph& g) {
+  std::size_t lowered = 0;
+  for (Node& n : g.nodes) {
+    if (n.op != Op::kConv2d && n.op != Op::kLinear) continue;
+    if (n.precision == Precision::kInt8) continue;
+    n.precision = Precision::kInt8;
+    ++lowered;
+  }
+  return lowered;
+}
+
+std::size_t fuse_epilogues(Graph& g) {
+  std::vector<bool> dead(g.nodes.size(), false);
+  std::size_t fused = 0;
+  for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+    Node& relu = g.nodes[i];
+    if (relu.op != Op::kRelu) continue;
+    const ValueId in = relu.inputs[0];
+    const std::int64_t p = g.producer(in);
+    if (p < 0) continue;
+    Node& prod = g.nodes[static_cast<std::size_t>(p)];
+    if ((prod.op != Op::kConv2d && prod.op != Op::kLinear) ||
+        dead[static_cast<std::size_t>(p)] ||
+        prod.precision != Precision::kF32 ||
+        prod.act != gemm::Epilogue::Act::kNone || g.use_count(in) != 1)
+      continue;
+    prod.act = relu.relu_cap > 0.0f ? gemm::Epilogue::Act::kReluCap
+                                    : gemm::Epilogue::Act::kRelu;
+    prod.act_cap = relu.relu_cap;
+    g.replace_uses(relu.output, in);
+    dead[i] = true;
+    ++fused;
+  }
+  g.erase_nodes(dead);
+  return fused;
+}
+
+std::size_t select_conv_lowering(Graph& g) {
+  std::size_t decided = 0;
+  for (Node& n : g.nodes) {
+    if (n.op != Op::kConv2d) continue;
+    const Shape& out = g.value(n.output).shape;
+    const std::int64_t spatial = out.dim(1) * out.dim(2);
+    // Same geometry-only rule as the eager paths (serve/fp32.cpp,
+    // deploy/int8.cpp): the choice never depends on batch width, so batched
+    // and serial forwards stay bitwise identical. The int8 path always
+    // lowers im2col — pack_b_quantized consumes the row-major column
+    // matrix directly.
+    ConvLowering want = ConvLowering::kIm2col;
+    if (n.precision == Precision::kF32 && spatial <= 16)
+      want = ConvLowering::kIm2row;
+    if (n.lowering != want) {
+      n.lowering = want;
+      ++decided;
+    }
+  }
+  return decided;
+}
+
+std::size_t eliminate_dead_ops(Graph& g) {
+  // Nodes are in topological order, so one reverse sweep propagates
+  // liveness from the graph output through every needed input.
+  std::vector<bool> needed(g.values.size(), false);
+  if (g.output != kNoValue) needed[static_cast<std::size_t>(g.output)] = true;
+  std::vector<bool> dead(g.nodes.size(), false);
+  std::size_t removed = 0;
+  for (std::size_t i = g.nodes.size(); i-- > 0;) {
+    const Node& n = g.nodes[i];
+    if (n.output == kNoValue || !needed[static_cast<std::size_t>(n.output)]) {
+      dead[i] = true;
+      ++removed;
+      continue;
+    }
+    for (ValueId in : n.inputs) needed[static_cast<std::size_t>(in)] = true;
+  }
+  g.erase_nodes(dead);
+  return removed;
+}
+
+std::vector<PassResult> run_default_passes(Graph& g, Precision precision) {
+  std::vector<PassResult> results;
+  const auto run = [&](const char* name, std::size_t (*pass)(Graph&)) {
+    prof::Counter& c =
+        prof::Counter::intern(std::string("graph.pass.") + name);
+    trace::Scope span(c, c.name());
+    const std::size_t changed = pass(g);
+    results.push_back(PassResult{name, changed, g.nodes.size()});
+  };
+  run("eliminate_identities", eliminate_identities);
+  run("fold_batchnorm", fold_batchnorm);
+  if (precision == Precision::kInt8) run("lower_int8", lower_int8);
+  run("fuse_epilogues", fuse_epilogues);
+  run("select_conv_lowering", select_conv_lowering);
+  run("eliminate_dead_ops", eliminate_dead_ops);
+  return results;
+}
+
+}  // namespace cq::graph

@@ -23,6 +23,7 @@ class InvertedResidual : public nn::Module {
                    std::shared_ptr<const quant::QuantPolicy> policy, Rng& rng,
                    const std::string& name);
 
+  const char* type_name() const override { return "InvertedResidual"; }
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
   void visit_children(const std::function<void(Module&)>& fn) override;

@@ -16,6 +16,7 @@ class ReLU : public Module {
   /// epilogues.
   float cap() const { return cap_; }
 
+  const char* type_name() const override { return "ReLU"; }
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
   std::size_t pending_caches() const override { return cache_.size(); }
@@ -31,6 +32,7 @@ class ReLU : public Module {
 /// Flatten [N, C, H, W] -> [N, C*H*W].
 class Flatten : public Module {
  public:
+  const char* type_name() const override { return "Flatten"; }
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
   std::size_t pending_caches() const override { return shapes_.size(); }

@@ -16,6 +16,7 @@ class BatchNorm2d : public Module {
   explicit BatchNorm2d(std::int64_t channels, float momentum = 0.1f,
                        float eps = 1e-5f, std::string name = "bn");
 
+  const char* type_name() const override { return "BatchNorm2d"; }
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
   void collect_parameters(std::vector<Parameter*>& out) override;

@@ -24,6 +24,7 @@ class Conv2d : public Module {
  public:
   Conv2d(const Conv2dSpec& spec, Rng& rng, std::string name = "conv");
 
+  const char* type_name() const override { return "Conv2d"; }
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
   void collect_parameters(std::vector<Parameter*>& out) override;

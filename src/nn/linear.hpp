@@ -24,6 +24,7 @@ class Linear : public Module {
   Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng,
          bool bias = true, std::string name = "linear");
 
+  const char* type_name() const override { return "Linear"; }
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
   void collect_parameters(std::vector<Parameter*>& out) override;

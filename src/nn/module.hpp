@@ -81,6 +81,12 @@ class Module {
   Module(const Module&) = delete;
   Module& operator=(const Module&) = delete;
 
+  /// Stable type tag ("Conv2d", "ReLU", ...) used by the graph tracer for
+  /// node labels and by its unsupported-module diagnostics. Override in every
+  /// concrete module; the base returns "Module" so forgetting one is visible
+  /// in dumps rather than a crash.
+  virtual const char* type_name() const { return "Module"; }
+
   /// Forward pass. In training mode, pushes a cache entry consumed by the
   /// matching backward() call.
   virtual Tensor forward(const Tensor& x) = 0;

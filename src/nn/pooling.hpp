@@ -10,6 +10,7 @@ class MaxPool2d : public Module {
  public:
   MaxPool2d(std::int64_t kernel, std::int64_t stride, std::int64_t pad = 0);
 
+  const char* type_name() const override { return "MaxPool2d"; }
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
   std::size_t pending_caches() const override { return cache_.size(); }
@@ -35,6 +36,7 @@ class AvgPool2d : public Module {
  public:
   AvgPool2d(std::int64_t kernel, std::int64_t stride);
 
+  const char* type_name() const override { return "AvgPool2d"; }
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
   std::size_t pending_caches() const override { return shapes_.size(); }
@@ -50,6 +52,7 @@ class AvgPool2d : public Module {
 /// Global average pooling [N, C, H, W] -> [N, C].
 class GlobalAvgPool : public Module {
  public:
+  const char* type_name() const override { return "GlobalAvgPool"; }
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
   std::size_t pending_caches() const override { return shapes_.size(); }

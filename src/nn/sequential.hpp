@@ -23,6 +23,7 @@ class Sequential : public Module {
 
   void append(std::unique_ptr<Module> m);
 
+  const char* type_name() const override { return "Sequential"; }
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
   void visit_children(const std::function<void(Module&)>& fn) override;

@@ -17,6 +17,7 @@ class ActQuant : public nn::Module {
   explicit ActQuant(std::shared_ptr<const QuantPolicy> policy)
       : policy_(std::move(policy)) {}
 
+  const char* type_name() const override { return "ActQuant"; }
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
   std::size_t pending_caches() const override { return masks_.size(); }

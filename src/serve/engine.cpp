@@ -34,11 +34,14 @@ Engine::Engine(const EngineConfig& config)
   encoder_.backbone->set_mode(nn::Mode::kEval);
 
   // Compile every worker's instance on this thread, before any worker
-  // starts: compilation reads the (now frozen) module tree.
+  // starts: compilation reads the (now frozen) module tree. The arena is
+  // planned once at max_batch — narrower batches run inside the same
+  // allocation.
   const Shape sample{config_.in_channels, config_.in_h, config_.in_w};
   for (std::size_t i = 0; i < config_.workers; ++i) {
     auto w = std::make_unique<Worker>();
-    w->model = make_instance(config_.instance, *encoder_.backbone);
+    w->model = make_instance(config_.instance, *encoder_.backbone, sample,
+                             static_cast<std::int64_t>(config_.max_batch));
     w->batcher = std::make_unique<Batcher>(sample, encoder_.feature_dim);
     workers_.push_back(std::move(w));
   }
@@ -89,24 +92,21 @@ void Engine::stop() {
 }
 
 void Engine::worker_main(Worker& w) {
-  // Warmup: forward once at every batch width. The widest pass grows the
-  // in-place scratch (batch tensor, im2col columns, GEMM packing buffers)
-  // to steady-state capacity; the narrower passes seed the thread pool's
-  // size-class free lists for the handful of buffers that round-trip
-  // through the pool (the pool only reuses within an exact size class).
-  // Allocations before the fence are warmup; after it, steady state must
-  // stay at zero.
+  // Warmup: the compiled plan's arena already holds every intermediate and
+  // scratch buffer at max-batch capacity, so unlike the old eager path
+  // (which re-grew per-width scratch and needed a pass at EVERY width),
+  // warming at max_batch alone covers all narrower widths — they run
+  // inside the same arena, and the instance's output tensor plus the
+  // batcher's collate buffer shrink in place (Tensor::resize reuses an
+  // unshared larger allocation). Three passes so COW handles that rotate
+  // through a spare settle into a pure pool round-trip. Allocations before
+  // the fence are warmup; after it, steady state must stay at zero at ANY
+  // batch width 1..max_batch (pinned by ZeroAllocAcrossWidths).
   if (config_.prewarm) {
     CQ_TRACE_SCOPE("serve.prewarm");
-    for (std::size_t n = config_.max_batch; n >= 1; --n) {
-      // Three passes per width: pass 1 populates every buffer, and buffers
-      // that stay shared across forwards (COW handles held between
-      // iterations) rotate through a spare that passes 2-3 allocate; after
-      // that the per-width acquire/release cycle is a pure pool round-trip.
-      for (int pass = 0; pass < 3; ++pass) {
-        const Tensor& warm = w.batcher->prewarm(n);
-        (void)w.model->forward(warm);
-      }
+    for (int pass = 0; pass < 3; ++pass) {
+      const Tensor& warm = w.batcher->prewarm(config_.max_batch);
+      (void)w.model->forward(warm);
     }
   }
   const std::uint64_t warm_allocs = core::AllocTracker::thread_allocs();

@@ -4,43 +4,39 @@ namespace cq::serve {
 
 namespace {
 
-class Fp32Instance : public ModelInstance {
+// One class serves both precisions: the precision is a CompileOptions
+// field, not a code path — the pass pipeline and executor handle the rest.
+class GraphInstance : public ModelInstance {
  public:
-  explicit Fp32Instance(nn::Sequential& backbone)
-      : net_(compile_fp32(backbone)) {}
+  GraphInstance(nn::Sequential& backbone, const Shape& sample_shape,
+                std::int64_t max_batch, graph::Precision precision)
+      : model_(graph::compile(backbone, sample_shape,
+                              graph::CompileOptions{max_batch, precision,
+                                                    /*run_passes=*/true})),
+        kind_(precision == graph::Precision::kInt8 ? "int8" : "fp32") {}
+
   const Tensor& forward(const Tensor& batch) override {
-    return net_.forward(batch);
+    return model_.forward(batch);
   }
-  const char* kind_name() const override { return "fp32"; }
+  const char* kind_name() const override { return kind_; }
+  std::int64_t arena_bytes() const override { return model_.arena_bytes(); }
 
  private:
-  Fp32Network net_;
-};
-
-class Int8Instance : public ModelInstance {
- public:
-  explicit Int8Instance(nn::Sequential& backbone)
-      : net_(deploy::compile_int8(backbone)) {}
-  const Tensor& forward(const Tensor& batch) override {
-    // Int8Network returns by value; keeping the handle in a member makes
-    // the buffer round-trip through the pool instead of the heap.
-    out_ = net_.forward(batch);
-    return out_;
-  }
-  const char* kind_name() const override { return "int8"; }
-
- private:
-  deploy::Int8Network net_;
-  Tensor out_;
+  graph::CompiledModel model_;
+  const char* kind_;
 };
 
 }  // namespace
 
 std::unique_ptr<ModelInstance> make_instance(InstanceKind kind,
-                                             nn::Sequential& backbone) {
-  if (kind == InstanceKind::kFp32)
-    return std::make_unique<Fp32Instance>(backbone);
-  return std::make_unique<Int8Instance>(backbone);
+                                             nn::Sequential& backbone,
+                                             const Shape& sample_shape,
+                                             std::int64_t max_batch) {
+  const auto precision = kind == InstanceKind::kFp32
+                             ? graph::Precision::kF32
+                             : graph::Precision::kInt8;
+  return std::make_unique<GraphInstance>(backbone, sample_shape, max_batch,
+                                         precision);
 }
 
 }  // namespace cq::serve

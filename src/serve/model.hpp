@@ -1,23 +1,27 @@
 // Compiled model instances the serving workers run.
 //
-// A ModelInstance wraps one compiled network (fp32 fast path or int8
-// deployment) behind a uniform batched-forward interface. Instances keep
-// mutable scratch and are NOT thread-safe: the engine compiles one instance
-// per worker thread from the same loaded encoder, trading memory for
-// lock-free forwards.
+// A ModelInstance wraps one compiled plan (fp32 or int8 precision) behind a
+// uniform batched-forward interface. Both kinds lower through the graph
+// compiler (graph/executor.hpp): trace -> pass pipeline -> arena plan at
+// the engine's max batch -> prepacked executor. Instances own a mutable
+// arena and are NOT thread-safe: the engine compiles one instance per
+// worker thread from the same loaded encoder, trading memory for lock-free
+// forwards. The compiled paths stay bitwise-identical to the eager
+// serve::Fp32Network / deploy::Int8Network twins (tests/test_graph.cpp), so
+// swapping the engine onto plans changed no served bytes.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 
-#include "deploy/int8.hpp"
+#include "graph/executor.hpp"
 #include "nn/sequential.hpp"
-#include "serve/fp32.hpp"
 
 namespace cq::serve {
 
 enum class InstanceKind : std::uint8_t {
-  kFp32,  // BN-folded, fused-epilogue fp32 (serve/fp32.hpp)
-  kInt8,  // dynamic per-sample int8 (deploy/int8.hpp)
+  kFp32,  // BN-folded, fused-epilogue fp32 plan
+  kInt8,  // dynamic per-sample int8 plan
 };
 
 inline const char* instance_kind_name(InstanceKind k) {
@@ -31,11 +35,17 @@ class ModelInstance {
   /// valid until the next forward on this instance.
   virtual const Tensor& forward(const Tensor& batch) = 0;
   virtual const char* kind_name() const = 0;
+  /// Bytes of the instance's planned arena (0 if the instance has none).
+  virtual std::int64_t arena_bytes() const = 0;
 };
 
-/// Compile `backbone` (eval-mode semantics) into a fresh instance. Called
-/// once per worker at engine construction, on the construction thread.
+/// Compile `backbone` (eval-mode semantics) into a fresh instance whose
+/// arena is planned for batches up to `max_batch` samples of `sample_shape`.
+/// Called once per worker at engine construction, on the construction
+/// thread.
 std::unique_ptr<ModelInstance> make_instance(InstanceKind kind,
-                                             nn::Sequential& backbone);
+                                             nn::Sequential& backbone,
+                                             const Shape& sample_shape,
+                                             std::int64_t max_batch);
 
 }  // namespace cq::serve

@@ -142,4 +142,12 @@ inline constexpr std::int64_t kMC = 128;
 inline constexpr std::int64_t kKC = 256;
 inline constexpr std::int64_t kNC = 1024;
 
+/// Float count of the packed-B buffer gemm_prepacked_b consumes for a [k, n]
+/// operand (kNR-column slivers, short edges zero-padded). Callers that
+/// prepack weights ahead of time — the graph executor plans one buffer per
+/// linear node — size it with this instead of re-deriving the sliver math.
+inline std::int64_t packed_b_floats(std::int64_t k, std::int64_t n) {
+  return (n + kNR - 1) / kNR * kNR * k;
+}
+
 }  // namespace cq::gemm

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "deploy/int8.hpp"
 #include "models/encoder.hpp"
 #include "serve/engine.hpp"
 #include "serve/fp32.hpp"
@@ -301,6 +302,41 @@ TEST(Engine, ZeroAllocSteadyState) {
   // Prewarm paid for every buffer; serving itself must never hit the heap.
   EXPECT_GT(stats.warmup_heap_allocs, 0u);
   EXPECT_EQ(stats.steady_heap_allocs, 0u);
+}
+
+// Regression for the prewarm rework: the compiled plan's arena is sized at
+// max_batch, so warming ONLY at max_batch must leave every narrower width
+// allocation-free too — bursts of widths 1..max_batch all run inside the
+// same arena, with the output and collate tensors shrinking in place.
+TEST(Engine, ZeroAllocSteadyStateAcrossWidths) {
+  auto cfg = base_config();
+  cfg.workers = 1;
+  cfg.max_batch = 4;
+  cfg.prewarm = true;
+  serve::Engine engine(cfg);
+
+  const auto inputs = make_inputs(4, 19);
+  std::vector<std::vector<float>> outs(
+      4, std::vector<float>(static_cast<std::size_t>(engine.feature_dim())));
+  std::uint64_t expected = 0;
+  for (int burst = 0; burst < 3; ++burst)
+    for (std::size_t width = 1; width <= 4; ++width) {
+      std::vector<serve::Request> reqs(width);
+      for (std::size_t i = 0; i < width; ++i) {
+        reqs[i].input = inputs[i].data();
+        reqs[i].output = outs[i].data();
+        ASSERT_TRUE(engine.submit(&reqs[i]));
+      }
+      for (auto& r : reqs) ASSERT_EQ(r.wait(), serve::Status::kOk);
+      expected += width;
+    }
+  engine.stop();
+
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.served, expected);
+  EXPECT_GT(stats.warmup_heap_allocs, 0u);
+  EXPECT_EQ(stats.steady_heap_allocs, 0u)
+      << "a narrower-than-max batch re-grew scratch after prewarm";
 }
 
 TEST(Engine, Int8InstanceServesBitwiseEqualToSingleSample) {
