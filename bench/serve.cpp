@@ -13,7 +13,11 @@
 // The headline is batched/serial throughput; the engine must hold
 // equal-or-better p99 while doing it (on one core the win comes from
 // amortizing GEMM weight packing and per-call overhead across the batch,
-// not from parallelism). `--json=PATH` writes BENCH_serve.json;
+// not from parallelism). After the per-kind headline, a scale-out section
+// sweeps worker counts (sharded queues + work stealing) into a load matrix
+// (clients x workers x batch caps), a gated scaling curve with
+// scaling_efficiency normalized by min(workers, cores), and a burst-spike
+// p99. `--json=PATH` writes BENCH_serve.json;
 // `--smoke` runs the equivalence gates plus a short burst (CI, TSan);
 // `--trace=PATH` enables the scoped-span tracer and writes a
 // chrome://tracing document covering the whole load (worker threads show as
@@ -28,6 +32,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/threadpool.hpp"
 #include "core/trace.hpp"
 #include "deploy/int8.hpp"
 #include "models/encoder.hpp"
@@ -124,6 +129,7 @@ struct LoadResult {
   double p99_us = 0.0;
   double mean_batch = 0.0;
   std::uint64_t served = 0;
+  std::uint64_t stolen = 0;
   std::uint64_t steady_heap_allocs = 0;
 };
 
@@ -171,8 +177,28 @@ LoadResult run_load(const serve::EngineConfig& cfg, std::size_t clients,
   r.p50_us = stats.total_latency.percentile(50.0);
   r.p99_us = stats.total_latency.percentile(99.0);
   r.mean_batch = stats.mean_batch_size;
+  r.stolen = stats.stolen;
   r.steady_heap_allocs = stats.steady_heap_allocs;
   return r;
+}
+
+// Best-per-METRIC selection across rounds, not best-round: on a shared
+// host, the round with the best throughput is not necessarily the round
+// with the clean tail — p99 under closed-loop saturation is the noisiest
+// number here, and taking its own minimum keeps the checked-in baseline
+// (and the CI gate comparing against it) near the uncontended machine.
+void merge_best(LoadResult& best, const LoadResult& r, bool first) {
+  if (first || r.rps > best.rps) {
+    const double p50 = best.p50_us, p99 = best.p99_us;
+    best = r;
+    if (!first) {
+      best.p50_us = std::min(p50, r.p50_us);
+      best.p99_us = std::min(p99, r.p99_us);
+    }
+  } else {
+    best.p50_us = std::min(best.p50_us, r.p50_us);
+    best.p99_us = std::min(best.p99_us, r.p99_us);
+  }
 }
 
 struct KindResult {
@@ -204,27 +230,11 @@ KindResult bench_kind(const std::string& checkpoint, serve::InstanceKind kind,
   batched_cfg.max_batch = 32;
   batched_cfg.max_wait = std::chrono::microseconds(2000);
 
-  // Best-per-METRIC selection across rounds, not best-round: on a shared
-  // host, the round with the best throughput is not necessarily the round
-  // with the clean tail — p99 under closed-loop saturation is the noisiest
-  // number here, and taking its own minimum keeps the checked-in baseline
-  // (and the CI gate comparing against it) near the uncontended machine.
-  auto merge = [](LoadResult& best, const LoadResult& r, bool first) {
-    if (first || r.rps > best.rps) {
-      const double p50 = best.p50_us, p99 = best.p99_us;
-      best = r;
-      if (!first) {
-        best.p50_us = std::min(p50, r.p50_us);
-        best.p99_us = std::min(p99, r.p99_us);
-      }
-    } else {
-      best.p50_us = std::min(best.p50_us, r.p50_us);
-      best.p99_us = std::min(best.p99_us, r.p99_us);
-    }
-  };
   for (int round = 0; round < kRounds; ++round) {
-    merge(res.serial, run_load(serial_cfg, clients, per_client), round == 0);
-    merge(res.batched, run_load(batched_cfg, clients, per_client), round == 0);
+    merge_best(res.serial, run_load(serial_cfg, clients, per_client),
+               round == 0);
+    merge_best(res.batched, run_load(batched_cfg, clients, per_client),
+               round == 0);
   }
 
   res.speedup = res.serial.rps > 0.0 ? res.batched.rps / res.serial.rps : 0.0;
@@ -237,8 +247,145 @@ KindResult bench_kind(const std::string& checkpoint, serve::InstanceKind kind,
   return res;
 }
 
+// ---------------------------------------------------------------------------
+// Scale-out: load matrix + scaling curve over worker counts. The serving
+// layer shards its lock-free queue per worker and steals across shards;
+// these runs measure what that buys as workers grow.
+// ---------------------------------------------------------------------------
+
+// Worker counts swept; the largest is the "max workers" headline. On a
+// single-core host extra workers cannot add throughput, so the gated
+// summary normalizes: scaling_efficiency = (rps_max_w / rps_1w) /
+// min(workers_max, cores). Healthy scale-out sits near 1.0 on a multi-core
+// host; on one core it lands below 1.0 because splitting a single core's
+// request stream across N shards fragments the micro-batches (mean batch
+// 32 -> 32/N) and gives back some amortization — the gate pins that cost
+// so sharding overhead cannot silently grow.
+constexpr std::size_t kWorkerSweep[] = {1, 2, 4};
+
+serve::EngineConfig scale_config(const std::string& checkpoint,
+                                 std::size_t workers, std::size_t max_batch) {
+  serve::EngineConfig cfg;
+  cfg.checkpoint = checkpoint;
+  cfg.in_h = kH;
+  cfg.in_w = kW;
+  cfg.instance = serve::InstanceKind::kInt8;  // the compute path's headline
+  cfg.workers = workers;
+  cfg.queue_capacity = 256;
+  cfg.max_batch = max_batch;
+  cfg.max_wait = std::chrono::microseconds(max_batch > 1 ? 2000 : 0);
+  return cfg;
+}
+
+struct MatrixCell {
+  std::size_t workers = 0;
+  std::size_t clients = 0;
+  std::size_t max_batch = 0;
+  LoadResult load;
+};
+
+/// Load matrix: clients x workers x batch caps, one round per cell. The
+/// cells chart the response surface (and exercise the steal path: few
+/// clients + many workers leaves shards empty); the CI-gated numbers come
+/// from the best-of-rounds scaling sweep below, not from here.
+std::vector<MatrixCell> run_matrix(const std::string& checkpoint) {
+  std::vector<MatrixCell> cells;
+  for (std::size_t workers : kWorkerSweep)
+    for (std::size_t clients : {std::size_t{2}, std::size_t{8}})
+      for (std::size_t mb : {std::size_t{1}, std::size_t{32}}) {
+        MatrixCell cell;
+        cell.workers = workers;
+        cell.clients = clients;
+        cell.max_batch = mb;
+        cell.load = run_load(scale_config(checkpoint, workers, mb), clients,
+                             /*per_client=*/4);
+        std::printf(
+            "matrix w=%zu c=%zu mb=%-2zu | %7.0f rps  p99 %7.0f us  "
+            "mean batch %4.1f  stolen %llu\n",
+            workers, clients, mb, cell.load.rps, cell.load.p99_us,
+            cell.load.mean_batch,
+            static_cast<unsigned long long>(cell.load.stolen));
+        cells.push_back(cell);
+      }
+  return cells;
+}
+
+struct ScalePoint {
+  std::size_t workers = 0;
+  LoadResult load;
+};
+
+struct ScalingResult {
+  std::vector<ScalePoint> curve;
+  std::size_t workers_max = 0;
+  double rps_1w = 0.0;
+  double rps_max_w = 0.0;
+  double efficiency = 0.0;    // (rps_max_w / rps_1w) / min(workers_max, cores)
+  double spike_p99_us = 0.0;  // p99 under a one-shot burst at max workers
+};
+
+/// One-shot burst: submit `burst` requests back-to-back from a single
+/// thread (yield-retry on backpressure), then wait for all of them. The
+/// returned p99 of total request latency is the tail of a queue-depth
+/// spike — the number the sharded queues + stealing must keep bounded.
+double run_spike(const serve::EngineConfig& cfg, std::size_t burst) {
+  serve::Engine engine(cfg);
+  const auto inputs = make_inputs(8, 55);
+  const auto dim = static_cast<std::size_t>(engine.feature_dim());
+  std::vector<float> out(dim * burst);
+  std::vector<serve::Request> reqs(burst);
+  for (std::size_t i = 0; i < burst; ++i) {
+    serve::Request& r = reqs[i];
+    r.input = inputs[i % inputs.size()].data();
+    r.output = out.data() + i * dim;
+    while (!engine.submit(&r)) std::this_thread::yield();
+  }
+  for (auto& r : reqs) r.wait();
+  const auto stats = engine.stats();
+  engine.stop();
+  return stats.total_latency.percentile(99.0);
+}
+
+ScalingResult run_scaling(const std::string& checkpoint) {
+  ScalingResult res;
+  for (std::size_t workers : kWorkerSweep) {
+    ScalePoint pt;
+    pt.workers = workers;
+    const auto cfg = scale_config(checkpoint, workers, 32);
+    for (int round = 0; round < kRounds; ++round)
+      merge_best(pt.load, run_load(cfg, kClients, /*per_client=*/12),
+                 round == 0);
+    std::printf("scale  w=%zu | %7.0f rps  p99 %7.0f us  stolen %llu\n",
+                workers, pt.load.rps, pt.load.p99_us,
+                static_cast<unsigned long long>(pt.load.stolen));
+    res.curve.push_back(pt);
+  }
+  res.workers_max = res.curve.back().workers;
+  res.rps_1w = res.curve.front().load.rps;
+  res.rps_max_w = res.curve.back().load.rps;
+  const std::size_t cores =
+      std::max(1u, std::thread::hardware_concurrency());
+  const auto ideal = static_cast<double>(
+      std::min<std::size_t>(res.workers_max, cores));
+  res.efficiency =
+      res.rps_1w > 0.0 ? (res.rps_max_w / res.rps_1w) / ideal : 0.0;
+
+  const auto spike_cfg = scale_config(checkpoint, res.workers_max, 32);
+  for (int round = 0; round < kRounds; ++round) {
+    const double p99 = run_spike(spike_cfg, /*burst=*/192);
+    res.spike_p99_us = round == 0 ? p99 : std::min(res.spike_p99_us, p99);
+  }
+  std::printf("scale  efficiency %.2f (x%.2f over %zu workers, %zu cores) | "
+              "spike p99 %7.0f us\n",
+              res.efficiency,
+              res.rps_1w > 0.0 ? res.rps_max_w / res.rps_1w : 0.0,
+              res.workers_max, cores, res.spike_p99_us);
+  return res;
+}
+
 void write_json(const std::string& path, const KindResult& fp32,
-                const KindResult& int8) {
+                const KindResult& int8, const ScalingResult& scaling,
+                const std::vector<MatrixCell>& matrix) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
@@ -277,8 +424,49 @@ void write_json(const std::string& path, const KindResult& fp32,
                "amortization, not thread parallelism\"},\n",
                static_cast<long long>(kH), static_cast<long long>(kW),
                static_cast<unsigned long long>(kClients), kWindow, kRounds);
+  // The host this baseline was generated on: the scaling numbers only mean
+  // anything next to the core count, and CI compares like against like.
+  std::fprintf(f,
+               "  \"hardware\": {\"cores\": %u, \"cq_threads\": %llu},\n",
+               std::thread::hardware_concurrency(),
+               static_cast<unsigned long long>(core::configured_threads()));
   emit(fp32, ",");
   emit(int8, ",");
+  std::fprintf(f, "  \"load_matrix\": [\n");
+  for (std::size_t i = 0; i < matrix.size(); ++i) {
+    const MatrixCell& c = matrix[i];
+    std::fprintf(
+        f,
+        "    {\"workers\": %llu, \"clients\": %llu, \"max_batch\": %llu, "
+        "\"rps\": %.1f, \"p50_us\": %.1f, \"p99_us\": %.1f, "
+        "\"mean_batch\": %.2f, \"served\": %llu, \"stolen\": %llu}%s\n",
+        static_cast<unsigned long long>(c.workers),
+        static_cast<unsigned long long>(c.clients),
+        static_cast<unsigned long long>(c.max_batch), c.load.rps,
+        c.load.p50_us, c.load.p99_us, c.load.mean_batch,
+        static_cast<unsigned long long>(c.load.served),
+        static_cast<unsigned long long>(c.load.stolen),
+        i + 1 < matrix.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"scaling\": {\"curve\": [\n");
+  for (std::size_t i = 0; i < scaling.curve.size(); ++i) {
+    const ScalePoint& pt = scaling.curve[i];
+    std::fprintf(f,
+                 "    {\"workers\": %llu, \"rps\": %.1f, \"p99_us\": %.1f, "
+                 "\"mean_batch\": %.2f, \"stolen\": %llu}%s\n",
+                 static_cast<unsigned long long>(pt.workers), pt.load.rps,
+                 pt.load.p99_us, pt.load.mean_batch,
+                 static_cast<unsigned long long>(pt.load.stolen),
+                 i + 1 < scaling.curve.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ], \"workers_max\": %llu, \"rps_1w\": %.1f, "
+               "\"rps_max_w\": %.1f, \"scaling_efficiency\": %.3f, "
+               "\"spike_p99_us\": %.1f},\n",
+               static_cast<unsigned long long>(scaling.workers_max),
+               scaling.rps_1w, scaling.rps_max_w, scaling.efficiency,
+               scaling.spike_p99_us);
   // Aggregate profiler table, cumulative over both kinds and all rounds:
   // per-phase serve-pipeline and kernel wall time.
   std::fprintf(f, "  \"profile\": %s\n", prof::json().c_str());
@@ -332,7 +520,12 @@ int main(int argc, char** argv) {
     const auto int8 =
         bench_kind(checkpoint, serve::InstanceKind::kInt8, kClients, 38);
     rc = fp32.equivalent && int8.equivalent ? 0 : 1;
-    if (rc == 0 && !json_path.empty()) write_json(json_path, fp32, int8);
+    if (rc == 0) {
+      const auto scaling = run_scaling(checkpoint);
+      const auto matrix = run_matrix(checkpoint);
+      if (!json_path.empty())
+        write_json(json_path, fp32, int8, scaling, matrix);
+    }
   }
 
   if (!trace_path.empty()) {

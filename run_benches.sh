@@ -5,8 +5,11 @@
 #   BENCH_gemm.json      blocked-vs-reference GEMM GFLOP/s
 #   BENCH_pipeline.json  steady-state allocation accounting
 #   BENCH_kernels.json   SIMD kernel layer: fused epilogues, quantize-on-pack
-#   BENCH_serve.json     serving engine: dynamic batching vs serial baseline
+#   BENCH_serve.json     serving engine: dynamic batching vs serial baseline,
+#                        plus the sharded-worker load matrix + scaling curve
 #   BENCH_compile.json   graph compiler: arena footprint, compiled-vs-eager
+#   BENCH_threadpool.json  thread pool: size-1 parity, dispatch overhead,
+#                        parallel_for scaling
 #
 #   ./run_benches.sh            build ./build if needed, run benches + JSONs
 #   ./run_benches.sh --check    correctness sweep instead of benches:
@@ -21,15 +24,17 @@
 #                               target was added fails with "No rule to
 #                               make target" instead of self-regenerating.
 #   ./run_benches.sh --ci-gate  CI perf gate: run the bench-labeled ctest
-#                               smokes, regenerate the five bench JSONs into
+#                               smokes, regenerate the six bench JSONs into
 #                               bench_out/, and compare each against the
 #                               checked-in repo-root baseline with
 #                               tools/bench_check at ±30% on the
 #                               machine-portable metrics plus the int8 serve
-#                               rps/p99 (the int8 compute path's headline
-#                               numbers gate by default; fp32 throughput
-#                               only under --absolute). Non-zero exit on
-#                               any smoke failure or regression.
+#                               rps/p99 and the scale-out summary (scaling
+#                               curve rps/p99, scaling_efficiency,
+#                               spike_p99_us — same-host comparisons; the
+#                               fp32 throughput gates only under
+#                               --absolute). Non-zero exit on any smoke
+#                               failure or regression.
 #
 # Any other flag is an error (exit 2) — CI must not silently fall through to
 # the multi-hour full bench run because of a typo.
@@ -38,6 +43,22 @@
 # full-scale run.
 set -u
 cd "$(dirname "$0")"
+
+# Bench numbers are only comparable when the thread count is pinned: detect
+# the hardware, print it, persist it next to the outputs, and default
+# CQ_THREADS to the detected core count (callers can still override). The
+# bench paths (--ci-gate and the full run) call this before running
+# anything; the serve/threadpool JSONs also record the same values under
+# their "hardware" key. The --check sweeps do NOT pin: the sanitizer runs
+# force CQ_THREADS=4 instead so the threaded paths are exercised with real
+# concurrency even on a single-core host.
+pin_bench_threads() {
+  CORES="$(nproc)"
+  export CQ_THREADS="${CQ_THREADS:-$CORES}"
+  echo "hardware: ${CORES} cores, CQ_THREADS=${CQ_THREADS}"
+  mkdir -p bench_out
+  echo "cores=${CORES} cq_threads=${CQ_THREADS}" > bench_out/hardware.txt
+}
 
 # Configure a preset only when its build tree has no cache yet, so repeated
 # sweeps skip the cmake re-run and a half-deleted tree self-heals.
@@ -50,10 +71,14 @@ configure_if_missing() { # preset builddir
 case "${1:-}" in
 --check)
   set -e
+  # CQ_THREADS=4 forces real pool/queue concurrency through the sanitizer
+  # runs regardless of the host's core count (the threadpool, parallel-GEMM,
+  # and MPMC queue tests must be clean at >=4 threads, not just at the
+  # single-core default).
   echo "=== sanitize preset (ASan+UBSan, substrate + kernel tests) ==="
   cmake --preset sanitize
   cmake --build --preset sanitize -j"$(nproc)"
-  ctest --preset sanitize -j"$(nproc)"
+  CQ_THREADS=4 ctest --preset sanitize -j"$(nproc)"
   echo "=== scalar preset (CQ_SCALAR_KERNELS=ON, portable backend) ==="
   cmake --preset scalar
   cmake --build --preset scalar -j"$(nproc)"
@@ -61,12 +86,13 @@ case "${1:-}" in
   echo "=== tsan preset (ThreadSanitizer, serve-labeled tests) ==="
   cmake --preset tsan
   cmake --build --preset tsan -j"$(nproc)"
-  ctest --preset tsan -j"$(nproc)"
+  CQ_THREADS=4 ctest --preset tsan -j"$(nproc)"
   echo ALL_CHECKS_DONE
   exit 0
   ;;
 --ci-gate)
   set -e
+  pin_bench_threads
   configure_if_missing default build
   cmake --build --preset default -j"$(nproc)"
   echo "=== bench-labeled ctest smokes ==="
@@ -83,9 +109,11 @@ case "${1:-}" in
     > bench_out/serve_json.txt 2>&1
   ./build/bench/compile --json=bench_out/BENCH_compile.json \
     > bench_out/compile_json.txt 2>&1
+  ./build/bench/threadpool --json=bench_out/BENCH_threadpool.json \
+    > bench_out/threadpool_json.txt 2>&1
   echo "=== comparing against repo-root baselines ==="
   status=0
-  for b in gemm pipeline kernels serve compile; do
+  for b in gemm pipeline kernels serve compile threadpool; do
     # Fail fast on a missing baseline: cq_bench_check would only see the
     # unreadable-file error, and a bench added without its checked-in
     # baseline must not look like a perf regression (or worse, pass).
@@ -112,12 +140,15 @@ case "${1:-}" in
   ;;
 esac
 
+pin_bench_threads
+
 export CQ_FT_EPOCHS=${CQ_FT_EPOCHS:-10}
 export CQ_DET_EPOCHS=${CQ_DET_EPOCHS:-20}
 export CQ_TSNE_ITERS=${CQ_TSNE_ITERS:-200}
 
 if [ ! -x build/bench/micro_kernels ] || [ ! -x build/bench/kernels ] \
-   || [ ! -x build/bench/pipeline_alloc ] || [ ! -x build/bench/serve ]; then
+   || [ ! -x build/bench/pipeline_alloc ] || [ ! -x build/bench/serve ] \
+   || [ ! -x build/bench/threadpool ]; then
   cmake --preset default
   cmake --build --preset default -j"$(nproc)"
 fi
@@ -161,4 +192,7 @@ echo "=== RUNNING json baselines ==="
 ./build/bench/compile --json=BENCH_compile.json \
   > bench_out/compile_json.txt 2>&1 && echo "done BENCH_compile.json" \
   || echo "FAILED BENCH_compile.json (see bench_out/compile_json.txt)"
+./build/bench/threadpool --json=BENCH_threadpool.json \
+  > bench_out/threadpool_json.txt 2>&1 && echo "done BENCH_threadpool.json" \
+  || echo "FAILED BENCH_threadpool.json (see bench_out/threadpool_json.txt)"
 echo ALL_BENCHES_DONE

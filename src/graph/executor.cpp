@@ -5,6 +5,7 @@
 #include <cstring>
 #include <limits>
 
+#include "core/threadpool.hpp"
 #include "core/trace.hpp"
 #include "deploy/int8.hpp"
 #include "graph/tracer.hpp"
@@ -16,6 +17,26 @@
 namespace cq::graph {
 
 namespace {
+
+// Batch-parallel dispatch (DESIGN.md §14): split the batch into the
+// deterministic image slices plan.cpp defines — every batched value and
+// scratch slot is image-strided, so slices touch disjoint arena bytes — and
+// run each slice's images on a pool worker. Inline (the exact serial loop)
+// at pool size 1 or batch 1; allocation-free either way, preserving the
+// ZeroAllocSteadyState contract.
+template <typename F>
+void for_each_image(std::int64_t n, F&& fn) {
+  core::ThreadPool& pool = core::ThreadPool::instance();
+  const std::int64_t parts = std::min<std::int64_t>(
+      n, static_cast<std::int64_t>(pool.size()) *
+             core::ThreadPool::kChunksPerThread);
+  pool.parallel_for(parts, 1, [&](std::int64_t s0, std::int64_t s1) {
+    for (std::int64_t s = s0; s < s1; ++s) {
+      const ImageSlice sl = image_slice(n, parts, s);
+      for (std::int64_t img = sl.begin; img < sl.end; ++img) fn(img);
+    }
+  });
+}
 
 ConvGeometry conv_geometry(const Node& n, const Shape& in) {
   ConvGeometry g;
@@ -169,7 +190,7 @@ const Tensor& CompiledModel::forward(const Tensor& x) {
           // Image i owns columns [i*spatial, (i+1)*spatial): every one of
           // its columns quantizes with that image's scale, whatever the
           // batch width (deploy/int8.cpp's batch-invariance contract).
-          for (std::int64_t img = 0; img < n; ++img) {
+          for_each_image(n, [&](std::int64_t img) {
             const float in_scale = deploy::detail::sample_scale(
                 in_p + img * sample_in, sample_in);
             const float inv = 1.0f / in_scale;
@@ -177,7 +198,7 @@ const Tensor& CompiledModel::forward(const Tensor& x) {
               col_scale[img * spatial + s] = in_scale;
               col_inv[img * spatial + s] = inv;
             }
-          }
+          });
           igemm::Epilogue ep;
           ep.col_scale = col_scale;
           for (std::int64_t grp = 0; grp < node.conv.groups; ++grp) {
@@ -191,24 +212,27 @@ const Tensor& CompiledModel::forward(const Tensor& x) {
                         st.packed_a.data() + grp * st.pa_group,
                         st.rowsum.data() + grp * cout_g, bp, gout,
                         /*ldc=*/cols, ep);
-            if (spatial == 1) {
-              for (std::int64_t oc_local = 0; oc_local < cout_g; ++oc_local) {
+            // Scatter: output channel oc writes disjoint NCHW rows, so the
+            // oc range splits across workers (pure copies, identical bytes).
+            const std::int64_t sg =
+                std::max<std::int64_t>(1, (std::int64_t{1} << 14) / cols);
+            core::parallel_for(cout_g, sg, [&](std::int64_t o0,
+                                               std::int64_t o1) {
+              for (std::int64_t oc_local = o0; oc_local < o1; ++oc_local) {
                 const float* src = gout + oc_local * cols;
                 const std::int64_t oc = grp * cout_g + oc_local;
-                for (std::int64_t img = 0; img < n; ++img)
-                  out_p[img * node.conv.out_channels + oc] = src[img];
+                if (spatial == 1) {
+                  for (std::int64_t img = 0; img < n; ++img)
+                    out_p[img * node.conv.out_channels + oc] = src[img];
+                } else {
+                  for (std::int64_t img = 0; img < n; ++img)
+                    std::memcpy(
+                        out_p + (img * node.conv.out_channels + oc) * spatial,
+                        src + img * spatial,
+                        static_cast<std::size_t>(spatial) * sizeof(float));
+                }
               }
-            } else {
-              for (std::int64_t oc_local = 0; oc_local < cout_g; ++oc_local) {
-                const float* src = gout + oc_local * cols;
-                const std::int64_t oc = grp * cout_g + oc_local;
-                for (std::int64_t img = 0; img < n; ++img)
-                  std::memcpy(
-                      out_p + (img * node.conv.out_channels + oc) * spatial,
-                      src + img * spatial,
-                      static_cast<std::size_t>(spatial) * sizeof(float));
-              }
-            }
+            });
           }
           break;
         }
@@ -224,38 +248,41 @@ const Tensor& CompiledModel::forward(const Tensor& x) {
         for (std::int64_t grp = 0; grp < node.conv.groups; ++grp) {
           {
             CQ_TRACE_SCOPE_N("serve.lower", n);
-            for (std::int64_t img = 0; img < n; ++img) {
+            // Image img writes cols_buf slice img*spatial*krows (im2row) or
+            // the img*spatial column band (im2col) — disjoint either way.
+            for_each_image(n, [&](std::int64_t img) {
               const float* src =
                   in_p + img * sample_in + grp * cin_g * in_h * in_w;
               if (patch_major)
                 im2row(src, geo, cols_buf + img * spatial * krows);
               else
                 im2col(src, geo, cols_buf + img * spatial, cols);
-            }
+            });
           }
           ep.bias = st.bias.data() + grp * cout_g;
           gemm::gemm(patch_major ? gemm::Trans::kNT : gemm::Trans::kNN,
                      cout_g, cols, krows,
                      node.weight.data() + grp * cout_g * krows, cols_buf,
                      gout, /*accumulate=*/false, ep);
-          if (spatial == 1) {
-            for (std::int64_t oc_local = 0; oc_local < cout_g; ++oc_local) {
+          const std::int64_t sg =
+              std::max<std::int64_t>(1, (std::int64_t{1} << 14) / cols);
+          core::parallel_for(cout_g, sg, [&](std::int64_t o0,
+                                             std::int64_t o1) {
+            for (std::int64_t oc_local = o0; oc_local < o1; ++oc_local) {
               const float* src = gout + oc_local * cols;
               const std::int64_t oc = grp * cout_g + oc_local;
-              for (std::int64_t img = 0; img < n; ++img)
-                out_p[img * node.conv.out_channels + oc] = src[img];
+              if (spatial == 1) {
+                for (std::int64_t img = 0; img < n; ++img)
+                  out_p[img * node.conv.out_channels + oc] = src[img];
+              } else {
+                for (std::int64_t img = 0; img < n; ++img)
+                  std::memcpy(
+                      out_p + (img * node.conv.out_channels + oc) * spatial,
+                      src + img * spatial,
+                      static_cast<std::size_t>(spatial) * sizeof(float));
+              }
             }
-          } else {
-            for (std::int64_t oc_local = 0; oc_local < cout_g; ++oc_local) {
-              const float* src = gout + oc_local * cols;
-              const std::int64_t oc = grp * cout_g + oc_local;
-              for (std::int64_t img = 0; img < n; ++img)
-                std::memcpy(
-                    out_p + (img * node.conv.out_channels + oc) * spatial,
-                    src + img * spatial,
-                    static_cast<std::size_t>(spatial) * sizeof(float));
-            }
-          }
+          });
         }
         break;
       }
@@ -268,10 +295,10 @@ const Tensor& CompiledModel::forward(const Tensor& x) {
           float* in_inv = arena_ptr(scratch[1]);
           float* gout = arena_ptr(scratch[2]);
           auto* bp = reinterpret_cast<std::uint8_t*>(base_ + scratch[3]);
-          for (std::int64_t s = 0; s < n; ++s) {
+          for_each_image(n, [&](std::int64_t s) {
             in_scale[s] = deploy::detail::sample_scale(in_p + s * in, in);
             in_inv[s] = 1.0f / in_scale[s];
-          }
+          });
           igemm::pack_b_quantized(in_p, /*rs=*/1, /*cs=*/in, in, n, in_inv,
                                   bp);
           igemm::Epilogue ep;
@@ -280,9 +307,10 @@ const Tensor& CompiledModel::forward(const Tensor& x) {
           ep.bias = st.bias.data();
           igemm::gemm(out, n, in, st.packed_a.data(), st.rowsum.data(), bp,
                       gout, /*ldc=*/n, ep);
-          for (std::int64_t s = 0; s < n; ++s)  // transpose [out, n]
+          for_each_image(n, [&](std::int64_t s) {  // transpose [out, n]
             for (std::int64_t r = 0; r < out; ++r)
               out_p[s * out + r] = gout[r * n + s];
+          });
           break;
         }
         CQ_TRACE_SCOPE_N("graph.node.linear", n);
@@ -303,18 +331,24 @@ const Tensor& CompiledModel::forward(const Tensor& x) {
       case Op::kRelu: {
         CQ_TRACE_SCOPE_N("graph.node.relu", n);
         const std::int64_t count = n * ishape.numel();
-        if (int8_plan) {  // eager Int8Network runs the kernels:: pass
-          if (node.relu_cap > 0.0f)
-            kernels::relu_cap(in_p, out_p, count, node.relu_cap);
-          else
-            kernels::relu(in_p, out_p, count);
-        } else {  // eager Fp32Network's plain clipping loop
-          for (std::int64_t j = 0; j < count; ++j) {
-            float v = in_p[j] > 0.0f ? in_p[j] : 0.0f;
-            if (node.relu_cap > 0.0f && v > node.relu_cap) v = node.relu_cap;
-            out_p[j] = v;
+        // Elementwise: any contiguous split computes identical values. The
+        // kernels:: entry points are position-independent, so handing each
+        // worker a subrange matches the single serial call bit for bit.
+        core::parallel_for(count, 1 << 14, [&](std::int64_t b,
+                                               std::int64_t e) {
+          if (int8_plan) {  // eager Int8Network runs the kernels:: pass
+            if (node.relu_cap > 0.0f)
+              kernels::relu_cap(in_p + b, out_p + b, e - b, node.relu_cap);
+            else
+              kernels::relu(in_p + b, out_p + b, e - b);
+          } else {  // eager Fp32Network's plain clipping loop
+            for (std::int64_t j = b; j < e; ++j) {
+              float v = in_p[j] > 0.0f ? in_p[j] : 0.0f;
+              if (node.relu_cap > 0.0f && v > node.relu_cap) v = node.relu_cap;
+              out_p[j] = v;
+            }
           }
-        }
+        });
         break;
       }
 
@@ -325,10 +359,12 @@ const Tensor& CompiledModel::forward(const Tensor& x) {
                    pad = node.pool_pad;
         const auto oh = (h + 2 * pad - k) / stride + 1;
         const auto ow = (w + 2 * pad - k) / stride + 1;
-        std::int64_t o = 0;
-        for (std::int64_t img = 0; img < n; ++img)
-          for (std::int64_t ch = 0; ch < c; ++ch) {
-            const float* plane = in_p + (img * c + ch) * h * w;
+        // Plane (img, ch) owns output [pl*oh*ow, (pl+1)*oh*ow): each plane's
+        // max reduction is self-contained, so planes split across workers.
+        core::parallel_for(n * c, 1, [&](std::int64_t p0, std::int64_t p1) {
+          for (std::int64_t pl = p0; pl < p1; ++pl) {
+            const float* plane = in_p + pl * h * w;
+            std::int64_t o = pl * oh * ow;
             for (std::int64_t oy = 0; oy < oh; ++oy)
               for (std::int64_t ox = 0; ox < ow; ++ox, ++o) {
                 float best = -std::numeric_limits<float>::infinity();
@@ -342,19 +378,23 @@ const Tensor& CompiledModel::forward(const Tensor& x) {
                 out_p[o] = best;
               }
           }
+        });
         break;
       }
 
       case Op::kGlobalAvgPool: {
         CQ_TRACE_SCOPE_N("graph.node.gap", n);
         const auto c = ishape.dim(0), spatial = ishape.dim(1) * ishape.dim(2);
-        for (std::int64_t img = 0; img < n; ++img)
-          for (std::int64_t ch = 0; ch < c; ++ch) {
-            const float* plane = in_p + (img * c + ch) * spatial;
+        // One double accumulator per plane, never split mid-plane, so the
+        // summation order is partition-independent.
+        core::parallel_for(n * c, 8, [&](std::int64_t p0, std::int64_t p1) {
+          for (std::int64_t pl = p0; pl < p1; ++pl) {
+            const float* plane = in_p + pl * spatial;
             double s = 0.0;
             for (std::int64_t j = 0; j < spatial; ++j) s += plane[j];
-            out_p[img * c + ch] = static_cast<float>(s / spatial);
+            out_p[pl] = static_cast<float>(s / spatial);
           }
+        });
         break;
       }
 
@@ -363,17 +403,20 @@ const Tensor& CompiledModel::forward(const Tensor& x) {
         const float* a = in_p;
         const float* b = in_ptr(node.inputs[1], x);
         const std::int64_t count = n * ishape.numel();
-        if (int8_plan) {  // eager residual: in-place add_, then kernels relu
-          for (std::int64_t j = 0; j < count; ++j) out_p[j] = a[j] + b[j];
-          if (node.add_relu) kernels::relu(out_p, out_p, count);
-        } else if (node.add_relu) {
-          for (std::int64_t j = 0; j < count; ++j) {
-            const float v = a[j] + b[j];
-            out_p[j] = v > 0.0f ? v : 0.0f;
+        core::parallel_for(count, 1 << 14, [&](std::int64_t j0,
+                                               std::int64_t j1) {
+          if (int8_plan) {  // eager residual: in-place add_, then kernels relu
+            for (std::int64_t j = j0; j < j1; ++j) out_p[j] = a[j] + b[j];
+            if (node.add_relu) kernels::relu(out_p + j0, out_p + j0, j1 - j0);
+          } else if (node.add_relu) {
+            for (std::int64_t j = j0; j < j1; ++j) {
+              const float v = a[j] + b[j];
+              out_p[j] = v > 0.0f ? v : 0.0f;
+            }
+          } else {
+            for (std::int64_t j = j0; j < j1; ++j) out_p[j] = a[j] + b[j];
           }
-        } else {
-          for (std::int64_t j = 0; j < count; ++j) out_p[j] = a[j] + b[j];
-        }
+        });
         break;
       }
 

@@ -165,6 +165,16 @@ ArenaPlan plan_arena(const Graph& g, std::int64_t max_batch) {
   return plan;
 }
 
+ImageSlice image_slice(std::int64_t batch, std::int64_t parts,
+                       std::int64_t s) {
+  const std::int64_t base = batch / parts;
+  const std::int64_t rem = batch % parts;
+  ImageSlice out;
+  out.begin = s * base + (s < rem ? s : rem);
+  out.end = out.begin + base + (s < rem ? 1 : 0);
+  return out;
+}
+
 std::string dump(const Graph& g, const ArenaPlan& plan) {
   std::string s = "arena " + std::to_string(plan.arena_bytes) +
                   " bytes (naive " + std::to_string(plan.naive_bytes) +

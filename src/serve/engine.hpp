@@ -6,13 +6,17 @@
 //   if (r.wait() == Status::kOk) ...  // feature vector in r.output
 //   engine.stop();                    // graceful: accepted work completes
 //
-// Architecture (DESIGN.md §10): submit() -> bounded RequestQueue ->
-// worker threads, each popping a dynamic micro-batch (fills to max_batch or
-// the max_wait window, whichever first), filtering expired deadlines,
-// collating into a pre-warmed batch tensor, forwarding through a
-// per-worker compiled ModelInstance, and scattering feature rows back.
-// Per-worker stats (latency histograms, batch sizes, heap-allocation
-// deltas) aggregate on demand into EngineStats / stats_json().
+// Architecture (DESIGN.md §10, §14): submit() round-robins across one
+// bounded lock-free RequestQueue PER worker (sharded, so producers and the
+// worker pool never contend on a single queue lock), falling back to any
+// shard with room before rejecting. Each worker pops dynamic micro-batches
+// from its OWN queue (fills to max_batch or the max_wait window, whichever
+// first), stealing from sibling queues when its own runs empty, then
+// filters expired deadlines, collates into a pre-warmed batch tensor,
+// forwards through a per-worker compiled ModelInstance, and scatters
+// feature rows back. Per-worker stats (latency histograms, batch-size
+// histograms, per-queue depths, steal counts, heap-allocation deltas)
+// aggregate on demand into EngineStats / stats_json().
 #pragma once
 
 #include <atomic>
@@ -92,6 +96,7 @@ class Engine {
 
  private:
   struct Worker {
+    std::size_t index = 0;  // also indexes this worker's own queue shard
     std::unique_ptr<ModelInstance> model;
     std::unique_ptr<Batcher> batcher;
     std::thread thread;
@@ -103,8 +108,11 @@ class Engine {
 
   EngineConfig config_;
   models::Encoder encoder_;
-  RequestQueue queue_;
+  /// One shard per worker (min one, so workers == 0 still admits). Total
+  /// admission capacity is config.queue_capacity split evenly across shards.
+  std::vector<std::unique_ptr<RequestQueue>> queues_;
   std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<std::uint64_t> rr_{0};  // round-robin submit ticket
   std::atomic<bool> stopping_{false};
   bool stopped_ = false;  // guarded by stop_mu_
   std::mutex stop_mu_;

@@ -75,6 +75,20 @@ void json_latency(std::ostringstream& os, const char* key,
      << ", \"max_us\": " << h.max_micros() << "}";
 }
 
+/// Emit [n1, n2, ...] trimmed at the last non-zero bucket (bucket i = batch
+/// size i+1), so an idle worker renders as [] rather than 64 zeros.
+void json_batch_hist(std::ostringstream& os, const BatchHist& h) {
+  std::size_t last = 0;
+  for (std::size_t i = 0; i < h.size(); ++i)
+    if (h[i] != 0) last = i + 1;
+  os << "[";
+  for (std::size_t i = 0; i < last; ++i) {
+    if (i) os << ", ";
+    os << h[i];
+  }
+  os << "]";
+}
+
 }  // namespace
 
 std::string EngineStats::to_json() const {
@@ -86,6 +100,7 @@ std::string EngineStats::to_json() const {
      << "  \"timed_out\": " << timed_out << ",\n"
      << "  \"shutdown_failed\": " << shutdown_failed << ",\n"
      << "  \"batches\": " << batches << ",\n"
+     << "  \"stolen\": " << stolen << ",\n"
      << "  \"mean_batch_size\": " << mean_batch_size << ",\n"
      << "  \"max_batch_seen\": " << max_batch_seen << ",\n"
      << "  \"queue_depth\": " << queue_depth << ",\n"
@@ -94,6 +109,22 @@ std::string EngineStats::to_json() const {
      << "  \"steady_heap_allocs\": " << steady_heap_allocs << ",\n"
      << "  \"uptime_seconds\": " << uptime_seconds << ",\n"
      << "  \"throughput_rps\": " << throughput_rps << ",\n  ";
+  os << "\"batch_hist\": ";
+  json_batch_hist(os, batch_hist);
+  os << ",\n  \"workers\": [";
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    const WorkerSnapshot& w = workers[i];
+    if (i) os << ", ";
+    os << "{\"served\": " << w.served << ", \"batches\": " << w.batches
+       << ", \"timed_out\": " << w.timed_out << ", \"stolen\": " << w.stolen
+       << ", \"mean_batch_size\": " << w.mean_batch_size
+       << ", \"queue_depth\": " << w.queue_depth
+       << ", \"queue_peak_depth\": " << w.queue_peak_depth
+       << ", \"batch_hist\": ";
+    json_batch_hist(os, w.batch_hist);
+    os << "}";
+  }
+  os << "],\n  ";
   json_latency(os, "queue_latency", queue_latency);
   os << ",\n  ";
   json_latency(os, "total_latency", total_latency);

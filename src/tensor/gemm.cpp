@@ -18,6 +18,7 @@
 #include <cstring>
 #include <vector>
 
+#include "core/threadpool.hpp"
 #include "core/trace.hpp"
 #include "util/check.hpp"
 
@@ -52,43 +53,60 @@ Strides b_strides(Trans t, std::int64_t k, std::int64_t n) {
 // [s*MR, s*MR+MR) laid out p-major so the micro-kernel reads MR contiguous
 // floats per k-step. Short edge slivers are zero-padded to full MR. The
 // quantized variant folds Eq. 10 into the gather (quantize-on-pack).
+//
+// Each sliver writes a disjoint kc*MR region at a base derived from its
+// index — not a running pointer — so the [sv0, sv1) sliver range can be
+// split across pool workers with bit-identical results (the bytes written
+// per sliver do not depend on who packs the neighbours).
 template <bool Q>
-void pack_a_impl(const float* a, Strides s, std::int64_t mc, std::int64_t kc,
-                 float* ap, const QuantSpec& q) {
-  for (std::int64_t ir = 0; ir < mc; ir += MR) {
+void pack_a_impl(const float* a, Strides s, std::int64_t sv0, std::int64_t sv1,
+                 std::int64_t mc, std::int64_t kc, float* ap,
+                 const QuantSpec& q) {
+  for (std::int64_t sv = sv0; sv < sv1; ++sv) {
+    const std::int64_t ir = sv * MR;
     const std::int64_t mr = std::min(MR, mc - ir);
+    float* dst = ap + sv * (kc * MR);
     for (std::int64_t p = 0; p < kc; ++p) {
       for (std::int64_t i = 0; i < mr; ++i) {
         const float v = a[(ir + i) * s.rs + p * s.cs];
-        *ap++ = Q ? quantize_value(v, q) : v;
+        *dst++ = Q ? quantize_value(v, q) : v;
       }
-      for (std::int64_t i = mr; i < MR; ++i) *ap++ = 0.0f;
+      for (std::int64_t i = mr; i < MR; ++i) *dst++ = 0.0f;
     }
   }
+}
+
+void pack_a_range(const float* a, Strides s, std::int64_t sv0, std::int64_t sv1,
+                  std::int64_t mc, std::int64_t kc, float* ap,
+                  const QuantSpec* q) {
+  if (q != nullptr)
+    pack_a_impl<true>(a, s, sv0, sv1, mc, kc, ap, *q);
+  else
+    pack_a_impl<false>(a, s, sv0, sv1, mc, kc, ap, QuantSpec{});
 }
 
 void pack_a(const float* a, Strides s, std::int64_t mc, std::int64_t kc,
             float* ap, const QuantSpec* q) {
   CQ_TRACE_SCOPE_HOT_BYTES("gemm.pack_a", mc * kc * sizeof(float));
-  if (q != nullptr)
-    pack_a_impl<true>(a, s, mc, kc, ap, *q);
-  else
-    pack_a_impl<false>(a, s, mc, kc, ap, QuantSpec{});
+  pack_a_range(a, s, 0, (mc + MR - 1) / MR, mc, kc, ap, q);
 }
 
 // Pack a kc x nc block of op(B) into NR-column slivers, zero-padded likewise.
+// Sliver-indexed like pack_a_impl so [sv0, sv1) splits across workers.
 template <bool Q>
-void pack_b_impl(const float* b, Strides s, std::int64_t kc, std::int64_t nc,
-                 float* bp, const QuantSpec& q) {
+void pack_b_impl(const float* b, Strides s, std::int64_t sv0, std::int64_t sv1,
+                 std::int64_t kc, std::int64_t nc, float* bp,
+                 const QuantSpec& q) {
   if (s.cs != 1) {
     // Column-strided source (kNT: op(B) columns are contiguous rows of the
     // stored [N, K] matrix). The generic k-outer order below would read
     // with stride K on every element; walk source rows instead — contiguous
     // reads, sliver-strided writes into the (L1-resident) packed buffer.
     // Same values into the same slots, so results stay bit-identical.
-    for (std::int64_t jr = 0; jr < nc; jr += NR) {
+    for (std::int64_t sv = sv0; sv < sv1; ++sv) {
+      const std::int64_t jr = sv * NR;
       const std::int64_t nr = std::min(NR, nc - jr);
-      float* sliver = bp + (jr / NR) * (kc * NR);
+      float* sliver = bp + sv * (kc * NR);
       for (std::int64_t j = 0; j < NR; ++j) {
         if (j < nr) {
           const float* src = b + (jr + j) * s.cs;
@@ -103,25 +121,33 @@ void pack_b_impl(const float* b, Strides s, std::int64_t kc, std::int64_t nc,
     }
     return;
   }
-  for (std::int64_t jr = 0; jr < nc; jr += NR) {
+  for (std::int64_t sv = sv0; sv < sv1; ++sv) {
+    const std::int64_t jr = sv * NR;
     const std::int64_t nr = std::min(NR, nc - jr);
+    float* dst = bp + sv * (kc * NR);
     for (std::int64_t p = 0; p < kc; ++p) {
       for (std::int64_t j = 0; j < nr; ++j) {
         const float v = b[p * s.rs + (jr + j) * s.cs];
-        *bp++ = Q ? quantize_value(v, q) : v;
+        *dst++ = Q ? quantize_value(v, q) : v;
       }
-      for (std::int64_t j = nr; j < NR; ++j) *bp++ = 0.0f;
+      for (std::int64_t j = nr; j < NR; ++j) *dst++ = 0.0f;
     }
   }
+}
+
+void pack_b_range(const float* b, Strides s, std::int64_t sv0, std::int64_t sv1,
+                  std::int64_t kc, std::int64_t nc, float* bp,
+                  const QuantSpec* q) {
+  if (q != nullptr)
+    pack_b_impl<true>(b, s, sv0, sv1, kc, nc, bp, *q);
+  else
+    pack_b_impl<false>(b, s, sv0, sv1, kc, nc, bp, QuantSpec{});
 }
 
 void pack_b(const float* b, Strides s, std::int64_t kc, std::int64_t nc,
             float* bp, const QuantSpec* q) {
   CQ_TRACE_SCOPE_HOT_BYTES("gemm.pack_b", kc * nc * sizeof(float));
-  if (q != nullptr)
-    pack_b_impl<true>(b, s, kc, nc, bp, *q);
-  else
-    pack_b_impl<false>(b, s, kc, nc, bp, QuantSpec{});
+  pack_b_range(b, s, 0, (nc + NR - 1) / NR, kc, nc, bp, q);
 }
 
 // Epilogue applied to one C element: c = act(c + bias). The same formula is
@@ -238,8 +264,9 @@ void micro_kernel(std::int64_t kc, const float* __restrict__ ap,
 #endif
 
 // Packing scratch, reused across calls so small GEMMs don't pay an
-// allocation each time (the library is single-threaded per DESIGN.md, but
-// thread_local keeps this safe if that ever changes).
+// allocation each time. thread_local: each CALLING thread (main, serve
+// workers) owns one buffer; pool workers only touch it through the pointers
+// a dispatch hands them, never through this accessor.
 std::vector<float>& scratch(std::size_t need) {
   static thread_local std::vector<float> buf;
   if (buf.size() < need) buf.resize(need);
@@ -262,6 +289,17 @@ void apply_epilogue_plain(float* c, std::int64_t m, std::int64_t n,
       crow[j] = epilogue_elem(crow[j], bias, ep);
     }
   }
+}
+
+// Work below this many FLOPs (2*m*n*k) runs serially even when the pool has
+// workers: at ~40 GFLOP/s the threshold is ~50us of compute, comfortably
+// above the few-microsecond dispatch cost.
+constexpr std::int64_t kMinParallelFlops = 2'000'000;
+
+bool want_parallel(std::int64_t m, std::int64_t n, std::int64_t k) {
+  return core::ThreadPool::instance().size() > 1 &&
+         !core::ThreadPool::on_worker_thread() &&
+         2 * m * n * k >= kMinParallelFlops;
 }
 
 }  // namespace
@@ -297,6 +335,14 @@ void gemm(Trans trans, std::int64_t m, std::int64_t n, std::int64_t k,
   float* ap = buf.data();
   float* bp = buf.data() + a_cap;
 
+  // Parallel dispatch (DESIGN.md §14): packing splits by sliver, the kernel
+  // phase by output tile. Every tile's kc-long accumulation runs entirely
+  // inside one micro_kernel call, so WHERE a tile executes cannot change its
+  // result — parallel output is bitwise-identical to serial at every pool
+  // size (enforced by the ParallelMatchesSerial fuzz suites).
+  core::ThreadPool& pool = core::ThreadPool::instance();
+  const bool par = want_parallel(m, n, k);
+
   for (std::int64_t jc = 0; jc < n; jc += NC) {
     const std::int64_t nc = std::min(NC, n - jc);
     for (std::int64_t pc = 0; pc < k; pc += KC) {
@@ -306,16 +352,40 @@ void gemm(Trans trans, std::int64_t m, std::int64_t n, std::int64_t k,
       // only while writing back the final panel, when the sum is complete.
       const bool overwrite = pc == 0 && !accumulate;
       const Epilogue* panel_ep = pc + kc == k ? ep : nullptr;
-      pack_b(b + pc * bs.rs + jc * bs.cs, bs, kc, nc, bp, qb);
+      const float* bsrc = b + pc * bs.rs + jc * bs.cs;
+      if (par) {
+        CQ_TRACE_SCOPE_HOT_BYTES("gemm.pack_b", kc * nc * sizeof(float));
+        pool.parallel_for((nc + NR - 1) / NR, 1,
+                          [&](std::int64_t sv0, std::int64_t sv1) {
+                            pack_b_range(bsrc, bs, sv0, sv1, kc, nc, bp, qb);
+                          });
+      } else {
+        pack_b(bsrc, bs, kc, nc, bp, qb);
+      }
       for (std::int64_t ic = 0; ic < m; ic += MC) {
         const std::int64_t mc = std::min(MC, m - ic);
-        pack_a(a + ic * as.rs + pc * as.cs, as, mc, kc, ap, qa);
+        const float* asrc = a + ic * as.rs + pc * as.cs;
+        if (par) {
+          CQ_TRACE_SCOPE_HOT_BYTES("gemm.pack_a", mc * kc * sizeof(float));
+          pool.parallel_for((mc + MR - 1) / MR, 1,
+                            [&](std::int64_t sv0, std::int64_t sv1) {
+                              pack_a_range(asrc, as, sv0, sv1, mc, kc, ap, qa);
+                            });
+        } else {
+          pack_a(asrc, as, mc, kc, ap, qa);
+        }
         CQ_TRACE_SCOPE_HOT("gemm.kernel");
-        for (std::int64_t jr = 0; jr < nc; jr += NR) {
-          const std::int64_t nr = std::min(NR, nc - jr);
-          const float* bpp = bp + (jr / NR) * (kc * NR);
-          for (std::int64_t ir = 0; ir < mc; ir += MR) {
+        // Flat jr-major tile grid: tile t covers C rows [ic+ir, ic+ir+mr)
+        // and columns [jc+jr, jc+jr+nr) — disjoint across t by construction.
+        const std::int64_t nir = (mc + MR - 1) / MR;
+        const std::int64_t ntiles = ((nc + NR - 1) / NR) * nir;
+        auto tiles = [&](std::int64_t t0, std::int64_t t1) {
+          for (std::int64_t t = t0; t < t1; ++t) {
+            const std::int64_t jr = (t / nir) * NR;
+            const std::int64_t ir = (t % nir) * MR;
+            const std::int64_t nr = std::min(NR, nc - jr);
             const std::int64_t mr = std::min(MR, mc - ir);
+            const float* bpp = bp + (jr / NR) * (kc * NR);
             const float* app = ap + (ir / MR) * (kc * MR);
             micro_kernel(
                 kc, app, bpp, c + (ic + ir) * n + (jc + jr), n, mr, nr,
@@ -323,7 +393,11 @@ void gemm(Trans trans, std::int64_t m, std::int64_t n, std::int64_t k,
                 bias_rows != nullptr ? bias_rows + ic + ir : nullptr,
                 bias_cols != nullptr ? bias_cols + jc + jr : nullptr);
           }
-        }
+        };
+        if (par)
+          pool.parallel_for(ntiles, 1, tiles);
+        else
+          tiles(0, ntiles);
       }
     }
   }
@@ -361,24 +435,43 @@ void gemm_prepacked_b(std::int64_t m, std::int64_t n, std::int64_t k,
   // eligible) and owns the overwrite-vs-accumulate decision. The loop nest
   // and per-tile traversal mirror gemm() exactly, so element results are
   // bit-identical; only the source of the packed B slivers differs.
+  core::ThreadPool& pool = core::ThreadPool::instance();
+  const bool par = want_parallel(m, n, k);
   for (std::int64_t jc = 0; jc < n; jc += NC) {
     const std::int64_t nc = std::min(NC, n - jc);
     for (std::int64_t ic = 0; ic < m; ic += MC) {
       const std::int64_t mc = std::min(MC, m - ic);
-      pack_a(a + ic * k, as, mc, k, ap, qa);
+      const float* asrc = a + ic * k;
+      if (par) {
+        CQ_TRACE_SCOPE_HOT_BYTES("gemm.pack_a", mc * k * sizeof(float));
+        pool.parallel_for((mc + MR - 1) / MR, 1,
+                          [&](std::int64_t sv0, std::int64_t sv1) {
+                            pack_a_range(asrc, as, sv0, sv1, mc, k, ap, qa);
+                          });
+      } else {
+        pack_a(asrc, as, mc, k, ap, qa);
+      }
       CQ_TRACE_SCOPE_HOT("gemm.kernel");
-      for (std::int64_t jr = 0; jr < nc; jr += NR) {
-        const std::int64_t nr = std::min(NR, nc - jr);
-        const float* bpp = packed_b + ((jc + jr) / NR) * (k * NR);
-        for (std::int64_t ir = 0; ir < mc; ir += MR) {
+      const std::int64_t nir = (mc + MR - 1) / MR;
+      const std::int64_t ntiles = ((nc + NR - 1) / NR) * nir;
+      auto tiles = [&](std::int64_t t0, std::int64_t t1) {
+        for (std::int64_t t = t0; t < t1; ++t) {
+          const std::int64_t jr = (t / nir) * NR;
+          const std::int64_t ir = (t % nir) * MR;
+          const std::int64_t nr = std::min(NR, nc - jr);
           const std::int64_t mr = std::min(MR, mc - ir);
+          const float* bpp = packed_b + ((jc + jr) / NR) * (k * NR);
           const float* app = ap + (ir / MR) * (k * MR);
           micro_kernel(k, app, bpp, c + (ic + ir) * n + (jc + jr), n, mr, nr,
                        !accumulate, ep,
                        bias_rows != nullptr ? bias_rows + ic + ir : nullptr,
                        bias_cols != nullptr ? bias_cols + jc + jr : nullptr);
         }
-      }
+      };
+      if (par)
+        pool.parallel_for(ntiles, 1, tiles);
+      else
+        tiles(0, ntiles);
     }
   }
 }

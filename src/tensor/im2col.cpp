@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "core/threadpool.hpp"
 #include "core/trace.hpp"
 #include "tensor/gemm.hpp"
 
@@ -87,11 +88,21 @@ void im2col_batched(const float* images, std::int64_t n,
   CQ_TRACE_SCOPE_BYTES("im2col",
                        g.col_rows() * n * spatial * sizeof(float));
   CQ_DCHECK(col_stride >= n * spatial);
-  std::int64_t row = 0;
-  for (std::int64_t c = 0; c < g.in_channels; ++c) {
-    const std::int64_t chan_off = c * g.in_h * g.in_w;
-    for (std::int64_t kh = 0; kh < g.kernel_h; ++kh) {
-      for (std::int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+  // Patch row `row` (one (c, kh, kw) triple) writes only cols[row *
+  // col_stride ...), so rows split freely across pool workers — pure data
+  // movement, identical bytes at any split. The grain keeps each chunk
+  // moving at least ~32k floats so small lowerings run inline.
+  const std::int64_t kk = g.kernel_h * g.kernel_w;
+  const std::int64_t grain =
+      std::max<std::int64_t>(1, (std::int64_t{1} << 15) / (n * spatial + 1));
+  core::parallel_for(g.col_rows(), grain, [&](std::int64_t r0,
+                                              std::int64_t r1) {
+    for (std::int64_t row = r0; row < r1; ++row) {
+      const std::int64_t c = row / kk;
+      const std::int64_t kh = (row % kk) / g.kernel_w;
+      const std::int64_t kw = row % g.kernel_w;
+      const std::int64_t chan_off = c * g.in_h * g.in_w;
+      {
         // Identical range hoist to the strided single-image overload above
         // (same copy/fill structure, so the bytes match bit for bit) —
         // computed once per patch row here instead of once per (row, image).
@@ -145,7 +156,7 @@ void im2col_batched(const float* images, std::int64_t n,
         }
       }
     }
-  }
+  });
 }
 
 void im2col_into(const float* image, const ConvGeometry& g, Tensor& cols) {

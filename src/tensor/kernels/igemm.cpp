@@ -15,6 +15,7 @@
 
 #include <cmath>
 
+#include "core/threadpool.hpp"
 #include "core/trace.hpp"
 #include "util/check.hpp"
 
@@ -48,13 +49,17 @@ std::int32_t quantize_impl(float v, float inv_scale) {
   return static_cast<std::int32_t>(std::nearbyintf(t));
 }
 
+// Pack B slivers [sv0, sv1) (sliver sv covers columns [sv*NR, sv*NR+NR)).
+// Each sliver writes a disjoint kp*NR byte region, so ranges split across
+// pool workers bitwise-identically to the serial full-range call.
 void pack_b_scalar(const float* b, std::int64_t rs, std::int64_t cs,
                    std::int64_t k, std::int64_t n, const float* col_inv_scale,
-                   std::uint8_t* bp) {
+                   std::uint8_t* bp, std::int64_t sv0, std::int64_t sv1) {
   const std::int64_t kp = padded_k(k);
-  for (std::int64_t jr = 0; jr < n; jr += NR) {
+  for (std::int64_t sv = sv0; sv < sv1; ++sv) {
+    const std::int64_t jr = sv * NR;
     const std::int64_t nr = std::min(NR, n - jr);
-    std::uint8_t* sliver = bp + (jr / NR) * (kp * NR);
+    std::uint8_t* sliver = bp + sv * (kp * NR);
     // Byte slot for (k-index p, sliver column j): quad-grouped per
     // igemm.hpp — (p / KU) * (NR * KU) + j * KU + p % KU.
     if (cs == 1) {
@@ -108,35 +113,48 @@ void write_back_scalar(const std::int32_t acc[MR][NR], std::int64_t ir,
   }
 }
 
+// Compute output tiles [t0, t1) of the flat jr-major tile grid (tile t is
+// jr strip t / nir, ir strip t % nir, nir = ceil(m / MR)). Each tile owns
+// its full-k accumulator and a disjoint C region, so any partition of the
+// grid produces bitwise-identical output.
+void gemm_scalar_tiles(std::int64_t m, std::int64_t n, std::int64_t k,
+                       const std::int8_t* ap, const std::int32_t* rowsum,
+                       const std::uint8_t* bp, float* c, std::int64_t ldc,
+                       const Epilogue& ep, std::int64_t t0, std::int64_t t1) {
+  const std::int64_t kp = padded_k(k);
+  const std::int64_t k4 = kp / KU;
+  const std::int64_t nir = (m + MR - 1) / MR;
+  for (std::int64_t t = t0; t < t1; ++t) {
+    const std::int64_t jr = (t / nir) * NR;
+    const std::int64_t ir = (t % nir) * MR;
+    const std::int64_t nr = std::min(NR, n - jr);
+    const std::int64_t mr = std::min(MR, m - ir);
+    const std::uint8_t* bpp = bp + (jr / NR) * (kp * NR);
+    const std::int8_t* app = ap + (ir / MR) * (kp * MR);
+    std::int32_t acc[MR][NR] = {};
+    for (std::int64_t p = 0; p < k4; ++p) {
+      const std::int8_t* aq = app + p * MR * KU;
+      const std::uint8_t* bq = bpp + p * NR * KU;
+      for (std::int64_t i = 0; i < MR; ++i) {
+        for (std::int64_t u = 0; u < KU; ++u) {
+          const std::int32_t av = aq[i * KU + u];
+          if (av == 0) continue;  // zero A bytes (incl. all pads) are inert
+          const std::uint8_t* bu = bq + u;
+          for (std::int64_t j = 0; j < NR; ++j)
+            acc[i][j] += av * static_cast<std::int32_t>(bu[j * KU]);
+        }
+      }
+    }
+    write_back_scalar(acc, ir, jr, mr, nr, rowsum, c, ldc, ep);
+  }
+}
+
 void gemm_scalar(std::int64_t m, std::int64_t n, std::int64_t k,
                  const std::int8_t* ap, const std::int32_t* rowsum,
                  const std::uint8_t* bp, float* c, std::int64_t ldc,
                  const Epilogue& ep) {
-  const std::int64_t kp = padded_k(k);
-  const std::int64_t k4 = kp / KU;
-  for (std::int64_t jr = 0; jr < n; jr += NR) {
-    const std::int64_t nr = std::min(NR, n - jr);
-    const std::uint8_t* bpp = bp + (jr / NR) * (kp * NR);
-    for (std::int64_t ir = 0; ir < m; ir += MR) {
-      const std::int64_t mr = std::min(MR, m - ir);
-      const std::int8_t* app = ap + (ir / MR) * (kp * MR);
-      std::int32_t acc[MR][NR] = {};
-      for (std::int64_t p = 0; p < k4; ++p) {
-        const std::int8_t* aq = app + p * MR * KU;
-        const std::uint8_t* bq = bpp + p * NR * KU;
-        for (std::int64_t i = 0; i < MR; ++i) {
-          for (std::int64_t u = 0; u < KU; ++u) {
-            const std::int32_t av = aq[i * KU + u];
-            if (av == 0) continue;  // zero A bytes (incl. all pads) are inert
-            const std::uint8_t* bu = bq + u;
-            for (std::int64_t j = 0; j < NR; ++j)
-              acc[i][j] += av * static_cast<std::int32_t>(bu[j * KU]);
-          }
-        }
-      }
-      write_back_scalar(acc, ir, jr, mr, nr, rowsum, c, ldc, ep);
-    }
-  }
+  const std::int64_t ntiles = ((n + NR - 1) / NR) * ((m + MR - 1) / MR);
+  gemm_scalar_tiles(m, n, k, ap, rowsum, bp, c, ldc, ep, 0, ntiles);
 }
 
 // ---------------------------------------------------------------------------
@@ -156,20 +174,21 @@ inline __m512i quantize_row(const float* src, __mmask16 mask, __m512 inv) {
 
 void pack_b_vnni(const float* b, std::int64_t rs, std::int64_t cs,
                  std::int64_t k, std::int64_t n, const float* col_inv_scale,
-                 std::uint8_t* bp) {
+                 std::uint8_t* bp, std::int64_t sv0, std::int64_t sv1) {
   if (cs != 1) {  // strided gather: the scalar walk is already column-local
-    pack_b_scalar(b, rs, cs, k, n, col_inv_scale, bp);
+    pack_b_scalar(b, rs, cs, k, n, col_inv_scale, bp, sv0, sv1);
     return;
   }
   const std::int64_t kp = padded_k(k);
   const __m512i zero128 = _mm512_set1_epi32(128);
-  for (std::int64_t jr = 0; jr < n; jr += NR) {
+  for (std::int64_t sv = sv0; sv < sv1; ++sv) {
+    const std::int64_t jr = sv * NR;
     const std::int64_t nr = std::min(NR, n - jr);
     const __mmask16 mask =
         nr == NR ? static_cast<__mmask16>(0xFFFF)
                  : static_cast<__mmask16>((1u << nr) - 1u);
     const __m512 inv = _mm512_maskz_loadu_ps(mask, col_inv_scale + jr);
-    std::uint8_t* sliver = bp + (jr / NR) * (kp * NR);
+    std::uint8_t* sliver = bp + sv * (kp * NR);
     for (std::int64_t p = 0; p < kp; p += KU) {
       // Four k-rows -> one 64-byte quad block. Each offset-binary value
       // fits in 8 bits, so shift-and-or assembles the bytes exactly.
@@ -188,27 +207,32 @@ void pack_b_vnni(const float* b, std::int64_t rs, std::int64_t cs,
   }
 }
 
-void gemm_vnni(std::int64_t m, std::int64_t n, std::int64_t k,
-               const std::int8_t* ap, const std::int32_t* rowsum,
-               const std::uint8_t* bp, float* c, std::int64_t ldc,
-               const Epilogue& ep) {
+// Tile-range form mirroring gemm_scalar_tiles: same flat jr-major grid,
+// per-tile register accumulation, disjoint C writes.
+void gemm_vnni_tiles(std::int64_t m, std::int64_t n, std::int64_t k,
+                     const std::int8_t* ap, const std::int32_t* rowsum,
+                     const std::uint8_t* bp, float* c, std::int64_t ldc,
+                     const Epilogue& ep, std::int64_t t0, std::int64_t t1) {
   const std::int64_t kp = padded_k(k);
   const std::int64_t k4 = kp / KU;
-  for (std::int64_t jr = 0; jr < n; jr += NR) {
+  const std::int64_t nir = (m + MR - 1) / MR;
+  for (std::int64_t t = t0; t < t1; ++t) {
+    const std::int64_t jr = (t / nir) * NR;
+    const std::int64_t ir = (t % nir) * MR;
     const std::int64_t nr = std::min(NR, n - jr);
-    const __mmask16 mask =
-        nr == NR ? static_cast<__mmask16>(0xFFFF)
-                 : static_cast<__mmask16>((1u << nr) - 1u);
-    const std::uint8_t* bpp = bp + (jr / NR) * (kp * NR);
-    // Per-column epilogue operands for this tile, loaded once. Masked-off
-    // lanes are zero; they are never stored.
-    const __m512i zpv =
-        ep.col_zp != nullptr
-            ? _mm512_maskz_loadu_epi32(mask, ep.col_zp + jr)
-            : _mm512_setzero_si512();
-    const __m512i offv = _mm512_add_epi32(zpv, _mm512_set1_epi32(128));
-    const __m512 csv = _mm512_maskz_loadu_ps(mask, ep.col_scale + jr);
-    for (std::int64_t ir = 0; ir < m; ir += MR) {
+    {
+      const __mmask16 mask =
+          nr == NR ? static_cast<__mmask16>(0xFFFF)
+                   : static_cast<__mmask16>((1u << nr) - 1u);
+      const std::uint8_t* bpp = bp + (jr / NR) * (kp * NR);
+      // Per-column epilogue operands for this tile. Masked-off lanes are
+      // zero; they are never stored.
+      const __m512i zpv =
+          ep.col_zp != nullptr
+              ? _mm512_maskz_loadu_epi32(mask, ep.col_zp + jr)
+              : _mm512_setzero_si512();
+      const __m512i offv = _mm512_add_epi32(zpv, _mm512_set1_epi32(128));
+      const __m512 csv = _mm512_maskz_loadu_ps(mask, ep.col_scale + jr);
       const std::int64_t mr = std::min(MR, m - ir);
       const std::int8_t* app = ap + (ir / MR) * (kp * MR);
       __m512i acc[MR] = {};
@@ -240,6 +264,14 @@ void gemm_vnni(std::int64_t m, std::int64_t n, std::int64_t k,
       }
     }
   }
+}
+
+void gemm_vnni(std::int64_t m, std::int64_t n, std::int64_t k,
+               const std::int8_t* ap, const std::int32_t* rowsum,
+               const std::uint8_t* bp, float* c, std::int64_t ldc,
+               const Epilogue& ep) {
+  const std::int64_t ntiles = ((n + NR - 1) / NR) * ((m + MR - 1) / MR);
+  gemm_vnni_tiles(m, n, k, ap, rowsum, bp, c, ldc, ep, 0, ntiles);
 }
 
 #endif  // CQ_IGEMM_VNNI
@@ -278,11 +310,20 @@ void pack_b_quantized(const float* b, std::int64_t rs, std::int64_t cs,
                       std::int64_t k, std::int64_t n,
                       const float* col_inv_scale, std::uint8_t* bp) {
   CQ_TRACE_SCOPE_HOT_BYTES("igemm.pack_b", k * n * sizeof(float));
+  const std::int64_t nsv = (n + NR - 1) / NR;
+  auto range = [&](std::int64_t sv0, std::int64_t sv1) {
 #if CQ_IGEMM_VNNI
-  pack_b_vnni(b, rs, cs, k, n, col_inv_scale, bp);
+    pack_b_vnni(b, rs, cs, k, n, col_inv_scale, bp, sv0, sv1);
 #else
-  pack_b_scalar(b, rs, cs, k, n, col_inv_scale, bp);
+    pack_b_scalar(b, rs, cs, k, n, col_inv_scale, bp, sv0, sv1);
 #endif
+  };
+  // Quantize-on-pack is arithmetic-dense enough to split; small packs run
+  // inline (same bytes either way — slivers are partition-independent).
+  if (core::ThreadPool::instance().size() > 1 && k * n >= 1 << 16)
+    core::parallel_for(nsv, 1, range);
+  else
+    range(0, nsv);
 }
 
 void gemm(std::int64_t m, std::int64_t n, std::int64_t k,
@@ -294,11 +335,19 @@ void gemm(std::int64_t m, std::int64_t n, std::int64_t k,
   CQ_CHECK(k >= 0 && k <= kMaxK);
   CQ_CHECK(ldc >= n);
   CQ_CHECK(ep.row_scale != nullptr && ep.col_scale != nullptr);
+  const std::int64_t ntiles = ((n + NR - 1) / NR) * ((m + MR - 1) / MR);
+  auto tiles = [&](std::int64_t t0, std::int64_t t1) {
 #if CQ_IGEMM_VNNI
-  gemm_vnni(m, n, k, ap, rowsum, bp, c, ldc, ep);
+    gemm_vnni_tiles(m, n, k, ap, rowsum, bp, c, ldc, ep, t0, t1);
 #else
-  gemm_scalar(m, n, k, ap, rowsum, bp, c, ldc, ep);
+    gemm_scalar_tiles(m, n, k, ap, rowsum, bp, c, ldc, ep, t0, t1);
 #endif
+  };
+  // Same bar as the fp32 path: ~2 MFLOP of MAC work before fan-out pays.
+  if (core::ThreadPool::instance().size() > 1 && 2 * m * n * k >= 2'000'000)
+    core::parallel_for(ntiles, 1, tiles);
+  else
+    tiles(0, ntiles);
 }
 
 namespace detail {
@@ -324,7 +373,7 @@ namespace scalar {
 void pack_b_quantized(const float* b, std::int64_t rs, std::int64_t cs,
                       std::int64_t k, std::int64_t n,
                       const float* col_inv_scale, std::uint8_t* bp) {
-  pack_b_scalar(b, rs, cs, k, n, col_inv_scale, bp);
+  pack_b_scalar(b, rs, cs, k, n, col_inv_scale, bp, 0, (n + NR - 1) / NR);
 }
 
 void gemm(std::int64_t m, std::int64_t n, std::int64_t k,

@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "core/threadpool.hpp"
 #include "deploy/int8.hpp"
 #include "graph/executor.hpp"
 #include "graph/ir.hpp"
@@ -161,6 +162,56 @@ TEST(GraphExecutor, CompiledBatchedEqualsSerial) {
     const Tensor& feats = model.forward(single);
     for (std::int64_t c = 0; c < feats.dim(1); ++c)
       EXPECT_EQ(batched.at(i, c), feats.at(0, c)) << i << "," << c;
+  }
+}
+
+// The executor's per-image batch splits and elementwise range splits must be
+// invisible in the output: every pool size produces the same bytes as the
+// serial run, in BOTH precisions (DESIGN.md §14 — tile ownership + the
+// image_slice partition make parallel execution bitwise-deterministic).
+TEST(GraphExecutor, CompiledForwardBitwiseIdenticalAcrossThreadCounts) {
+  core::ThreadPool& pool = core::ThreadPool::instance();
+  const std::size_t old_size = pool.size();
+  for (auto precision : {graph::Precision::kF32, graph::Precision::kInt8}) {
+    SCOPED_TRACE(precision == graph::Precision::kF32 ? "fp32" : "int8");
+    auto enc = eval_encoder("resnet18", 43);
+    auto model = graph::compile(*enc.backbone, Shape{3, kH, kW},
+                                graph::CompileOptions{6, precision, true});
+    Rng rng(47);
+    const Tensor batch =
+        Tensor::uniform(Shape{5, 3, kH, kW}, rng, -1.0f, 1.0f);
+    pool.set_size(1);
+    const Tensor serial = model.forward(batch);  // copy: arena reused below
+    for (std::size_t threads : {2u, 3u, 8u}) {
+      SCOPED_TRACE(threads);
+      pool.set_size(threads);
+      expect_bitwise(model.forward(batch), serial);
+    }
+    pool.set_size(old_size);
+  }
+}
+
+// image_slice is the executor's partition contract: exact cover with no
+// overlap, even distribution (sizes differ by at most one, larger slices
+// first), and pure-function determinism.
+TEST(GraphPlanner, ImageSlicePartitionsExactlyAndEvenly) {
+  for (std::int64_t batch : {1, 2, 5, 7, 16}) {
+    for (std::int64_t parts : {1, 2, 3, 5, 8}) {
+      std::int64_t covered = 0;
+      std::int64_t prev_len = batch;  // lengths must be non-increasing
+      for (std::int64_t s = 0; s < parts; ++s) {
+        const graph::ImageSlice sl = graph::image_slice(batch, parts, s);
+        ASSERT_EQ(sl.begin, covered) << batch << "/" << parts << "@" << s;
+        ASSERT_GE(sl.end, sl.begin);
+        const std::int64_t len = sl.end - sl.begin;
+        ASSERT_LE(len, prev_len);
+        ASSERT_GE(len, batch / parts);
+        ASSERT_LE(len, batch / parts + 1);
+        prev_len = len;
+        covered = sl.end;
+      }
+      ASSERT_EQ(covered, batch) << batch << "/" << parts;
+    }
   }
 }
 

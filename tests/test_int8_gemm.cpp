@@ -11,10 +11,12 @@
 // match it BITWISE (EXPECT_EQ on floats, no tolerance), for every backend.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
 #include <cstdint>
 #include <vector>
 
+#include "core/threadpool.hpp"
 #include "tensor/kernels/igemm.hpp"
 #include "util/rng.hpp"
 
@@ -248,6 +250,46 @@ TEST(Int8Gemm, Int32AccumulatorsSurviveWorstCaseK) {
       EXPECT_EQ(got[static_cast<std::size_t>(i * p.n + j)],
                 eff * (p.row_scale[static_cast<std::size_t>(i)] *
                        p.col_scale[static_cast<std::size_t>(j)]));
+}
+
+TEST(Int8Gemm, ParallelBitwiseIdenticalToSerialAtEveryThreadCount) {
+  // Integer accumulation is exact in any order, but the packed buffers and
+  // the output tiles must still land in exactly the same bytes at every
+  // pool size — and the epilogue's float folds must happen once per tile
+  // regardless of which thread runs it. Shapes are sized past both parallel
+  // thresholds (2M flops for the kernel grid, 64K elements for pack_b) and
+  // include odd tails plus a pool larger than the tile grid.
+  core::ThreadPool& pool = core::ThreadPool::instance();
+  const std::size_t old_size = pool.size();
+  Rng rng(31);
+  const std::vector<std::array<std::int64_t, 3>> shapes = {
+      {65, 129, 130},  // odd tails on every axis, deep enough to go parallel
+      {8, 1040, 70},   // wide n: many pack_b slivers, single row panel
+      {200, 17, 300},  // many row panels, single column sliver
+      {3, 5, 7},       // tiny: stays serial at any size, still must match
+  };
+  for (const auto& [m, n, k] : shapes) {
+    Problem p = make_problem(m, n, k, rng);
+    if (n > 100) {  // zero-point path on the wide shape
+      p.col_zp.resize(static_cast<std::size_t>(n));
+      for (auto& zp : p.col_zp) zp = rng.uniform_int(-5, 5);
+    }
+    pool.set_size(1);
+    const std::vector<float> serial = run_backend(p, p.n, false);
+    const std::vector<float> serial_twin = run_backend(p, p.n, true);
+    for (std::size_t threads : {2u, 3u, 8u}) {
+      pool.set_size(threads);
+      const std::vector<float> par = run_backend(p, p.n, false);
+      const std::vector<float> par_twin = run_backend(p, p.n, true);
+      ASSERT_EQ(par, serial) << "threads=" << threads << " m=" << m
+                             << " n=" << n << " k=" << k;
+      ASSERT_EQ(par_twin, serial_twin)
+          << "scalar twin threads=" << threads << " m=" << m << " n=" << n
+          << " k=" << k;
+    }
+    pool.set_size(old_size);
+    check(p);  // and the parallel-capable path still matches the oracle
+  }
 }
 
 TEST(Int8Gemm, LeadingDimensionLargerThanN) {

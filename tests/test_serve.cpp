@@ -468,6 +468,59 @@ TEST(Engine, MultiWorkerServesEveryRequestCorrectly) {
   EXPECT_EQ(engine.stats().served, 12u);
 }
 
+TEST(Engine, PerWorkerStatsAccountForEveryRequestAndBatch) {
+  auto cfg = base_config();
+  cfg.workers = 2;
+  cfg.max_batch = 4;
+  serve::Engine engine(cfg);
+
+  const auto inputs = make_inputs(16, 23);
+  std::vector<serve::Request> reqs(16);
+  std::vector<std::vector<float>> outs(
+      16, std::vector<float>(static_cast<std::size_t>(engine.feature_dim())));
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    reqs[i].input = inputs[i].data();
+    reqs[i].output = outs[i].data();
+    ASSERT_TRUE(engine.submit(&reqs[i]));
+  }
+  for (auto& r : reqs) ASSERT_EQ(r.wait(), serve::Status::kOk);
+  engine.stop();
+
+  const auto stats = engine.stats();
+  ASSERT_EQ(stats.workers.size(), 2u);
+  std::uint64_t served = 0, batches = 0, stolen = 0;
+  for (const serve::WorkerSnapshot& w : stats.workers) {
+    served += w.served;
+    batches += w.batches;
+    stolen += w.stolen;
+    EXPECT_EQ(w.queue_depth, 0u);  // drained at stop
+    // The batch-size histogram is the per-worker batch ledger: bucket
+    // counts sum to the worker's batches, and size-weighted they sum to
+    // its served requests.
+    std::uint64_t hist_batches = 0, hist_served = 0;
+    for (std::size_t b = 0; b < serve::kBatchHistBuckets; ++b) {
+      hist_batches += w.batch_hist[b];
+      hist_served += w.batch_hist[b] * (b + 1);
+      if (b + 1 > cfg.max_batch) EXPECT_EQ(w.batch_hist[b], 0u);
+    }
+    EXPECT_EQ(hist_batches, w.batches);
+    EXPECT_EQ(hist_served, w.served);
+    if (w.batches > 0) EXPECT_GT(w.mean_batch_size, 0.0);
+  }
+  EXPECT_EQ(served, 16u);
+  EXPECT_EQ(served, stats.served);
+  EXPECT_EQ(batches, stats.batches);
+  EXPECT_EQ(stolen, stats.stolen);
+  // Engine-level histogram is the merge of the per-worker ones.
+  std::uint64_t merged = 0;
+  for (std::size_t b = 0; b < serve::kBatchHistBuckets; ++b)
+    merged += stats.batch_hist[b];
+  EXPECT_EQ(merged, stats.batches);
+  // Round-robin admission spreads across both shard queues.
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_GE(stats.queue_peak_depth, 1u);
+}
+
 TEST(Engine, StatsJsonIsWellFormed) {
   auto cfg = base_config();
   cfg.workers = 1;
@@ -496,7 +549,8 @@ TEST(Engine, StatsJsonIsWellFormed) {
   for (const char* key :
        {"\"submitted\"", "\"served\"", "\"throughput_rps\"",
         "\"queue_latency\"", "\"total_latency\"", "\"p50_us\"", "\"p99_us\"",
-        "\"steady_heap_allocs\"", "\"mean_batch_size\""})
+        "\"steady_heap_allocs\"", "\"mean_batch_size\"", "\"batch_hist\"",
+        "\"workers\"", "\"stolen\""})
     EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
 }
 

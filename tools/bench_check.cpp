@@ -230,6 +230,18 @@ Direction classify(const std::string& path, bool absolute) {
     if (leaf == "rps") return Direction::kHigherBetter;
     if (leaf == "p99_us") return Direction::kLowerBetter;
   }
+  // The serve bench's multi-worker scale-out summary gates by default:
+  // scaling_efficiency is a same-host ratio (rps at max workers over rps at
+  // one worker, normalized by min(workers, cores)), and the per-point
+  // rps/p99 curve plus the burst-spike p99 are the sharded-queue layer's
+  // headline numbers. The *_us entries inherit the doubled latency band.
+  if (leaf == "scaling_efficiency") return Direction::kHigherBetter;
+  if (path.rfind("scaling.", 0) == 0) {
+    if (leaf == "rps" || leaf == "rps_1w" || leaf == "rps_max_w")
+      return Direction::kHigherBetter;
+    if (leaf == "p99_us" || leaf == "spike_p99_us")
+      return Direction::kLowerBetter;
+  }
   if (absolute) {
     if (ends_with(leaf, "_gflops") || ends_with(leaf, "_gbps") ||
         leaf == "rps")
@@ -453,6 +465,47 @@ int selftest() {
            "fp32 rps ungated by default");
     expect(gate(cand, serve_base, 0.30, true, false).failed == 1,
            "--absolute catches the fp32 rps collapse");
+  }
+
+  // Scale-out metrics (serve's "scaling" section) gate by default: the
+  // curve's rps/p99, the 1w/max-w summary, efficiency, and the spike tail.
+  const auto scale_base = flatten(
+      "{\"scaling\": {\"curve\": [{\"workers\": 1, \"rps\": 500.0, "
+      "\"p99_us\": 2000.0}], \"workers_max\": 4, \"rps_1w\": 500.0, "
+      "\"rps_max_w\": 480.0, \"scaling_efficiency\": 0.96, "
+      "\"spike_p99_us\": 30000.0}}");
+  {
+    const auto r = gate(scale_base, scale_base, 0.30, false, false);
+    expect(r.gated == 6 && r.failed == 0,
+           "scaling curve + summary gated by default");
+  }
+  {
+    // Efficiency collapsing (sharding overhead eating the scale-out win).
+    const auto cand = flatten(
+        "{\"scaling\": {\"curve\": [{\"workers\": 1, \"rps\": 500.0, "
+        "\"p99_us\": 2000.0}], \"workers_max\": 4, \"rps_1w\": 500.0, "
+        "\"rps_max_w\": 480.0, \"scaling_efficiency\": 0.5, "
+        "\"spike_p99_us\": 30000.0}}");
+    expect(gate(cand, scale_base, 0.30, false, false).failed == 1,
+           "scaling_efficiency collapse fails");
+  }
+  {
+    // Spike p99 is a latency metric: +50% sits inside the doubled band,
+    // a 2x blow-up fails.
+    const auto noisy = flatten(
+        "{\"scaling\": {\"curve\": [{\"workers\": 1, \"rps\": 500.0, "
+        "\"p99_us\": 2000.0}], \"workers_max\": 4, \"rps_1w\": 500.0, "
+        "\"rps_max_w\": 480.0, \"scaling_efficiency\": 0.96, "
+        "\"spike_p99_us\": 45000.0}}");
+    expect(gate(noisy, scale_base, 0.30, false, false).failed == 0,
+           "spike p99 +50% is within the doubled latency band");
+    const auto blown = flatten(
+        "{\"scaling\": {\"curve\": [{\"workers\": 1, \"rps\": 500.0, "
+        "\"p99_us\": 2000.0}], \"workers_max\": 4, \"rps_1w\": 500.0, "
+        "\"rps_max_w\": 480.0, \"scaling_efficiency\": 0.96, "
+        "\"spike_p99_us\": 62000.0}}");
+    expect(gate(blown, scale_base, 0.30, false, false).failed == 1,
+           "spike p99 blow-up fails");
   }
 
   if (failures == 0) std::printf("BENCH_CHECK_SELFTEST_OK\n");
