@@ -10,6 +10,8 @@
 #   BENCH_compile.json   graph compiler: arena footprint, compiled-vs-eager
 #   BENCH_threadpool.json  thread pool: size-1 parity, dispatch overhead,
 #                        parallel_for scaling
+#   BENCH_search.json    binary-embedding search: Hamming scan vs fp32 brute
+#                        force, recall@10-vs-bits, service qps/p99
 #
 #   ./run_benches.sh            build ./build if needed, run benches + JSONs
 #   ./run_benches.sh --check    correctness sweep instead of benches:
@@ -24,7 +26,7 @@
 #                               target was added fails with "No rule to
 #                               make target" instead of self-regenerating.
 #   ./run_benches.sh --ci-gate  CI perf gate: run the bench-labeled ctest
-#                               smokes, regenerate the six bench JSONs into
+#                               smokes, regenerate the seven bench JSONs into
 #                               bench_out/, and compare each against the
 #                               checked-in repo-root baseline with
 #                               tools/bench_check at ±30% on the
@@ -111,9 +113,11 @@ case "${1:-}" in
     > bench_out/compile_json.txt 2>&1
   ./build/bench/threadpool --json=bench_out/BENCH_threadpool.json \
     > bench_out/threadpool_json.txt 2>&1
+  ./build/bench/search --json=bench_out/BENCH_search.json \
+    > bench_out/search_json.txt 2>&1
   echo "=== comparing against repo-root baselines ==="
   status=0
-  for b in gemm pipeline kernels serve compile threadpool; do
+  for b in gemm pipeline kernels serve compile threadpool search; do
     # Fail fast on a missing baseline: cq_bench_check would only see the
     # unreadable-file error, and a bench added without its checked-in
     # baseline must not look like a perf regression (or worse, pass).
@@ -121,6 +125,15 @@ case "${1:-}" in
       echo "run_benches.sh: baseline BENCH_${b}.json missing from repo" \
         "root — run ./run_benches.sh once and commit the generated file" >&2
       echo "CI_GATE_MISSING_BASELINE" >&2
+      exit 1
+    fi
+    # And fail fast when the bench didn't write its candidate: a bench that
+    # exits 0 without emitting JSON (or a generation line dropped from the
+    # list above) must not silently skip its gate.
+    if [ ! -f "bench_out/BENCH_${b}.json" ]; then
+      echo "run_benches.sh: candidate bench_out/BENCH_${b}.json was not" \
+        "generated — see bench_out/${b}_json.* for the bench's output" >&2
+      echo "CI_GATE_MISSING_CANDIDATE" >&2
       exit 1
     fi
     ./build/src/cq_bench_check "bench_out/BENCH_${b}.json" \
@@ -148,7 +161,7 @@ export CQ_TSNE_ITERS=${CQ_TSNE_ITERS:-200}
 
 if [ ! -x build/bench/micro_kernels ] || [ ! -x build/bench/kernels ] \
    || [ ! -x build/bench/pipeline_alloc ] || [ ! -x build/bench/serve ] \
-   || [ ! -x build/bench/threadpool ]; then
+   || [ ! -x build/bench/threadpool ] || [ ! -x build/bench/search ]; then
   cmake --preset default
   cmake --build --preset default -j"$(nproc)"
 fi
@@ -195,4 +208,7 @@ echo "=== RUNNING json baselines ==="
 ./build/bench/threadpool --json=BENCH_threadpool.json \
   > bench_out/threadpool_json.txt 2>&1 && echo "done BENCH_threadpool.json" \
   || echo "FAILED BENCH_threadpool.json (see bench_out/threadpool_json.txt)"
+./build/bench/search --json=BENCH_search.json \
+  > bench_out/search_json.txt 2>&1 && echo "done BENCH_search.json" \
+  || echo "FAILED BENCH_search.json (see bench_out/search_json.txt)"
 echo ALL_BENCHES_DONE

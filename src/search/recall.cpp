@@ -1,0 +1,137 @@
+#include "search/recall.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_set>
+
+#include "tensor/kernels/hamming.hpp"
+#include "tensor/kernels/kernels.hpp"
+#include "util/check.hpp"
+
+namespace cq::search {
+
+namespace {
+constexpr float kNormEps = 1e-12f;
+
+std::vector<float> normalized_copy(const float* x, std::int64_t rows,
+                                   std::int64_t dim) {
+  std::vector<float> out(static_cast<std::size_t>(rows * dim));
+  std::memcpy(out.data(), x, out.size() * sizeof(float));
+  kernels::l2_normalize_rows(out.data(), rows, dim, nullptr, kNormEps);
+  return out;
+}
+}  // namespace
+
+double RecallReport::recall(const std::string& variant) const {
+  for (const auto& p : points)
+    if (p.variant == variant) return p.recall_at_k;
+  return -1.0;
+}
+
+std::vector<std::vector<std::int64_t>> cosine_ground_truth(
+    const float* base, std::int64_t rows, const float* queries,
+    std::int64_t nq, std::int64_t dim, std::int64_t k) {
+  CQ_CHECK(rows > 0 && nq > 0 && dim > 0 && k > 0);
+  const std::vector<float> nbase = normalized_copy(base, rows, dim);
+  const std::vector<float> nq_mat = normalized_copy(queries, nq, dim);
+  const std::int64_t kk = std::min(k, rows);
+  std::vector<float> scores(static_cast<std::size_t>(rows));
+  std::vector<std::int64_t> order(static_cast<std::size_t>(rows));
+  std::vector<std::vector<std::int64_t>> gt(static_cast<std::size_t>(nq));
+  for (std::int64_t q = 0; q < nq; ++q) {
+    kernels::dot_scan(nq_mat.data() + q * dim, nbase.data(), rows, dim,
+                      scores.data());
+    for (std::int64_t r = 0; r < rows; ++r) order[r] = r;
+    // Total order (score desc, row asc): the ground-truth set is unique.
+    std::partial_sort(order.begin(), order.begin() + kk, order.end(),
+                      [&](std::int64_t a, std::int64_t b) {
+                        if (scores[a] != scores[b])
+                          return scores[a] > scores[b];
+                        return a < b;
+                      });
+    gt[q].assign(order.begin(), order.begin() + kk);
+  }
+  return gt;
+}
+
+RecallReport recall_vs_bits(const float* base, std::int64_t rows,
+                            const float* queries, std::int64_t nq,
+                            std::int64_t dim, const RecallConfig& config) {
+  CQ_CHECK(config.k > 0 && config.overfetch >= 1);
+  RecallReport report;
+  report.base_rows = rows;
+  report.num_queries = nq;
+  report.dim = dim;
+  report.k = std::min(config.k, rows);
+  const auto gt =
+      cosine_ground_truth(base, rows, queries, nq, dim, report.k);
+
+  std::vector<std::uint64_t> ids(static_cast<std::size_t>(rows));
+  for (std::int64_t r = 0; r < rows; ++r)
+    ids[r] = static_cast<std::uint64_t>(r);
+
+  struct Variant {
+    const char* name;
+    CodeLayout layout;
+    bool rerank;
+  };
+  const Variant variants[] = {
+      {"1bit", CodeLayout::k1Bit, false},
+      {"1bit_rerank", CodeLayout::k1Bit, true},
+      {"2bit", CodeLayout::k2Bit, false},
+      {"2bit_rerank", CodeLayout::k2Bit, true},
+  };
+
+  std::vector<Result> hits(static_cast<std::size_t>(report.k));
+  for (const Variant& v : variants) {
+    IndexConfig icfg;
+    icfg.dim = dim;
+    icfg.layout = v.layout;
+    icfg.store_embeddings = v.rerank;
+    // Thresholds fit on the indexed corpus itself — the deployment setting
+    // (PAPERS.md: per-coordinate statistics, not a global sign split).
+    const std::vector<float> nbase = normalized_copy(base, rows, dim);
+    Index index(icfg, Binarizer::fit(nbase.data(), rows, dim, v.layout));
+    index.add(base, ids.data(), rows);
+
+    QueryOptions opts;
+    opts.k = report.k;
+    opts.overfetch = v.rerank ? config.overfetch : 1;
+    opts.rerank = v.rerank;
+    QueryScratch scratch;
+    index.prepare(opts, scratch);
+
+    std::int64_t overlap = 0;
+    for (std::int64_t q = 0; q < nq; ++q) {
+      const std::int64_t n =
+          index.query(queries + q * dim, opts, scratch, hits.data());
+      std::unordered_set<std::uint64_t> want(gt[q].begin(), gt[q].end());
+      for (std::int64_t i = 0; i < n; ++i)
+        overlap += want.count(hits[i].id) ? 1 : 0;
+    }
+    RecallPoint point;
+    point.variant = v.name;
+    point.layout = v.layout;
+    point.rerank = v.rerank;
+    point.bits_per_dim = static_cast<double>(bits_per_dim(v.layout));
+    point.recall_at_k = static_cast<double>(overlap) /
+                        static_cast<double>(nq * report.k);
+    report.points.push_back(point);
+  }
+  return report;
+}
+
+RecallReport recall_vs_bits_features(const Tensor& features,
+                                     std::int64_t num_queries,
+                                     const RecallConfig& config) {
+  CQ_CHECK(features.shape().rank() == 2);
+  const std::int64_t n = features.dim(0);
+  const std::int64_t dim = features.dim(1);
+  CQ_CHECK_MSG(num_queries > 0 && num_queries < n,
+               "need a non-empty query/base split");
+  const float* data = features.data();
+  return recall_vs_bits(data + num_queries * dim, n - num_queries, data,
+                        num_queries, dim, config);
+}
+
+}  // namespace cq::search

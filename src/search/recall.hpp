@@ -1,0 +1,69 @@
+// Recall@k-vs-bits evaluation (DESIGN.md §15): how much retrieval quality
+// survives binary quantization of the embedding space — the paper's claim
+// ("quantization-aware contrastive pretraining yields embeddings that
+// survive aggressive compression") measured on the workload that actually
+// consumes contrastive encoders.
+//
+// Ground truth is exact fp32 cosine top-k over L2-normalized embeddings
+// (kernels::dot_scan). Each code variant (1-bit, 2-bit thermometer, each
+// with and without exact-cosine rerank of an overfetched pool) retrieves
+// through a real search::Index, and recall@k is the averaged overlap with
+// the ground-truth id set. bench/search.cpp runs this for a CQ-pretrained
+// encoder vs a plain-SimCLR one on the same data.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "search/index.hpp"
+#include "tensor/tensor.hpp"
+
+namespace cq::search {
+
+struct RecallConfig {
+  std::int64_t k = 10;
+  /// Candidate-pool widening for the rerank variants (k * overfetch Hamming
+  /// candidates, exact-cosine top-k among them).
+  std::int64_t overfetch = 4;
+};
+
+/// One measured operating point.
+struct RecallPoint {
+  std::string variant;  // "1bit", "1bit_rerank", "2bit", "2bit_rerank"
+  CodeLayout layout = CodeLayout::k1Bit;
+  bool rerank = false;
+  double bits_per_dim = 1.0;
+  double recall_at_k = 0.0;
+};
+
+struct RecallReport {
+  std::int64_t base_rows = 0;
+  std::int64_t num_queries = 0;
+  std::int64_t dim = 0;
+  std::int64_t k = 0;
+  std::vector<RecallPoint> points;
+
+  /// recall_at_k of `variant`, or -1 when absent.
+  double recall(const std::string& variant) const;
+};
+
+/// Exact cosine ground truth: per query, the row indices of the k nearest
+/// base rows by dot product over L2-normalized copies (ties to lower row).
+std::vector<std::vector<std::int64_t>> cosine_ground_truth(
+    const float* base, std::int64_t rows, const float* queries,
+    std::int64_t nq, std::int64_t dim, std::int64_t k);
+
+/// Run all four code variants over raw [rows, dim] / [nq, dim] embedding
+/// matrices (any norm; normalization happens inside).
+RecallReport recall_vs_bits(const float* base, std::int64_t rows,
+                            const float* queries, std::int64_t nq,
+                            std::int64_t dim, const RecallConfig& config);
+
+/// Convenience split over one [N, dim] feature matrix (e.g. from
+/// eval::extract_features): the first `num_queries` rows query the rest.
+RecallReport recall_vs_bits_features(const Tensor& features,
+                                     std::int64_t num_queries,
+                                     const RecallConfig& config);
+
+}  // namespace cq::search

@@ -38,6 +38,12 @@ void BinaryWriter::write_f32_array(const std::vector<float>& v) {
              static_cast<std::streamsize>(v.size() * sizeof(float)));
 }
 
+void BinaryWriter::write_u64_array(const std::vector<std::uint64_t>& v) {
+  write_u64(v.size());
+  out_.write(reinterpret_cast<const char*>(v.data()),
+             static_cast<std::streamsize>(v.size() * sizeof(std::uint64_t)));
+}
+
 void BinaryWriter::close() {
   if (closed_) return;
   out_.flush();
@@ -102,6 +108,16 @@ std::vector<float> BinaryReader::read_f32_array() {
   in_.read(reinterpret_cast<char*>(v.data()),
            static_cast<std::streamsize>(n * sizeof(float)));
   require(in_.good(), "truncated f32 array");
+  return v;
+}
+
+std::vector<std::uint64_t> BinaryReader::read_u64_array() {
+  const auto n = read_u64();
+  require(n < (1ULL << 30), "implausible array length");
+  std::vector<std::uint64_t> v(n);
+  in_.read(reinterpret_cast<char*>(v.data()),
+           static_cast<std::streamsize>(n * sizeof(std::uint64_t)));
+  require(in_.good(), "truncated u64 array");
   return v;
 }
 

@@ -22,6 +22,7 @@ class BinaryWriter {
   void write_f32(float v);
   void write_string(const std::string& s);
   void write_f32_array(const std::vector<float>& v);
+  void write_u64_array(const std::vector<std::uint64_t>& v);
 
   /// Flushes and closes; throws on I/O failure.
   void close();
@@ -45,6 +46,7 @@ class BinaryReader {
   float read_f32();
   std::string read_string();
   std::vector<float> read_f32_array();
+  std::vector<std::uint64_t> read_u64_array();
 
   /// Validates that the stream is positioned exactly at end-of-file, i.e.
   /// every byte of the file was consumed by the records read so far. Throws

@@ -242,6 +242,21 @@ Direction classify(const std::string& path, bool absolute) {
     if (leaf == "p99_us" || leaf == "spike_p99_us")
       return Direction::kLowerBetter;
   }
+  // The search bench gates its accuracy and headline numbers by default:
+  // recall@10 is pure math over deterministic encoders (machine-portable),
+  // target_met is the subsystem's acceptance bit (scan >= 8x fp32 at
+  // recall@10 >= 0.9), and the headline speedups are same-host ratios like
+  // the kernel-layer "speedup" leaves. The service closed loop gates like
+  // the serve bench's int8 section — rps plus the (doubled-band) p99.
+  if (leaf == "recall_at_10" || leaf == "target_met")
+    return Direction::kHigherBetter;
+  if (path.rfind("headline.", 0) == 0 &&
+      leaf.find("speedup") != std::string::npos)
+    return Direction::kHigherBetter;
+  if (path.rfind("service.", 0) == 0) {
+    if (leaf == "rps") return Direction::kHigherBetter;
+    if (leaf == "p99_us") return Direction::kLowerBetter;
+  }
   if (absolute) {
     if (ends_with(leaf, "_gflops") || ends_with(leaf, "_gbps") ||
         leaf == "rps")
@@ -506,6 +521,49 @@ int selftest() {
         "\"spike_p99_us\": 62000.0}}");
     expect(gate(blown, scale_base, 0.30, false, false).failed == 1,
            "spike p99 blow-up fails");
+  }
+
+  // The search bench's recall/headline/service metrics gate by default;
+  // raw scan throughput (scan_codes_per_s) stays informational.
+  const auto search_base = flatten(
+      "{\"recall\": {\"cq\": {\"points\": [{\"bits_per_dim\": 1, "
+      "\"recall_at_10\": 0.625}]}}, "
+      "\"headline\": {\"scan_speedup_1bit\": 17.0, "
+      "\"query_speedup_1bit_rerank\": 16.0, \"recall_at_10\": 1.0, "
+      "\"target_met\": true}, "
+      "\"service\": {\"rps\": 2300.0, \"p99_us\": 2600.0, "
+      "\"scan_codes_per_s\": 9.0e8}}");
+  {
+    const auto r = gate(search_base, search_base, 0.30, false, false);
+    expect(r.gated == 7 && r.failed == 0,
+           "search recall/headline/service gated by default");
+  }
+  {
+    // Recall@10 dropping past the band: a binarization/rerank regression.
+    const auto cand = flatten(
+        "{\"recall\": {\"cq\": {\"points\": [{\"bits_per_dim\": 1, "
+        "\"recall_at_10\": 0.3}]}}, "
+        "\"headline\": {\"scan_speedup_1bit\": 17.0, "
+        "\"query_speedup_1bit_rerank\": 16.0, \"recall_at_10\": 1.0, "
+        "\"target_met\": true}, "
+        "\"service\": {\"rps\": 2300.0, \"p99_us\": 2600.0, "
+        "\"scan_codes_per_s\": 9.0e8}}");
+    expect(gate(cand, search_base, 0.30, false, false).failed == 1,
+           "recall@10 collapse fails");
+  }
+  {
+    // target_met flipping false (the acceptance bit) and the service p99
+    // blowing past even the doubled latency band: two failures.
+    const auto cand = flatten(
+        "{\"recall\": {\"cq\": {\"points\": [{\"bits_per_dim\": 1, "
+        "\"recall_at_10\": 0.625}]}}, "
+        "\"headline\": {\"scan_speedup_1bit\": 17.0, "
+        "\"query_speedup_1bit_rerank\": 16.0, \"recall_at_10\": 1.0, "
+        "\"target_met\": false}, "
+        "\"service\": {\"rps\": 2300.0, \"p99_us\": 6000.0, "
+        "\"scan_codes_per_s\": 9.0e8}}");
+    expect(gate(cand, search_base, 0.30, false, false).failed == 2,
+           "target_met=false + service p99 blow-up fail");
   }
 
   if (failures == 0) std::printf("BENCH_CHECK_SELFTEST_OK\n");
