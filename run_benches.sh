@@ -12,6 +12,8 @@
 #                        parallel_for scaling
 #   BENCH_search.json    binary-embedding search: Hamming scan vs fp32 brute
 #                        force, recall@10-vs-bits, service qps/p99
+#   BENCH_vit.json       transformer encoder: attention GEMM GFLOP/s,
+#                        compiled-vs-eager ViT, CPT-V int8 recall@10 study
 #
 #   ./run_benches.sh            build ./build if needed, run benches + JSONs
 #   ./run_benches.sh --check    correctness sweep instead of benches:
@@ -26,7 +28,7 @@
 #                               target was added fails with "No rule to
 #                               make target" instead of self-regenerating.
 #   ./run_benches.sh --ci-gate  CI perf gate: run the bench-labeled ctest
-#                               smokes, regenerate the seven bench JSONs into
+#                               smokes, regenerate the eight bench JSONs into
 #                               bench_out/, and compare each against the
 #                               checked-in repo-root baseline with
 #                               tools/bench_check at ±30% on the
@@ -115,9 +117,11 @@ case "${1:-}" in
     > bench_out/threadpool_json.txt 2>&1
   ./build/bench/search --json=bench_out/BENCH_search.json \
     > bench_out/search_json.txt 2>&1
+  ./build/bench/vit --json=bench_out/BENCH_vit.json \
+    > bench_out/vit_json.txt 2>&1
   echo "=== comparing against repo-root baselines ==="
   status=0
-  for b in gemm pipeline kernels serve compile threadpool search; do
+  for b in gemm pipeline kernels serve compile threadpool search vit; do
     # Fail fast on a missing baseline: cq_bench_check would only see the
     # unreadable-file error, and a bench added without its checked-in
     # baseline must not look like a perf regression (or worse, pass).
@@ -161,7 +165,8 @@ export CQ_TSNE_ITERS=${CQ_TSNE_ITERS:-200}
 
 if [ ! -x build/bench/micro_kernels ] || [ ! -x build/bench/kernels ] \
    || [ ! -x build/bench/pipeline_alloc ] || [ ! -x build/bench/serve ] \
-   || [ ! -x build/bench/threadpool ] || [ ! -x build/bench/search ]; then
+   || [ ! -x build/bench/threadpool ] || [ ! -x build/bench/search ] \
+   || [ ! -x build/bench/vit ]; then
   cmake --preset default
   cmake --build --preset default -j"$(nproc)"
 fi
@@ -211,4 +216,7 @@ echo "=== RUNNING json baselines ==="
 ./build/bench/search --json=BENCH_search.json \
   > bench_out/search_json.txt 2>&1 && echo "done BENCH_search.json" \
   || echo "FAILED BENCH_search.json (see bench_out/search_json.txt)"
+./build/bench/vit --json=BENCH_vit.json \
+  > bench_out/vit_json.txt 2>&1 && echo "done BENCH_vit.json" \
+  || echo "FAILED BENCH_vit.json (see bench_out/vit_json.txt)"
 echo ALL_BENCHES_DONE

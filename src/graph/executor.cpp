@@ -9,6 +9,8 @@
 #include "core/trace.hpp"
 #include "deploy/int8.hpp"
 #include "graph/tracer.hpp"
+#include "models/vit.hpp"
+#include "nn/layernorm.hpp"
 #include "tensor/im2col.hpp"
 #include "tensor/kernels/igemm.hpp"
 #include "tensor/kernels/kernels.hpp"
@@ -81,36 +83,17 @@ CompiledModel::CompiledModel(Graph g, std::int64_t max_batch)
   for (std::size_t i = 0; i < graph_.nodes.size(); ++i) {
     const Node& node = graph_.nodes[i];
     NodeState& st = state_[i];
-    if (node.op != Op::kConv2d && node.op != Op::kLinear) continue;
+    if (node.op != Op::kConv2d && node.op != Op::kLinear &&
+        node.op != Op::kPatchEmbed)
+      continue;
     const Tensor& w = node.weight;
     const std::int64_t rows = w.dim(0), cols = w.dim(1);
     st.bias = node.bias;
     if (st.bias.empty()) st.bias.assign(static_cast<std::size_t>(rows), 0.0f);
 
     if (node.precision == Precision::kInt8) {
-      // Verbatim the deploy::Int8Network ctor recipe: per-output-channel
-      // symmetric weights, igemm-packed per group with row sums.
-      const std::int64_t groups = node.op == Op::kConv2d ? node.conv.groups : 1;
-      const std::int64_t rows_g = rows / groups;
-      st.scales.resize(static_cast<std::size_t>(rows));
-      st.rowsum.resize(static_cast<std::size_t>(rows));
-      std::vector<std::int8_t> wq(static_cast<std::size_t>(rows * cols));
-      for (std::int64_t r = 0; r < rows; ++r) {
-        float max_abs = 0.0f;
-        for (std::int64_t c = 0; c < cols; ++c)
-          max_abs = std::max(max_abs, std::fabs(w.data()[r * cols + c]));
-        const float scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
-        st.scales[static_cast<std::size_t>(r)] = scale;
-        deploy::detail::quantize_buffer(w.data() + r * cols, cols,
-                                        1.0f / scale, wq.data() + r * cols);
-      }
-      st.pa_group = igemm::packed_a_bytes(rows_g, cols);
-      st.packed_a.resize(static_cast<std::size_t>(groups * st.pa_group));
-      for (std::int64_t grp = 0; grp < groups; ++grp)
-        igemm::pack_a_s8(wq.data() + grp * rows_g * cols, rows_g, cols,
-                         st.packed_a.data() + grp * st.pa_group,
-                         st.rowsum.data() + grp * rows_g);
-    } else if (node.op == Op::kLinear) {
+      quantize_int8_weights(i, nullptr);
+    } else if (node.op == Op::kLinear || node.op == Op::kPatchEmbed) {
       // Single-k-panel shapes prepack into gemm's sliver layout once;
       // gemm_prepacked_b is bit-identical to gemm(kNT) on the raw weight.
       if (cols <= gemm::kKC && rows <= gemm::kNC) {
@@ -121,6 +104,69 @@ CompiledModel::CompiledModel(Graph g, std::int64_t max_batch)
       }
     }
   }
+}
+
+void CompiledModel::quantize_int8_weights(std::size_t i, const float* scales) {
+  // Verbatim the deploy::Int8Network ctor recipe: per-output-channel
+  // symmetric weights, igemm-packed per group with row sums — except the
+  // scale itself may come from the caller (CPT-V calibration) instead of
+  // the min-max default.
+  const Node& node = graph_.nodes[i];
+  NodeState& st = state_[i];
+  const Tensor& w = node.weight;
+  const std::int64_t rows = w.dim(0), cols = w.dim(1);
+  const std::int64_t groups = node.op == Op::kConv2d ? node.conv.groups : 1;
+  const std::int64_t rows_g = rows / groups;
+  st.scales.resize(static_cast<std::size_t>(rows));
+  st.rowsum.resize(static_cast<std::size_t>(rows));
+  std::vector<std::int8_t> wq(static_cast<std::size_t>(rows * cols));
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float scale;
+    if (scales != nullptr) {
+      scale = scales[r];
+    } else {
+      float max_abs = 0.0f;
+      for (std::int64_t c = 0; c < cols; ++c)
+        max_abs = std::max(max_abs, std::fabs(w.data()[r * cols + c]));
+      scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+    }
+    CQ_CHECK_MSG(scale > 0.0f, "non-positive weight scale for channel " << r
+                                   << " of " << node.label);
+    st.scales[static_cast<std::size_t>(r)] = scale;
+    deploy::detail::quantize_buffer(w.data() + r * cols, cols, 1.0f / scale,
+                                    wq.data() + r * cols);
+  }
+  st.pa_group = igemm::packed_a_bytes(rows_g, cols);
+  st.packed_a.resize(static_cast<std::size_t>(groups * st.pa_group));
+  for (std::int64_t grp = 0; grp < groups; ++grp)
+    igemm::pack_a_s8(wq.data() + grp * rows_g * cols, rows_g, cols,
+                     st.packed_a.data() + grp * st.pa_group,
+                     st.rowsum.data() + grp * rows_g);
+}
+
+std::vector<std::size_t> CompiledModel::int8_nodes() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < graph_.nodes.size(); ++i) {
+    const Node& n = graph_.nodes[i];
+    if ((n.op == Op::kConv2d || n.op == Op::kLinear) &&
+        n.precision == Precision::kInt8)
+      out.push_back(i);
+  }
+  return out;
+}
+
+void CompiledModel::requantize_node(std::size_t i,
+                                    const std::vector<float>& scales) {
+  CQ_CHECK_MSG(i < graph_.nodes.size(), "requantize_node: bad index " << i);
+  const Node& node = graph_.nodes[i];
+  CQ_CHECK_MSG((node.op == Op::kConv2d || node.op == Op::kLinear) &&
+                   node.precision == Precision::kInt8,
+               "requantize_node: " << node.label << " is not an int8 node");
+  CQ_CHECK_MSG(static_cast<std::int64_t>(scales.size()) == node.weight.dim(0),
+               "requantize_node: " << node.label << " expects "
+                                   << node.weight.dim(0) << " scales, got "
+                                   << scales.size());
+  quantize_int8_weights(i, scales.data());
 }
 
 const float* CompiledModel::in_ptr(ValueId id, const Tensor& x) const {
@@ -289,27 +335,31 @@ const Tensor& CompiledModel::forward(const Tensor& x) {
 
       case Op::kLinear: {
         const std::int64_t in = node.weight.dim(1), out = node.weight.dim(0);
+        // Rank-2 per-sample inputs ([seq, in], the ViT token Linears) are
+        // just more GEMM rows; rank-1 feature rows keep rows == n. Every row
+        // lives inside one sample, so per-row scales stay batch-invariant.
+        const std::int64_t rows = n * (ishape.numel() / in);
         if (node.precision == Precision::kInt8) {
           CQ_TRACE_SCOPE_N("graph.node.linear_int8", n);
           float* in_scale = arena_ptr(scratch[0]);
           float* in_inv = arena_ptr(scratch[1]);
           float* gout = arena_ptr(scratch[2]);
           auto* bp = reinterpret_cast<std::uint8_t*>(base_ + scratch[3]);
-          for_each_image(n, [&](std::int64_t s) {
+          for_each_image(rows, [&](std::int64_t s) {
             in_scale[s] = deploy::detail::sample_scale(in_p + s * in, in);
             in_inv[s] = 1.0f / in_scale[s];
           });
-          igemm::pack_b_quantized(in_p, /*rs=*/1, /*cs=*/in, in, n, in_inv,
+          igemm::pack_b_quantized(in_p, /*rs=*/1, /*cs=*/in, in, rows, in_inv,
                                   bp);
           igemm::Epilogue ep;
           ep.row_scale = st.scales.data();
           ep.col_scale = in_scale;
           ep.bias = st.bias.data();
-          igemm::gemm(out, n, in, st.packed_a.data(), st.rowsum.data(), bp,
-                      gout, /*ldc=*/n, ep);
-          for_each_image(n, [&](std::int64_t s) {  // transpose [out, n]
+          igemm::gemm(out, rows, in, st.packed_a.data(), st.rowsum.data(), bp,
+                      gout, /*ldc=*/rows, ep);
+          for_each_image(rows, [&](std::int64_t s) {  // transpose [out, rows]
             for (std::int64_t r = 0; r < out; ++r)
-              out_p[s * out + r] = gout[r * n + s];
+              out_p[s * out + r] = gout[r * rows + s];
           });
           break;
         }
@@ -320,11 +370,108 @@ const Tensor& CompiledModel::forward(const Tensor& x) {
         ep.act = node.act;
         ep.cap = node.act_cap;
         if (!st.packed_b.empty())
-          gemm::gemm_prepacked_b(n, out, in, in_p, st.packed_b.data(), out_p,
+          gemm::gemm_prepacked_b(rows, out, in, in_p, st.packed_b.data(),
+                                 out_p, /*accumulate=*/false, ep);
+        else
+          gemm::gemm(gemm::Trans::kNT, rows, out, in, in_p, node.weight.data(),
+                     out_p, /*accumulate=*/false, ep);
+        break;
+      }
+
+      case Op::kPatchEmbed: {
+        CQ_TRACE_SCOPE_N("graph.node.patch_embed", n);
+        const ConvGeometry geo = conv_geometry(node, ishape);
+        const std::int64_t seq = geo.col_cols();
+        const std::int64_t krows = geo.col_rows();
+        const std::int64_t dim = node.conv.out_channels;
+        const std::int64_t sample_in =
+            node.conv.in_channels * geo.in_h * geo.in_w;
+        float* patches = arena_ptr(scratch[0]);
+        // Image img owns patch rows [img*seq, (img+1)*seq) — disjoint.
+        for_each_image(n, [&](std::int64_t img) {
+          im2row(in_p + img * sample_in, geo, patches + img * seq * krows);
+        });
+        gemm::Epilogue ep;
+        ep.bias = st.bias.data();
+        ep.bias_kind = gemm::Epilogue::Bias::kPerCol;
+        const std::int64_t rows = n * seq;
+        if (!st.packed_b.empty())
+          gemm::gemm_prepacked_b(rows, dim, krows, patches,
+                                 st.packed_b.data(), out_p,
                                  /*accumulate=*/false, ep);
         else
-          gemm::gemm(gemm::Trans::kNT, n, out, in, in_p, node.weight.data(),
-                     out_p, /*accumulate=*/false, ep);
+          gemm::gemm(gemm::Trans::kNT, rows, dim, krows, patches,
+                     node.weight.data(), out_p, /*accumulate=*/false, ep);
+        const float* pos = node.pos_embed.data();
+        for_each_image(n, [&](std::int64_t img) {
+          float* dst = out_p + img * seq * dim;
+          for (std::int64_t j = 0; j < seq * dim; ++j) dst[j] += pos[j];
+        });
+        break;
+      }
+
+      case Op::kLayerNorm: {
+        CQ_TRACE_SCOPE_N("graph.node.layernorm", n);
+        const std::int64_t cols = node.bn_gamma.numel();
+        const std::int64_t rows_per = ishape.numel() / cols;
+        const float* gamma = node.bn_gamma.data();
+        const float* beta = node.bn_beta.data();
+        // Row-independent arithmetic: any per-image split matches the eager
+        // whole-batch call bit for bit (shared nn::detail::layernorm_rows).
+        for_each_image(n, [&](std::int64_t img) {
+          nn::detail::layernorm_rows(in_p + img * rows_per * cols,
+                                     out_p + img * rows_per * cols, rows_per,
+                                     cols, gamma, beta, node.bn_eps,
+                                     /*xhat=*/nullptr, /*inv_std=*/nullptr);
+        });
+        break;
+      }
+
+      case Op::kGelu: {
+        CQ_TRACE_SCOPE_N("graph.node.gelu", n);
+        const std::int64_t count = n * ishape.numel();
+        // Elementwise and position-independent, like kRelu above: the vector
+        // and scalar-tail lanes are bit-identical, so any contiguous split
+        // reproduces the eager single-call output.
+        core::parallel_for(count, 1 << 14, [&](std::int64_t b,
+                                               std::int64_t e) {
+          kernels::gelu(in_p + b, out_p + b, e - b);
+        });
+        break;
+      }
+
+      case Op::kAttnCore: {
+        CQ_TRACE_SCOPE_N("graph.node.attn", n);
+        const Shape& oshape = graph_.value(node.output).shape;
+        const std::int64_t seq = oshape.dim(0), dim = oshape.dim(1);
+        const std::int64_t heads = node.attn_heads;
+        const std::int64_t per =
+            3 * seq * dim +
+            models::detail::attention_scratch_floats(seq, dim, heads);
+        float* buf = arena_ptr(scratch[0]);
+        // Each image gets its own q/k/v + score scratch slice, so the
+        // batch-parallel sweep shares nothing across workers; the shared
+        // attention_forward helper keeps compiled == eager bitwise.
+        for_each_image(n, [&](std::int64_t img) {
+          float* qh = buf + img * per;
+          float* kh = qh + seq * dim;
+          float* vh = kh + seq * dim;
+          float* sc = vh + seq * dim;
+          models::detail::attention_forward(in_p + img * seq * 3 * dim, seq,
+                                            dim, heads, qh, kh, vh,
+                                            /*probs=*/nullptr, sc,
+                                            out_p + img * seq * dim);
+        });
+        break;
+      }
+
+      case Op::kSeqMean: {
+        CQ_TRACE_SCOPE_N("graph.node.seq_mean", n);
+        const std::int64_t seq = ishape.dim(0), dim = ishape.dim(1);
+        for_each_image(n, [&](std::int64_t img) {
+          models::detail::seq_mean_forward(in_p + img * seq * dim, seq, dim,
+                                           out_p + img * dim);
+        });
         break;
       }
 

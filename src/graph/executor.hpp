@@ -58,6 +58,19 @@ class CompiledModel {
   std::int64_t max_batch() const { return max_batch_; }
   std::int64_t arena_bytes() const { return plan_.arena_bytes; }
 
+  /// Indices of the int8 kConv2d / kLinear nodes, in execution order — the
+  /// layers whose weight quantization scales CPT-V calibration perturbs.
+  std::vector<std::size_t> int8_nodes() const;
+  /// Node i's current per-output-channel weight scales (empty for fp32).
+  const std::vector<float>& node_scales(std::size_t i) const {
+    return state_[i].scales;
+  }
+  /// Re-quantize node i's weights with externally chosen per-output-channel
+  /// scales (quant/ptq.cpp's accept/reject loop) and repack for igemm. The
+  /// node must be an int8 kConv2d / kLinear; scales must have one positive
+  /// entry per output channel.
+  void requantize_node(std::size_t i, const std::vector<float>& scales);
+
  private:
   friend CompiledModel compile(nn::Sequential&, const Shape&,
                                const CompileOptions&);
@@ -77,6 +90,10 @@ class CompiledModel {
     // can point at it unconditionally.
     std::vector<float> bias;
   };
+
+  /// Quantize + igemm-pack node i's weights. `scales` is per-output-channel
+  /// (weight.dim(0) entries) or null for the min-max default.
+  void quantize_int8_weights(std::size_t i, const float* scales);
 
   float* arena_ptr(std::int64_t offset) {
     return reinterpret_cast<float*>(base_ + offset);

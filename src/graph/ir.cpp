@@ -17,6 +17,11 @@ const char* op_name(Op op) {
     case Op::kLinear: return "linear";
     case Op::kAdd: return "add";
     case Op::kIdentity: return "identity";
+    case Op::kPatchEmbed: return "patch_embed";
+    case Op::kLayerNorm: return "layernorm";
+    case Op::kGelu: return "gelu";
+    case Op::kAttnCore: return "attn_core";
+    case Op::kSeqMean: return "seq_mean";
   }
   return "?";
 }
@@ -128,6 +133,16 @@ std::string node_line(const Graph& g, const Node& n) {
       break;
     case Op::kAdd:
       if (n.add_relu) s += " +relu";
+      break;
+    case Op::kPatchEmbed:
+      std::snprintf(buf, sizeof buf, " p=%lld",
+                    static_cast<long long>(n.conv.kernel));
+      s += buf;
+      break;
+    case Op::kAttnCore:
+      std::snprintf(buf, sizeof buf, " h=%lld",
+                    static_cast<long long>(n.attn_heads));
+      s += buf;
       break;
     default: break;
   }

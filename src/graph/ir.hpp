@@ -38,6 +38,12 @@ enum class Op : std::uint8_t {
   kLinear,
   kAdd,       // residual join, optional fused trailing ReLU
   kIdentity,  // ActQuant placeholder (serving drops fake quantization)
+  // Transformer ops (ViT backbone, DESIGN.md §16).
+  kPatchEmbed,  // strided im2row + linear + learned positional embeddings
+  kLayerNorm,   // row-wise over the last axis (gamma/beta in bn_gamma/bn_beta)
+  kGelu,        // elementwise tanh-form GELU
+  kAttnCore,    // fused-QKV [seq,3*dim] -> multi-head attention -> [seq,dim]
+  kSeqMean,     // mean over the sequence axis: [seq,dim] -> [dim]
 };
 
 const char* op_name(Op op);
@@ -89,9 +95,15 @@ struct Node {
   std::int64_t pool_kernel = 0, pool_stride = 0, pool_pad = 0;
   // kAdd
   bool add_relu = false;
-  // kBatchNorm (copied out of the module so the graph owns its constants)
+  // kBatchNorm (copied out of the module so the graph owns its constants);
+  // kLayerNorm reuses bn_gamma / bn_beta / bn_eps.
   Tensor bn_gamma, bn_beta, bn_mean, bn_var;
   float bn_eps = 0.0f;
+  // kPatchEmbed: learned positional embeddings [seq, dim], added after the
+  // patch projection (geometry rides in `conv`, projection in weight/bias).
+  Tensor pos_embed;
+  // kAttnCore
+  std::int64_t attn_heads = 0;
 };
 
 struct Graph {

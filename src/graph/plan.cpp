@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "core/trace.hpp"
+#include "models/vit.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/im2col.hpp"
 #include "tensor/kernels/igemm.hpp"
@@ -52,10 +53,30 @@ std::vector<std::int64_t> node_scratch_bytes(const Graph& g, std::size_t i,
     case Op::kLinear: {
       if (n.precision != Precision::kInt8) return {};
       const std::int64_t in = n.weight.dim(1), out = n.weight.dim(0);
-      return {batch * kF,        // in_scale
-              batch * kF,        // in_inv
-              out * batch * kF,  // gout ([out, n], transposed at scatter)
-              igemm::packed_b_bytes(in, batch)};
+      // Rank-2 per-sample inputs ([seq, in], the ViT token Linears) are just
+      // more GEMM rows: seq per-sample rows, each its own igemm column.
+      const std::int64_t rows =
+          batch * (g.value(n.inputs[0]).shape.numel() / in);
+      return {rows * kF,        // in_scale
+              rows * kF,        // in_inv
+              out * rows * kF,  // gout ([out, rows], transposed at scatter)
+              igemm::packed_b_bytes(in, rows)};
+    }
+    case Op::kPatchEmbed: {
+      const std::int64_t seq = g.value(n.output).shape.dim(0);
+      const std::int64_t krows = n.weight.dim(1);
+      return {batch * seq * krows * kF};  // im2row patch matrix [n*seq, krows]
+    }
+    case Op::kAttnCore: {
+      const Shape& out = g.value(n.output).shape;
+      const std::int64_t seq = out.dim(0), dim = out.dim(1);
+      // Per image: gathered q/k/v heads plus the score+context scratch the
+      // shared attention_forward helper needs; sliced per image so the
+      // batch-parallel sweep never shares scratch across threads.
+      const std::int64_t per =
+          3 * seq * dim +
+          models::detail::attention_scratch_floats(seq, dim, n.attn_heads);
+      return {batch * per * kF};
     }
     default:
       return {};

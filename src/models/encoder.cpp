@@ -4,6 +4,7 @@
 
 #include "models/mobilenetv2.hpp"
 #include "models/resnet.hpp"
+#include "models/vit.hpp"
 #include "util/serialize.hpp"
 
 namespace cq::models {
@@ -19,7 +20,7 @@ Tensor Encoder::forward_at(const Tensor& x, int bits) {
 const std::vector<std::string>& known_archs() {
   static const std::vector<std::string> archs = {
       "resnet18", "resnet34",  "resnet74",
-      "resnet110", "resnet152", "mobilenetv2"};
+      "resnet110", "resnet152", "mobilenetv2", "vit"};
   return archs;
 }
 
@@ -52,6 +53,9 @@ Encoder make_encoder(const std::string& arch, Rng& rng,
   } else if (arch == "mobilenetv2") {
     enc.backbone = build_mobilenetv2(mobilenetv2_config(), enc.policy, rng,
                                      &enc.feature_dim);
+  } else if (arch == "vit") {
+    enc.backbone =
+        build_vit(vit_tiny_config(), enc.policy, rng, &enc.feature_dim);
   } else {
     CQ_CHECK_MSG(false, "unknown architecture '" << arch << "'");
   }

@@ -27,7 +27,7 @@ struct Encoder {
 };
 
 /// Known architectures: resnet18, resnet34, resnet74, resnet110, resnet152,
-/// mobilenetv2.
+/// mobilenetv2, vit.
 bool is_known_arch(const std::string& arch);
 const std::vector<std::string>& known_archs();
 

@@ -30,6 +30,23 @@ Tensor ReLU::backward(const Tensor& grad_out) {
   return g;
 }
 
+Tensor GELU::forward(const Tensor& x) {
+  Tensor y = x.like();
+  kernels::gelu(x.data(), y.data(), y.numel());
+  if (mode_ == Mode::kTrain) cache_.push_back(x);
+  return y;
+}
+
+Tensor GELU::backward(const Tensor& grad_out) {
+  CQ_CHECK_MSG(!cache_.empty(), "gelu backward without matching forward");
+  Tensor x = std::move(cache_.back());
+  cache_.pop_back();
+  CQ_CHECK(grad_out.same_shape(x));
+  Tensor g = grad_out.like();
+  kernels::gelu_grad(x.data(), grad_out.data(), g.data(), g.numel());
+  return g;
+}
+
 Tensor Flatten::forward(const Tensor& x) {
   CQ_CHECK(x.shape().rank() >= 2);
   if (mode_ == Mode::kTrain) shapes_.push_back(x.shape());

@@ -29,6 +29,22 @@ class ReLU : public Module {
   std::vector<Tensor> cache_;  // inputs
 };
 
+/// GELU (tanh approximation, kernels::gelu) — the transformer MLP
+/// activation. Pointwise over any shape.
+class GELU : public Module {
+ public:
+  const char* type_name() const override { return "GELU"; }
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::size_t pending_caches() const override { return cache_.size(); }
+
+ protected:
+  void on_clear_cache() override { cache_.clear(); }
+
+ private:
+  std::vector<Tensor> cache_;  // inputs
+};
+
 /// Flatten [N, C, H, W] -> [N, C*H*W].
 class Flatten : public Module {
  public:

@@ -1,0 +1,109 @@
+#include "nn/layernorm.hpp"
+
+#include <cmath>
+
+namespace cq::nn {
+
+namespace detail {
+
+void layernorm_rows(const float* x, float* y, std::int64_t rows,
+                    std::int64_t cols, const float* gamma, const float* beta,
+                    float eps, float* xhat, float* inv_std) {
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* xr = x + r * cols;
+    float* yr = y + r * cols;
+    double sum = 0.0, sq = 0.0;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      sum += xr[c];
+      sq += static_cast<double>(xr[c]) * xr[c];
+    }
+    const double mean = sum / static_cast<double>(cols);
+    const double var = sq / static_cast<double>(cols) - mean * mean;
+    const float m = static_cast<float>(mean);
+    const float is = 1.0f / std::sqrt(static_cast<float>(var) + eps);
+    if (inv_std != nullptr) inv_std[r] = is;
+    if (xhat != nullptr) {
+      float* xh = xhat + r * cols;
+      for (std::int64_t c = 0; c < cols; ++c) {
+        const float h = (xr[c] - m) * is;
+        xh[c] = h;
+        yr[c] = h * gamma[c] + beta[c];
+      }
+    } else {
+      for (std::int64_t c = 0; c < cols; ++c)
+        yr[c] = (xr[c] - m) * is * gamma[c] + beta[c];
+    }
+  }
+}
+
+}  // namespace detail
+
+LayerNorm::LayerNorm(std::int64_t dim, float eps, std::string name)
+    : dim_(dim),
+      eps_(eps),
+      gamma_(Tensor::ones(Shape{dim}), name + ".gamma", /*decay=*/false),
+      beta_(Tensor::zeros(Shape{dim}), name + ".beta", /*decay=*/false) {
+  CQ_CHECK(dim > 0);
+}
+
+Tensor LayerNorm::forward(const Tensor& x) {
+  CQ_CHECK_MSG(x.shape().rank() >= 1 && x.dim(x.shape().rank() - 1) == dim_,
+               "layernorm input " << x.shape().str() << " expects last dim "
+                                  << dim_);
+  const auto rows = x.numel() / dim_;
+  Tensor y = Tensor::empty(x.shape());
+  if (mode_ == Mode::kTrain) {
+    Cache entry;
+    entry.xhat = Tensor::empty(x.shape());
+    entry.inv_std = Tensor::empty(Shape{rows});
+    detail::layernorm_rows(x.data(), y.data(), rows, dim_, gamma_.value.data(),
+                           beta_.value.data(), eps_, entry.xhat.data(),
+                           entry.inv_std.data());
+    cache_.push_back(std::move(entry));
+  } else {
+    detail::layernorm_rows(x.data(), y.data(), rows, dim_, gamma_.value.data(),
+                           beta_.value.data(), eps_, nullptr, nullptr);
+  }
+  return y;
+}
+
+Tensor LayerNorm::backward(const Tensor& grad_out) {
+  CQ_CHECK_MSG(!cache_.empty(), "layernorm backward without matching forward");
+  Cache entry = std::move(cache_.back());
+  cache_.pop_back();
+  CQ_CHECK(grad_out.same_shape(entry.xhat));
+  const auto rows = grad_out.numel() / dim_;
+  Tensor gx = Tensor::empty(grad_out.shape());
+  float* dgamma = gamma_.grad.data();
+  float* dbeta = beta_.grad.data();
+  const float* gamma = gamma_.value.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* g = grad_out.data() + r * dim_;
+    const float* xh = entry.xhat.data() + r * dim_;
+    float* out = gx.data() + r * dim_;
+    const float is = entry.inv_std[r];
+    // dxhat = g * gamma; dx = is/D * (D*dxhat - sum(dxhat) - xhat*sum(dxhat*xhat))
+    double s1 = 0.0, s2 = 0.0;
+    for (std::int64_t c = 0; c < dim_; ++c) {
+      const double dxh = static_cast<double>(g[c]) * gamma[c];
+      s1 += dxh;
+      s2 += dxh * xh[c];
+      dgamma[c] += g[c] * xh[c];
+      dbeta[c] += g[c];
+    }
+    const float mean_dxh = static_cast<float>(s1 / dim_);
+    const float mean_dxh_xh = static_cast<float>(s2 / dim_);
+    for (std::int64_t c = 0; c < dim_; ++c) {
+      const float dxh = g[c] * gamma[c];
+      out[c] = is * (dxh - mean_dxh - xh[c] * mean_dxh_xh);
+    }
+  }
+  return gx;
+}
+
+void LayerNorm::collect_parameters(std::vector<Parameter*>& out) {
+  out.push_back(&gamma_);
+  out.push_back(&beta_);
+}
+
+}  // namespace cq::nn

@@ -1,0 +1,60 @@
+// LayerNorm over the last dimension — the transformer normalizer.
+//
+// Accepts any rank >= 1: every leading dimension is treated as a row, the
+// last dimension is normalized ([N, seq, dim] normalizes each [dim] token
+// vector independently). Unlike BatchNorm there are no running statistics:
+// the same per-row arithmetic runs in train and eval mode, which is what
+// lets the graph executor reproduce the eager output bitwise by calling the
+// same row helper (detail::layernorm_rows) the module does.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace cq::nn {
+
+namespace detail {
+/// The shared row normalizer: for each of `rows` rows of `cols` floats,
+///   y = (x - mean) / sqrt(var + eps) * gamma + beta
+/// with mean/var accumulated in a fixed left-to-right float loop, so every
+/// caller (eager module, graph executor) gets identical bits. When `xhat` /
+/// `inv_std` are non-null they receive the normalized rows ([rows, cols])
+/// and per-row 1/sqrt(var+eps) ([rows]) for the backward pass. x and y may
+/// alias only when xhat is null.
+void layernorm_rows(const float* x, float* y, std::int64_t rows,
+                    std::int64_t cols, const float* gamma, const float* beta,
+                    float eps, float* xhat, float* inv_std);
+}  // namespace detail
+
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(std::int64_t dim, float eps = 1e-5f,
+                     std::string name = "ln");
+
+  const char* type_name() const override { return "LayerNorm"; }
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+  std::size_t pending_caches() const override { return cache_.size(); }
+
+  std::int64_t dim() const { return dim_; }
+  float eps() const { return eps_; }
+  const Tensor& gamma() const { return gamma_.value; }
+  const Tensor& beta() const { return beta_.value; }
+
+ protected:
+  void on_clear_cache() override { cache_.clear(); }
+
+ private:
+  struct Cache {
+    Tensor xhat;     // normalized input, same shape as x
+    Tensor inv_std;  // [rows]
+  };
+
+  std::int64_t dim_;
+  float eps_;
+  Parameter gamma_;
+  Parameter beta_;
+  std::vector<Cache> cache_;
+};
+
+}  // namespace cq::nn

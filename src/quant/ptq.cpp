@@ -1,0 +1,200 @@
+#include "quant/ptq.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "core/losses.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/serialize.hpp"
+
+namespace cq::quant {
+
+namespace {
+
+/// Rows [begin, end) of a [N, D] matrix, copied.
+Tensor slice_rows(const Tensor& m, std::int64_t begin, std::int64_t end) {
+  const std::int64_t d = m.dim(1);
+  Tensor out(Shape{end - begin, d});
+  std::copy(m.data() + begin * d, m.data() + end * d, out.data());
+  return out;
+}
+
+/// Cross-view InfoNCE between the plan's current quantized embeddings and
+/// the frozen fp32 references: anchor zq[i], positive zfp[i], negatives the
+/// whole fp32 batch (`queue` = L2-normalized zfp). Deliberately NOT the
+/// symmetric NT-Xent: its intra-view (q-q, fp-fp) terms let the search lower
+/// the loss by spreading the quantized embeddings apart — a uniformity win
+/// with zero alignment to the fp32 geometry retrieval consumes. The
+/// one-sided form is exactly "does zq[i] still rank zfp[i] first", which is
+/// the neighbor structure recall@k measures.
+///
+/// The loss is reported split over the two halves of the batch (fit/holdout
+/// — see the accept rule in calibrate()); both halves share the full-batch
+/// negative queue.
+struct SplitLoss {
+  float fit = 0.0f;
+  float holdout = 0.0f;
+};
+
+SplitLoss quantized_loss(graph::CompiledModel& qm, const Tensor& calib,
+                         const Tensor& zfp, const Tensor& queue,
+                         std::int64_t split, float tau) {
+  const Tensor& zq = qm.forward(calib);
+  const std::int64_t n = zq.dim(0);
+  SplitLoss loss;
+  loss.fit = core::info_nce_queue(slice_rows(zq, 0, split),
+                                  slice_rows(zfp, 0, split), queue, tau)
+                 .value;
+  loss.holdout = core::info_nce_queue(slice_rows(zq, split, n),
+                                      slice_rows(zfp, split, n), queue, tau)
+                     .value;
+  return loss;
+}
+
+/// Per-anchor average over the whole batch (the two halves re-weighted).
+float combined(const SplitLoss& loss, std::int64_t split, std::int64_t n) {
+  return (loss.fit * static_cast<float>(split) +
+          loss.holdout * static_cast<float>(n - split)) /
+         static_cast<float>(n);
+}
+
+}  // namespace
+
+Tensor l2_normalize_rows(const Tensor& features) {
+  CQ_CHECK_MSG(features.shape().rank() == 2,
+               "l2_normalize_rows expects [N, D], got "
+                   << features.shape().str());
+  const std::int64_t n = features.dim(0), d = features.dim(1);
+  Tensor out = Tensor::empty(features.shape());
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* src = features.data() + i * d;
+    float* dst = out.data() + i * d;
+    double sq = 0.0;
+    for (std::int64_t j = 0; j < d; ++j)
+      sq += static_cast<double>(src[j]) * src[j];
+    const float inv =
+        sq > 0.0 ? 1.0f / static_cast<float>(std::sqrt(sq)) : 0.0f;
+    for (std::int64_t j = 0; j < d; ++j) dst[j] = src[j] * inv;
+  }
+  return out;
+}
+
+PtqResult calibrate(graph::CompiledModel& qm, const Tensor& calib,
+                    const Tensor& zfp, const PtqConfig& config) {
+  const std::int64_t n = calib.dim(0);
+  CQ_CHECK_MSG(n >= 2, "PTQ calibration needs >= 2 samples for negatives");
+  CQ_CHECK_MSG(n <= qm.max_batch(), "calibration batch "
+                                        << n << " exceeds plan max_batch "
+                                        << qm.max_batch());
+  CQ_CHECK_MSG(zfp.shape().rank() == 2 && zfp.dim(0) == n,
+               "fp32 reference embeddings must be [N, D] matching the "
+               "calibration batch");
+  CQ_CHECK(config.rounds >= 1 && config.candidates >= 1 &&
+           config.spread > 0.0f && config.tau > 0.0f &&
+           config.min_rel_improvement >= 0.0f);
+  const auto nodes = qm.int8_nodes();
+  CQ_CHECK_MSG(!nodes.empty(),
+               "PTQ calibration on a plan with no int8 nodes — compile with "
+               "Precision::kInt8");
+
+  Rng rng(config.seed);
+  PtqResult result;
+  const Tensor queue = l2_normalize_rows(zfp);
+  const std::int64_t split = n / 2;
+  SplitLoss cur = quantized_loss(qm, calib, zfp, queue, split, config.tau);
+  result.initial_loss = combined(cur, split, n);
+
+  // Coordinate-descent sweeps: one layer at a time, jitter the layer's
+  // scale vector by ONE multiplicative factor (the per-channel min-max
+  // *shape* is kept; only the layer's operating point moves — shrinking it
+  // clips outliers, growing it buys range), keep the proposal only if the
+  // contrastive loss drops (CPT-V's evolutionary-search accept rule, with a
+  // fixed proposal stream so the accepted table is seed-deterministic).
+  //
+  // Two deliberate guards against overfitting the calibration batch — at
+  // int8 the min-max scales are already close to optimal, so the loss
+  // landscape is dominated by noise and an unguarded greedy search happily
+  // accepts "improvements" that hurt held-out retrieval:
+  //   * one scalar per layer, not per channel (dimensionality);
+  //   * a proposal must lower the loss on BOTH halves of the batch — noise
+  //     that fits one half does not survive the other;
+  //   * each half's drop must clear min_rel_improvement — sub-noise "wins"
+  //     are kept out, so a near-optimal starting point stays put.
+  const float keep = 1.0f - config.min_rel_improvement;
+  std::vector<float> proposal;
+  for (int round = 0; round < config.rounds; ++round) {
+    for (std::size_t idx : nodes) {
+      std::vector<float> best = qm.node_scales(idx);
+      proposal.resize(best.size());
+      for (int cand = 0; cand < config.candidates; ++cand) {
+        const auto jitter = static_cast<float>(
+            rng.uniform(-config.spread, config.spread));
+        for (std::size_t c = 0; c < best.size(); ++c)
+          proposal[c] = best[c] * (1.0f + jitter);
+        qm.requantize_node(idx, proposal);
+        const SplitLoss trial =
+            quantized_loss(qm, calib, zfp, queue, split, config.tau);
+        ++result.proposed;
+        if (trial.fit < cur.fit * keep && trial.holdout < cur.holdout * keep) {
+          cur = trial;
+          best = proposal;
+          ++result.accepted;
+        } else {
+          qm.requantize_node(idx, best);  // roll back
+        }
+      }
+    }
+  }
+  result.final_loss = combined(cur, split, n);
+
+  for (std::size_t idx : nodes) {
+    result.table.labels.push_back(qm.graph().nodes[idx].label);
+    result.table.scales.push_back(qm.node_scales(idx));
+  }
+  return result;
+}
+
+void apply(graph::CompiledModel& qm, const ScaleTable& table) {
+  CQ_CHECK(table.labels.size() == table.scales.size());
+  const auto nodes = qm.int8_nodes();
+  for (std::size_t e = 0; e < table.labels.size(); ++e) {
+    bool found = false;
+    for (std::size_t idx : nodes) {
+      if (qm.graph().nodes[idx].label != table.labels[e]) continue;
+      qm.requantize_node(idx, table.scales[e]);
+      found = true;
+      break;
+    }
+    CQ_CHECK_MSG(found, "scale table entry '" << table.labels[e]
+                            << "' matches no int8 node in the plan");
+  }
+}
+
+void ScaleTable::save(const std::string& path) const {
+  CQ_CHECK(labels.size() == scales.size());
+  BinaryWriter w(path);
+  write_checkpoint_header(w);
+  w.write_u64(labels.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    w.write_string(labels[i]);
+    w.write_f32_array(scales[i]);
+  }
+  w.close();
+}
+
+ScaleTable ScaleTable::load(const std::string& path) {
+  BinaryReader r(path);
+  read_checkpoint_header(r);
+  ScaleTable t;
+  const auto count = r.read_u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    t.labels.push_back(r.read_string());
+    t.scales.push_back(r.read_f32_array());
+  }
+  r.expect_eof();
+  return t;
+}
+
+}  // namespace cq::quant

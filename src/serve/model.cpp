@@ -20,6 +20,7 @@ class GraphInstance : public ModelInstance {
   }
   const char* kind_name() const override { return kind_; }
   std::int64_t arena_bytes() const override { return model_.arena_bytes(); }
+  graph::CompiledModel* compiled() override { return &model_; }
 
  private:
   graph::CompiledModel model_;

@@ -37,6 +37,10 @@ class ModelInstance {
   virtual const char* kind_name() const = 0;
   /// Bytes of the instance's planned arena (0 if the instance has none).
   virtual std::int64_t arena_bytes() const = 0;
+  /// The underlying compiled plan, or null for instances that do not run
+  /// one. Lets callers retarget quantization state in place — e.g. apply a
+  /// CPT-V calibrated scale table (quant/ptq.hpp) to an int8 instance.
+  virtual graph::CompiledModel* compiled() { return nullptr; }
 };
 
 /// Compile `backbone` (eval-mode semantics) into a fresh instance whose

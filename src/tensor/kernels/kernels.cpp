@@ -129,6 +129,86 @@ void relu_cap_grad_t(const float* x, const float* g, float* y, std::int64_t n,
   for (; i < n; ++i) y[i] = (x[i] > 0.0f && x[i] < cap) ? g[i] : 0.0f;
 }
 
+// ---- GELU (tanh approximation) ---------------------------------------------
+//
+//   u = sqrt(2/pi) * (x + 0.044715 x^3),  gelu(x) = 0.5 x (1 + tanh(u))
+//
+// tanh is built from the range-reduced exp above (tanh(u) =
+// (1 - e^{-2u}) / (1 + e^{-2u})), so both backends inherit its bit-exact
+// lane semantics. The exp input clamp saturates tanh to ±1 well before the
+// clamp bounds matter (|u| > ~9 already rounds to ±1 in float).
+constexpr float kGeluA = 0.044715f;
+constexpr float kGelu3A = 3.0f * kGeluA;
+constexpr float kSqrt2OverPi = 0.7978845608028654f;
+
+inline float tanh_lane(float u) {
+  const float e = exp_lane(-2.0f * u);
+  return (1.0f - e) / (1.0f + e);
+}
+
+template <class V>
+inline V tanh_vec(V u) {
+  const V e = exp_vec(V::broadcast(-2.0f) * u);
+  const V one = V::broadcast(1.0f);
+  return (one - e) / (one + e);
+}
+
+inline float gelu_lane(float x) {
+  const float x2 = x * x;
+  const float u = kSqrt2OverPi * std::fmaf(kGeluA * x2, x, x);
+  return (0.5f * x) * (1.0f + tanh_lane(u));
+}
+
+template <class V>
+inline V gelu_vec(V x) {
+  const V x2 = x * x;
+  const V u = V::broadcast(kSqrt2OverPi) *
+              V::fma(V::broadcast(kGeluA) * x2, x, x);
+  return (V::broadcast(0.5f) * x) *
+         (V::broadcast(1.0f) + tanh_vec(u));
+}
+
+template <class V>
+void gelu_t(const float* x, float* y, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + W <= n; i += W) gelu_vec(V::load(x + i)).store(y + i);
+  for (; i < n; ++i) y[i] = gelu_lane(x[i]);
+}
+
+//   dgelu/dx = 0.5 (1 + t) + 0.5 x (1 - t^2) u',  t = tanh(u),
+//   u' = sqrt(2/pi) (1 + 3*0.044715 x^2)
+inline float gelu_grad_lane(float x, float g) {
+  const float x2 = x * x;
+  const float u = kSqrt2OverPi * std::fmaf(kGeluA * x2, x, x);
+  const float t = tanh_lane(u);
+  const float du = kSqrt2OverPi * std::fmaf(kGelu3A, x2, 1.0f);
+  const float sech2 = 1.0f - t * t;
+  const float d = std::fmaf(0.5f * x, sech2 * du, 0.5f * (1.0f + t));
+  return g * d;
+}
+
+template <class V>
+inline V gelu_grad_vec(V x, V g) {
+  const V one = V::broadcast(1.0f), half = V::broadcast(0.5f);
+  const V x2 = x * x;
+  const V u = V::broadcast(kSqrt2OverPi) *
+              V::fma(V::broadcast(kGeluA) * x2, x, x);
+  const V t = tanh_vec(u);
+  const V du = V::broadcast(kSqrt2OverPi) *
+               V::fma(V::broadcast(kGelu3A), x2, one);
+  const V sech2 = one - t * t;
+  const V d = V::fma(half * x, sech2 * du, half * (one + t));
+  return g * d;
+}
+
+template <class V>
+void gelu_grad_t(const float* x, const float* g, float* y, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + W <= n; i += W)
+    gelu_grad_vec(V::load(x + i), V::load(g + i)).store(y + i);
+  for (; i < n; ++i) y[i] = gelu_grad_lane(x[i], g[i]);
+}
+
 // ---- reduction templates ---------------------------------------------------
 
 inline float max2(float a, float b) { return a > b ? a : b; }
@@ -411,6 +491,14 @@ void relu_cap_grad(const float* x, const float* g, float* y, std::int64_t n,
                    float cap) {
   relu_cap_grad_t<VecF>(x, g, y, n, cap);
 }
+void gelu(const float* x, float* y, std::int64_t n) {
+  CQ_TRACE_SCOPE_BYTES("kernels.gelu", 2 * n * sizeof(float));
+  gelu_t<VecF>(x, y, n);
+}
+void gelu_grad(const float* x, const float* g, float* y, std::int64_t n) {
+  CQ_TRACE_SCOPE_BYTES("kernels.gelu_grad", 3 * n * sizeof(float));
+  gelu_grad_t<VecF>(x, g, y, n);
+}
 void minmax(const float* x, std::int64_t n, float* lo, float* hi) {
   minmax_t<VecF>(x, n, lo, hi);
 }
@@ -479,6 +567,12 @@ void relu_grad(const float* x, const float* g, float* y, std::int64_t n) {
 void relu_cap_grad(const float* x, const float* g, float* y, std::int64_t n,
                    float cap) {
   relu_cap_grad_t<VecPortable>(x, g, y, n, cap);
+}
+void gelu(const float* x, float* y, std::int64_t n) {
+  gelu_t<VecPortable>(x, y, n);
+}
+void gelu_grad(const float* x, const float* g, float* y, std::int64_t n) {
+  gelu_grad_t<VecPortable>(x, g, y, n);
 }
 void minmax(const float* x, std::int64_t n, float* lo, float* hi) {
   minmax_t<VecPortable>(x, n, lo, hi);

@@ -48,6 +48,13 @@ void relu_grad(const float* x, const float* g, float* y, std::int64_t n);
 /// y = (x > 0 && x < cap) ? g : 0.
 void relu_cap_grad(const float* x, const float* g, float* y, std::int64_t n,
                    float cap);
+/// y = GELU(x), tanh approximation (Hendrycks & Gimpel):
+///   0.5 * x * (1 + tanh(sqrt(2/pi) * (x + 0.044715 x^3)))
+/// with tanh built from the same range-reduced exp as vexp, so the SIMD and
+/// scalar backends are bit-identical. x and y may alias.
+void gelu(const float* x, float* y, std::int64_t n);
+/// y = g * dGELU(x)/dx for the tanh-approximation GELU above.
+void gelu_grad(const float* x, const float* g, float* y, std::int64_t n);
 
 // ---- reductions ------------------------------------------------------------
 
@@ -110,6 +117,8 @@ void relu_cap(const float* x, float* y, std::int64_t n, float cap);
 void relu_grad(const float* x, const float* g, float* y, std::int64_t n);
 void relu_cap_grad(const float* x, const float* g, float* y, std::int64_t n,
                    float cap);
+void gelu(const float* x, float* y, std::int64_t n);
+void gelu_grad(const float* x, const float* g, float* y, std::int64_t n);
 void minmax(const float* x, std::int64_t n, float* lo, float* hi);
 float sum(const float* x, std::int64_t n);
 void row_sum(const float* x, std::int64_t rows, std::int64_t cols, float* out);

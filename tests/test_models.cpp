@@ -16,9 +16,10 @@ namespace cq {
 namespace {
 
 TEST(Encoder, KnownArchList) {
-  EXPECT_EQ(models::known_archs().size(), 6u);
+  EXPECT_EQ(models::known_archs().size(), 7u);
   EXPECT_TRUE(models::is_known_arch("resnet18"));
   EXPECT_TRUE(models::is_known_arch("mobilenetv2"));
+  EXPECT_TRUE(models::is_known_arch("vit"));
   EXPECT_FALSE(models::is_known_arch("vgg16"));
 }
 
